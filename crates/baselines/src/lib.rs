@@ -1,0 +1,109 @@
+//! # om-baselines
+//!
+//! Every comparator of the paper's §5.3, implemented on two shared
+//! substrates:
+//!
+//! * [`mf`] — biased/unbiased matrix factorisation trained by SGD;
+//! * [`graph`] — bipartite interaction graphs with degree-normalised
+//!   embedding propagation (the NGCF/LightGCN/HeroGraph machinery).
+//!
+//! Methods:
+//!
+//! * [`CMF`] — collective MF with user factors shared across domains
+//!   (Singh & Gordon 2008). Classic formulation without bias terms, which
+//!   is why it collapses on noisy/sparse corpora exactly as in Tables 2–3.
+//! * [`NGCF`] — single-domain graph collaborative filtering with nonlinear
+//!   feature transforms.
+//! * [`LightGCN`] — NGCF minus transforms/nonlinearities.
+//! * [`EMCDR`] — per-domain MF plus an MLP mapping source-user factors to
+//!   target-user factors, learned on overlapping users (Man et al. 2017).
+//! * [`PTUPCDR`] — a meta-network that produces a *personalised* bridge
+//!   per user from their source interaction history (Zhu et al. 2022).
+//! * [`HeroGraph`] — a shared cross-domain heterogeneous graph; cold-start
+//!   users receive propagated embeddings through their source edges
+//!   (Cui et al. 2020).
+//! * [`TMCDR`] — extension beyond the paper's lineup (§7.1 related work):
+//!   EMCDR's mapping trained with a Reptile meta loop over per-user tasks
+//!   (Zhu et al. 2021).
+//!
+//! All methods implement [`Recommender`] and are trained on exactly the
+//! data OmniMatch sees: the full source corpus plus the target corpus with
+//! cold-start users' reviews removed.
+
+pub mod cmf;
+pub mod emcdr;
+pub mod graph;
+pub mod herograph;
+pub mod mf;
+pub mod ngcf;
+pub mod ptupcdr;
+pub mod tmcdr;
+
+pub use cmf::CMF;
+pub use emcdr::EMCDR;
+pub use herograph::HeroGraph;
+pub use ngcf::{LightGCN, NGCF};
+pub use ptupcdr::PTUPCDR;
+pub use tmcdr::TMCDR;
+
+use om_data::types::{Interaction, ItemId, UserId};
+use om_metrics::Eval;
+
+/// Clamp a raw score into the valid star range.
+pub fn clamp_stars(x: f32) -> f32 {
+    x.clamp(1.0, 5.0)
+}
+
+/// Common interface every baseline (and adapter around OmniMatch) exposes.
+pub trait Recommender {
+    /// Display name used in the result tables.
+    fn name(&self) -> &'static str;
+
+    /// Predicted star rating for a (possibly cold-start) user–item pair.
+    fn predict(&self, user: UserId, item: ItemId) -> f32;
+
+    /// RMSE/MAE against gold interactions.
+    fn evaluate(&self, gold: &[&Interaction]) -> Eval {
+        assert!(!gold.is_empty(), "evaluate: empty gold set");
+        let pairs: Vec<(f32, f32)> = gold
+            .iter()
+            .map(|it| (self.predict(it.user, it.item), it.rating.value()))
+            .collect();
+        Eval::of(&pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_data::types::Rating;
+
+    struct Constant(f32);
+    impl Recommender for Constant {
+        fn name(&self) -> &'static str {
+            "const"
+        }
+        fn predict(&self, _: UserId, _: ItemId) -> f32 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        assert_eq!(clamp_stars(7.2), 5.0);
+        assert_eq!(clamp_stars(-3.0), 1.0);
+        assert_eq!(clamp_stars(3.3), 3.3);
+    }
+
+    #[test]
+    fn default_evaluate_computes_metrics() {
+        let gold_own = [
+            Interaction::new(UserId(1), ItemId(1), Rating::new(4).unwrap(), "x"),
+            Interaction::new(UserId(2), ItemId(2), Rating::new(2).unwrap(), "y"),
+        ];
+        let gold: Vec<&Interaction> = gold_own.iter().collect();
+        let e = Constant(3.0).evaluate(&gold);
+        assert!((e.rmse - 1.0).abs() < 1e-5);
+        assert!((e.mae - 1.0).abs() < 1e-5);
+    }
+}

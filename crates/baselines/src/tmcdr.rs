@@ -1,0 +1,187 @@
+//! TMCDR — Transfer-Meta framework for Cross-Domain Recommendation
+//! (Zhu et al. 2021), the meta-learning successor of EMCDR discussed in
+//! the paper's §7.1. Instead of fitting one mapping by plain regression,
+//! the mapping is trained with a Reptile-style meta loop over per-user
+//! "tasks": for each overlapping user, an inner step adapts the mapping on
+//! that user alone, and the outer loop moves the initialisation toward the
+//! adapted weights — producing a mapping whose initialisation transfers to
+//! unseen (cold-start) users rather than one that merely interpolates the
+//! training users.
+//!
+//! Not part of the paper's comparison tables; provided as an extension
+//! baseline with the same [`Recommender`] interface.
+
+use om_data::split::CrossDomainScenario;
+use om_data::types::{Interaction, ItemId, UserId};
+use om_nn::{mse_loss, HasParams, Mlp};
+use om_tensor::{seeded_rng, Tensor};
+
+use crate::mf::{MatrixFactorization, MfConfig};
+use crate::{clamp_stars, Recommender};
+
+/// Trained TMCDR model.
+pub struct TMCDR {
+    mf_source: MatrixFactorization,
+    mf_target: MatrixFactorization,
+    mapping: Mlp,
+    seed: u64,
+}
+
+impl TMCDR {
+    /// Fit: per-domain MF, then Reptile meta-training of the mapping over
+    /// per-user tasks.
+    pub fn fit(scenario: &CrossDomainScenario, seed: u64) -> TMCDR {
+        let mut rng = seeded_rng(seed);
+        let src_refs: Vec<&Interaction> = scenario.source.interactions().iter().collect();
+        let tgt_refs: Vec<&Interaction> = scenario.target_train.interactions().iter().collect();
+        let mf_source = MatrixFactorization::fit(&src_refs, MfConfig::default(), &mut rng);
+        let mf_target = MatrixFactorization::fit(&tgt_refs, MfConfig::default(), &mut rng);
+        let dim = mf_source.dim();
+
+        // per-user tasks: (source factor, target factor)
+        let tasks: Vec<(Vec<f32>, Vec<f32>)> = scenario
+            .train_users
+            .iter()
+            .filter_map(|&u| {
+                Some((
+                    mf_source.user_factor(u)?.to_vec(),
+                    mf_target.user_factor(u)?.to_vec(),
+                ))
+            })
+            .collect();
+
+        let mapping = Mlp::new(&[dim, dim * 2, dim], 0.0, &mut rng);
+        if tasks.len() >= 2 {
+            reptile_train(&mapping, &tasks, 60, 0.05, 0.5, &mut rng);
+        }
+        TMCDR {
+            mf_source,
+            mf_target,
+            mapping,
+            seed,
+        }
+    }
+
+    /// Map a cold-start user's source factor into the target space.
+    pub fn mapped_factor(&self, user: UserId) -> Option<Vec<f32>> {
+        let s = self.mf_source.user_factor(user)?;
+        let x = Tensor::from_vec(s.to_vec(), &[1, s.len()]);
+        let _guard = om_tensor::no_grad();
+        let mut rng = seeded_rng(self.seed);
+        Some(self.mapping.forward(&x, false, &mut rng).to_vec())
+    }
+}
+
+/// Reptile meta-training: for each sampled task, take `k` inner SGD steps
+/// on that task alone, then move the initialisation a fraction `meta_lr`
+/// toward the adapted weights.
+fn reptile_train(
+    mapping: &Mlp,
+    tasks: &[(Vec<f32>, Vec<f32>)],
+    outer_steps: usize,
+    inner_lr: f32,
+    meta_lr: f32,
+    rng: &mut om_tensor::Rng,
+) {
+    use rand::RngExt as _;
+    let params = mapping.params();
+    for _ in 0..outer_steps {
+        let (src, tgt) = &tasks[rng.random_range(0..tasks.len())];
+        let init: Vec<Vec<f32>> = params.iter().map(|p| p.to_vec()).collect();
+        // inner adaptation: 3 SGD steps on the single-user task
+        let x = Tensor::from_vec(src.clone(), &[1, src.len()]);
+        for _ in 0..3 {
+            mapping.zero_grad();
+            let pred = mapping.forward(&x, true, rng);
+            mse_loss(&pred, tgt).backward();
+            for p in &params {
+                if let Some(g) = p.grad_vec() {
+                    let mut d = p.data_mut();
+                    for (v, gi) in d.iter_mut().zip(&g) {
+                        *v -= inner_lr * gi;
+                    }
+                }
+            }
+        }
+        // outer (Reptile) step: init ← init + meta_lr (adapted − init)
+        for (p, w0) in params.iter().zip(&init) {
+            let mut d = p.data_mut();
+            for (v, &w) in d.iter_mut().zip(w0) {
+                *v = w + meta_lr * (*v - w);
+            }
+        }
+        mapping.zero_grad();
+    }
+}
+
+impl Recommender for TMCDR {
+    fn name(&self) -> &'static str {
+        "TMCDR"
+    }
+
+    fn predict(&self, user: UserId, item: ItemId) -> f32 {
+        let raw = if self.mf_target.user_factor(user).is_some() {
+            self.mf_target.raw_predict(user, item)
+        } else {
+            match self.mapped_factor(user) {
+                Some(f) => self.mf_target.predict_with_user_factor(&f, item),
+                None => self
+                    .mf_target
+                    .predict_with_user_factor(&vec![0.0; self.mf_target.dim()], item),
+            }
+        };
+        clamp_stars(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_data::{SplitConfig, SynthConfig, SynthWorld};
+
+    fn scenario() -> CrossDomainScenario {
+        let world = SynthWorld::generate(SynthConfig::tiny(), &["Books", "Movies"]);
+        world.scenario("Books", "Movies", SplitConfig::default())
+    }
+
+    #[test]
+    fn evaluation_is_finite() {
+        let sc = scenario();
+        let m = TMCDR::fit(&sc, 1);
+        let e = m.evaluate(&sc.test_pairs());
+        assert!(e.rmse.is_finite() && e.rmse < 3.0, "{e:?}");
+    }
+
+    #[test]
+    fn cold_users_get_mapped_factors() {
+        let sc = scenario();
+        let m = TMCDR::fit(&sc, 1);
+        for &u in sc.test_users.iter().take(3) {
+            assert!(m.mapped_factor(u).is_some());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let sc = scenario();
+        let a = TMCDR::fit(&sc, 9);
+        let b = TMCDR::fit(&sc, 9);
+        let it = sc.test_pairs()[0];
+        assert_eq!(a.predict(it.user, it.item), b.predict(it.user, it.item));
+    }
+
+    #[test]
+    fn meta_training_moves_the_mapping() {
+        // the mapping must differ from its random init after meta-training
+        let sc = scenario();
+        let m = TMCDR::fit(&sc, 3);
+        let mut rng = om_tensor::seeded_rng(3);
+        // rebuild an untrained mapping with the same init path is not
+        // possible without replaying MF rngs, so check a weaker property:
+        // two users with different source factors map differently
+        let _ = &mut rng;
+        let u1 = sc.test_users[0];
+        let u2 = *sc.test_users.last().unwrap();
+        assert_ne!(m.mapped_factor(u1), m.mapped_factor(u2));
+    }
+}

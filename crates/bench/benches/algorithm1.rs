@@ -1,0 +1,78 @@
+//! Algorithm 1 throughput: auxiliary-document generation across corpus
+//! sizes. §4.1 claims `O(N·M + L·M·Q)` — dictionary construction linear in
+//! corpus size, generation linear in cold users × records × like-minded
+//! pool. The groups below sweep each factor independently.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use om_data::types::TextField;
+use om_data::{SplitConfig, SynthConfig, SynthWorld};
+use om_tensor::seeded_rng;
+use omnimatch_core::AuxiliaryReviewGenerator;
+
+fn world(n_users: usize, reviews: (usize, usize)) -> SynthWorld {
+    let cfg = SynthConfig {
+        n_users,
+        n_items: (n_users / 2).max(20),
+        reviews_per_user: reviews,
+        ..SynthConfig::tiny()
+    };
+    SynthWorld::generate(cfg, &["Books", "Movies"])
+}
+
+/// Sweep N (corpus size): generation for a fixed 10 cold users.
+fn bench_users(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1/users");
+    group.sample_size(20);
+    for n in [60usize, 120, 240] {
+        let w = world(n, (4, 8));
+        let sc = w.scenario("Books", "Movies", SplitConfig::default());
+        let generator = AuxiliaryReviewGenerator::new(&sc);
+        let cold: Vec<_> = sc.test_users.iter().copied().take(10).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = seeded_rng(1);
+                std::hint::black_box(generator.generate_all(&cold, TextField::Summary, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Sweep M (records per user).
+fn bench_records(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1/records_per_user");
+    group.sample_size(20);
+    for m in [3usize, 6, 12] {
+        let w = world(120, (m, m));
+        let sc = w.scenario("Books", "Movies", SplitConfig::default());
+        let generator = AuxiliaryReviewGenerator::new(&sc);
+        let cold: Vec<_> = sc.test_users.iter().copied().take(10).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                let mut rng = seeded_rng(1);
+                std::hint::black_box(generator.generate_all(&cold, TextField::Summary, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Dictionary construction (the `O(N·M)` preprocessing term): building the
+/// indexed Domain from raw interactions.
+fn bench_dictionaries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1/dictionary_build");
+    group.sample_size(20);
+    for n in [60usize, 120, 240] {
+        let w = world(n, (4, 8));
+        let interactions = w.domain("Books").interactions().to_vec();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(om_data::Domain::new("Books", interactions.clone()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_users, bench_records, bench_dictionaries);
+criterion_main!(benches);

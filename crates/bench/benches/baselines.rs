@@ -1,0 +1,57 @@
+//! Substrate and baseline costs: MF fitting, graph propagation training,
+//! and each comparator's end-to-end fit on the bench scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use om_baselines::graph::{BipartiteGraph, GraphCF, Propagation};
+use om_baselines::mf::{MatrixFactorization, MfConfig};
+use om_baselines::{CMF, EMCDR, HeroGraph, LightGCN, PTUPCDR};
+use om_bench::bench_scenario;
+use om_data::types::Interaction;
+use om_tensor::seeded_rng;
+
+fn bench_mf(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let refs: Vec<&Interaction> = scenario.source.interactions().iter().collect();
+    c.bench_function("substrate/mf_fit", |b| {
+        b.iter(|| {
+            MatrixFactorization::fit(&refs, MfConfig::default(), &mut seeded_rng(1))
+        })
+    });
+}
+
+fn bench_graph_epochs(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let refs: Vec<&Interaction> = scenario.target_train.interactions().iter().collect();
+    let mut group = c.benchmark_group("substrate/graph_fit_20epochs");
+    group.sample_size(10);
+    group.bench_function("lightgcn", |b| {
+        b.iter(|| {
+            let g = BipartiteGraph::build(&refs);
+            let mut m = GraphCF::new(g, 16, 2, Propagation::Light, &mut seeded_rng(1));
+            m.fit(20, 0.03);
+        })
+    });
+    group.bench_function("ngcf", |b| {
+        b.iter(|| {
+            let g = BipartiteGraph::build(&refs);
+            let mut m = GraphCF::new(g, 16, 2, Propagation::Nonlinear, &mut seeded_rng(1));
+            m.fit(20, 0.03);
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_baselines(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let mut group = c.benchmark_group("baseline/fit");
+    group.sample_size(10);
+    group.bench_function("cmf", |b| b.iter(|| CMF::fit(&scenario, 1)));
+    group.bench_function("emcdr", |b| b.iter(|| EMCDR::fit(&scenario, 1)));
+    group.bench_function("ptupcdr", |b| b.iter(|| PTUPCDR::fit(&scenario, 1)));
+    group.bench_function("lightgcn", |b| b.iter(|| LightGCN::fit(&scenario, 1)));
+    group.bench_function("herograph", |b| b.iter(|| HeroGraph::fit(&scenario, 1)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_mf, bench_graph_epochs, bench_full_baselines);
+criterion_main!(benches);

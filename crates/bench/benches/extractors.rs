@@ -1,0 +1,52 @@
+//! Feature-extractor cost: TextCNN vs the transformer used by the
+//! `OmniMatch-BERT` ablation, forward and forward+backward.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use om_nn::{HasParams, TextCnn, TransformerEncoder};
+use om_tensor::{init, seeded_rng};
+
+const EMB: usize = 24;
+const LEN: usize = 48;
+
+fn bench_forward(c: &mut Criterion) {
+    let mut rng = seeded_rng(1);
+    let cnn = TextCnn::new(EMB, &[3, 4, 5], 24, &mut rng);
+    let tf = TransformerEncoder::new(EMB, 2, 48, 1, LEN, &mut rng);
+    let mut group = c.benchmark_group("extractor/forward");
+    group.sample_size(20);
+    for batch in [16usize, 64] {
+        let x = init::normal(&[batch, LEN, EMB], 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("textcnn", batch), &batch, |b, _| {
+            b.iter(|| std::hint::black_box(cnn.forward(&x)))
+        });
+        group.bench_with_input(BenchmarkId::new("transformer", batch), &batch, |b, _| {
+            b.iter(|| std::hint::black_box(tf.forward(&x)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let mut rng = seeded_rng(2);
+    let cnn = TextCnn::new(EMB, &[3, 4, 5], 24, &mut rng);
+    let tf = TransformerEncoder::new(EMB, 2, 48, 1, LEN, &mut rng);
+    let x = init::normal(&[32, LEN, EMB], 1.0, &mut rng);
+    let mut group = c.benchmark_group("extractor/forward_backward");
+    group.sample_size(20);
+    group.bench_function("textcnn", |b| {
+        b.iter(|| {
+            cnn.zero_grad();
+            cnn.forward(&x).square().mean_all().backward();
+        })
+    });
+    group.bench_function("transformer", |b| {
+        b.iter(|| {
+            tf.zero_grad();
+            tf.forward(&x).square().mean_all().backward();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_backward);
+criterion_main!(benches);

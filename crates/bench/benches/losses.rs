@@ -1,0 +1,60 @@
+//! Loss machinery: supervised contrastive loss scaling with batch size
+//! (it is quadratic in the batch — the similarity matrix), gradient
+//! reversal overhead (which must be negligible: it is an identity with a
+//! scaled backward), and softmax cross-entropy as the reference point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use om_nn::supcon_loss;
+use om_tensor::{init, seeded_rng};
+
+fn bench_supcon(c: &mut Criterion) {
+    let mut rng = seeded_rng(1);
+    let mut group = c.benchmark_group("loss/supcon");
+    group.sample_size(20);
+    for batch in [32usize, 64, 128, 256] {
+        let z = init::normal(&[batch, 32], 1.0, &mut rng).requires_grad();
+        let labels: Vec<usize> = (0..batch).map(|i| i % 5).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| {
+                z.zero_grad();
+                supcon_loss(&z, &labels, 0.07).backward();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_grl_overhead(c: &mut Criterion) {
+    let mut rng = seeded_rng(2);
+    let x = init::normal(&[128, 64], 1.0, &mut rng).requires_grad();
+    let mut group = c.benchmark_group("loss/grl");
+    group.sample_size(20);
+    group.bench_function("without_grl", |b| {
+        b.iter(|| {
+            x.zero_grad();
+            x.square().mean_all().backward();
+        })
+    });
+    group.bench_function("with_grl", |b| {
+        b.iter(|| {
+            x.zero_grad();
+            x.gradient_reversal(1.0).square().mean_all().backward();
+        })
+    });
+    group.finish();
+}
+
+fn bench_cross_entropy(c: &mut Criterion) {
+    let mut rng = seeded_rng(3);
+    let logits = init::normal(&[64, 5], 1.0, &mut rng).requires_grad();
+    let targets: Vec<usize> = (0..64).map(|i| i % 5).collect();
+    c.bench_function("loss/cross_entropy_64x5", |b| {
+        b.iter(|| {
+            logits.zero_grad();
+            logits.cross_entropy(&targets).backward();
+        })
+    });
+}
+
+criterion_group!(benches, bench_supcon, bench_grl_overhead, bench_cross_entropy);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Training-time benches: the mechanism behind Table 6 — one full
+//! training run with the Domain Adversarial and Supervised Contrastive
+//! modules toggled. Absolute numbers are CPU-scale; the paper's claim is
+//! the *relative* cost of each module.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use om_bench::bench_scenario;
+use omnimatch_core::{OmniMatchConfig, Trainer};
+
+fn quick_cfg() -> OmniMatchConfig {
+    OmniMatchConfig {
+        epochs: 1,
+        ..OmniMatchConfig::fast()
+    }
+}
+
+fn bench_training_variants(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let mut group = c.benchmark_group("training/one_epoch");
+    group.sample_size(10);
+    group.bench_function("full", |b| {
+        b.iter(|| Trainer::new(quick_cfg()).fit(&scenario))
+    });
+    group.bench_function("wo_da", |b| {
+        b.iter(|| Trainer::new(quick_cfg().without_da()).fit(&scenario))
+    });
+    group.bench_function("wo_scl", |b| {
+        b.iter(|| Trainer::new(quick_cfg().without_scl()).fit(&scenario))
+    });
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let scenario = bench_scenario();
+    let trained = Trainer::new(quick_cfg()).fit(&scenario);
+    let pairs: Vec<_> = scenario
+        .test_pairs()
+        .iter()
+        .map(|it| (it.user, it.item))
+        .collect();
+    c.bench_function("training/predict_cold_batch", |b| {
+        b.iter(|| std::hint::black_box(trained.predict(&pairs)))
+    });
+}
+
+criterion_group!(benches, bench_training_variants, bench_prediction);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! # om-bench
+//!
+//! Criterion benchmarks for the OmniMatch reproduction:
+//!
+//! * `algorithm1` — auxiliary-document generation throughput across corpus
+//!   sizes, demonstrating the `O(N·M + L·M·Q)` claim of §4.1;
+//! * `extractors` — TextCNN vs transformer forward/backward cost (the
+//!   performance side of the Table 5 `OmniMatch-BERT` comparison);
+//! * `losses` — supervised contrastive loss scaling in batch size, and the
+//!   GRL's (absence of) overhead;
+//! * `training` — per-epoch cost with DA/SCL toggled (Table 6's
+//!   mechanism);
+//! * `baselines` — substrate costs (MF fit, graph propagation epochs).
+
+use om_data::{SplitConfig, SynthConfig, SynthWorld};
+use om_data::split::CrossDomainScenario;
+
+/// A small scenario reused across benches (deterministic).
+pub fn bench_scenario() -> CrossDomainScenario {
+    let world = SynthWorld::generate(SynthConfig::tiny(), &["Books", "Movies"]);
+    world.scenario("Books", "Movies", SplitConfig::default())
+}
+
+/// A medium scenario for Table 6-style timing.
+pub fn bench_scenario_medium() -> CrossDomainScenario {
+    let cfg = SynthConfig {
+        n_users: 120,
+        n_items: 60,
+        ..SynthConfig::tiny()
+    };
+    let world = SynthWorld::generate(cfg, &["Books", "Movies"]);
+    world.scenario("Books", "Movies", SplitConfig::default())
+}

@@ -1,0 +1,426 @@
+//! The OmniMatch network (Fig. 2, components B–D):
+//!
+//! * shared-private feature extraction (§4.2): per-domain backbones with
+//!   *private* (domain-specific) heads and one *shared* (domain-invariant)
+//!   head whose weights are common to the source and target extractors;
+//! * the contrastive projection head `Proj(·)` (Eq. 11);
+//! * the gradient-reversal domain classifiers (Eqs. 14–17) — the invariant
+//!   features pass through a GRL so the extractor is trained to *confuse*
+//!   the domain classifier, while the specific features are classified
+//!   normally so they stay genuinely domain-specific (the shared-private
+//!   paradigm of Bousmalis et al.);
+//! * the rating classifier over `r_target ⊕ r_item` (Eqs. 18–19).
+
+use om_data::types::Rating;
+use om_nn::{Dropout, Embedding, HasParams, Linear, Mlp, TextCnn, TransformerEncoder};
+use om_tensor::{Rng, Tensor};
+
+use crate::config::{ExtractorKind, OmniMatchConfig};
+
+/// Which side of the cross-domain pair a user document comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainSide {
+    /// The source domain (label 0 for the domain classifiers).
+    Source,
+    /// The target domain (label 1).
+    Target,
+}
+
+impl DomainSide {
+    /// Class label for the domain classifiers.
+    pub fn label(self) -> usize {
+        match self {
+            DomainSide::Source => 0,
+            DomainSide::Target => 1,
+        }
+    }
+}
+
+/// Text backbone: TextCNN (paper default) or transformer (`OmniMatch-BERT`).
+enum Backbone {
+    Cnn(TextCnn),
+    Transformer(TransformerEncoder),
+}
+
+impl Backbone {
+    fn build(cfg: &OmniMatchConfig, rng: &mut Rng) -> Backbone {
+        match cfg.extractor {
+            ExtractorKind::TextCnn => Backbone::Cnn(TextCnn::new(
+                cfg.emb_dim,
+                &cfg.kernel_widths,
+                cfg.filters,
+                rng,
+            )),
+            ExtractorKind::Transformer => Backbone::Transformer(TransformerEncoder::new(
+                cfg.emb_dim,
+                2,
+                cfg.emb_dim * 2,
+                1,
+                cfg.doc_len,
+                rng,
+            )),
+        }
+    }
+
+    fn out_dim(&self) -> usize {
+        match self {
+            Backbone::Cnn(c) => c.out_dim(),
+            Backbone::Transformer(t) => t.out_dim(),
+        }
+    }
+
+    fn forward(&self, embedded: &Tensor) -> Tensor {
+        match self {
+            Backbone::Cnn(c) => c.forward(embedded),
+            Backbone::Transformer(t) => t.forward(embedded),
+        }
+    }
+
+    fn params(&self) -> Vec<Tensor> {
+        match self {
+            Backbone::Cnn(c) => c.params(),
+            Backbone::Transformer(t) => t.params(),
+        }
+    }
+}
+
+/// The extracted user features of one domain (Eqs. 8–10).
+pub struct UserFeatures {
+    /// Domain-invariant representation `r_invariant` (shared head).
+    pub invariant: Tensor,
+    /// Domain-specific representation `r_specific` (private head).
+    pub specific: Tensor,
+    /// `r = r_invariant ⊕ r_specific` (Eq. 10).
+    pub combined: Tensor,
+}
+
+/// The full OmniMatch network.
+pub struct OmniMatchModel {
+    cfg: OmniMatchConfig,
+    /// Shared token embedding (stands in for the paper's fastText input).
+    pub embedding: Embedding,
+    src_backbone: Backbone,
+    tgt_backbone: Backbone,
+    item_backbone: Backbone,
+    /// Shared domain-invariant head — identical weights for source and
+    /// target, the crux of §4.2.
+    shared_invariant: Linear,
+    src_specific: Linear,
+    tgt_specific: Linear,
+    item_head: Linear,
+    proj: Mlp,
+    domain_clf_invariant: Mlp,
+    domain_clf_specific: Mlp,
+    rating_clf: Mlp,
+    dropout: Dropout,
+}
+
+impl OmniMatchModel {
+    /// Initialise all parameters. `embedding_init` may carry a pretrained
+    /// table (subword-hash / skip-gram); pass `None` for random init.
+    pub fn new(cfg: &OmniMatchConfig, vocab_size: usize, embedding_init: Option<Tensor>, rng: &mut Rng) -> OmniMatchModel {
+        cfg.validate();
+        let embedding = match embedding_init {
+            Some(t) => {
+                assert_eq!(t.dims(), &[vocab_size, cfg.emb_dim], "bad embedding init shape");
+                Embedding::from_table(t)
+            }
+            None => Embedding::new(vocab_size, cfg.emb_dim, rng),
+        };
+        let src_backbone = Backbone::build(cfg, rng);
+        let tgt_backbone = Backbone::build(cfg, rng);
+        let item_backbone = Backbone::build(cfg, rng);
+        let feat = src_backbone.out_dim();
+        let user_dim = cfg.invariant_dim + cfg.specific_dim;
+        let pair_dim = user_dim + cfg.item_dim;
+        OmniMatchModel {
+            embedding,
+            shared_invariant: Linear::new(feat, cfg.invariant_dim, rng),
+            src_specific: Linear::new(feat, cfg.specific_dim, rng),
+            tgt_specific: Linear::new(feat, cfg.specific_dim, rng),
+            item_head: Linear::new(feat, cfg.item_dim, rng),
+            proj: Mlp::new(&[pair_dim, pair_dim, cfg.proj_dim], cfg.dropout, rng),
+            domain_clf_invariant: Mlp::new(
+                &[cfg.invariant_dim, cfg.invariant_dim, 2],
+                cfg.dropout,
+                rng,
+            ),
+            domain_clf_specific: Mlp::new(
+                &[cfg.specific_dim, cfg.specific_dim, 2],
+                cfg.dropout,
+                rng,
+            ),
+            rating_clf: Mlp::new(
+                &[pair_dim, pair_dim, Rating::CLASSES],
+                cfg.dropout,
+                rng,
+            ),
+            dropout: Dropout::new(cfg.dropout),
+            src_backbone,
+            tgt_backbone,
+            item_backbone,
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &OmniMatchConfig {
+        &self.cfg
+    }
+
+    /// Embed a batch of equal-length documents → `[batch, len, emb]`.
+    pub fn embed_docs(&self, docs: &[&[usize]]) -> Tensor {
+        assert!(!docs.is_empty(), "embed_docs: empty batch");
+        let len = docs[0].len();
+        let flat: Vec<usize> = docs
+            .iter()
+            .flat_map(|d| {
+                assert_eq!(d.len(), len, "embed_docs: ragged documents");
+                d.iter().copied()
+            })
+            .collect();
+        self.embedding
+            .forward(&flat)
+            .reshape(&[docs.len(), len, self.cfg.emb_dim])
+    }
+
+    /// Extract user features from documents of one domain (Eqs. 4–10).
+    pub fn user_features(
+        &self,
+        docs: &[&[usize]],
+        side: DomainSide,
+        training: bool,
+        rng: &mut Rng,
+    ) -> UserFeatures {
+        let embedded = self.embed_docs(docs);
+        let (backbone, specific_head) = match side {
+            DomainSide::Source => (&self.src_backbone, &self.src_specific),
+            DomainSide::Target => (&self.tgt_backbone, &self.tgt_specific),
+        };
+        let pooled = backbone.forward(&embedded);
+        let invariant = self.dropout.forward(
+            &self.shared_invariant.forward(&pooled).relu(),
+            training,
+            rng,
+        );
+        let specific =
+            self.dropout
+                .forward(&specific_head.forward(&pooled).relu(), training, rng);
+        let combined = Tensor::concat_cols(&[&invariant, &specific]);
+        UserFeatures {
+            invariant,
+            specific,
+            combined,
+        }
+    }
+
+    /// Extract item features (§4.2: items use only the shared-style head).
+    pub fn item_features(&self, docs: &[&[usize]], training: bool, rng: &mut Rng) -> Tensor {
+        let embedded = self.embed_docs(docs);
+        let pooled = self.item_backbone.forward(&embedded);
+        self.dropout
+            .forward(&self.item_head.forward(&pooled).relu(), training, rng)
+    }
+
+    /// Project a `r_user ⊕ r_item` pair batch for contrastive learning
+    /// (Eq. 11).
+    pub fn project_pairs(
+        &self,
+        user: &Tensor,
+        item: &Tensor,
+        training: bool,
+        rng: &mut Rng,
+    ) -> Tensor {
+        let pair = Tensor::concat_cols(&[user, item]);
+        self.proj.forward(&pair, training, rng)
+    }
+
+    /// Rating logits for `r_target ⊕ r_item` (Eq. 18).
+    pub fn rating_logits(
+        &self,
+        user_target: &Tensor,
+        item: &Tensor,
+        training: bool,
+        rng: &mut Rng,
+    ) -> Tensor {
+        let pair = Tensor::concat_cols(&[user_target, item]);
+        self.rating_clf.forward(&pair, training, rng)
+    }
+
+    /// Domain logits for *invariant* features, behind the gradient
+    /// reversal layer (Eqs. 14–15 + GRL of §4.4).
+    pub fn domain_logits_invariant(
+        &self,
+        invariant: &Tensor,
+        training: bool,
+        rng: &mut Rng,
+    ) -> Tensor {
+        let reversed = invariant.gradient_reversal(self.cfg.grl_lambda);
+        self.domain_clf_invariant.forward(&reversed, training, rng)
+    }
+
+    /// Domain logits for *specific* features, trained normally
+    /// (Eqs. 16–17).
+    pub fn domain_logits_specific(
+        &self,
+        specific: &Tensor,
+        training: bool,
+        rng: &mut Rng,
+    ) -> Tensor {
+        self.domain_clf_specific.forward(&specific, training, rng)
+    }
+
+    /// Convert rating logits into expected star values
+    /// `ŷ = Σ_k (k+1)·p_k` — the scalar predictions scored by RMSE/MAE.
+    pub fn expected_stars(logits: &Tensor) -> Vec<f32> {
+        let probs = logits.softmax_rows();
+        let (m, n) = probs.shape().as_2d();
+        debug_assert_eq!(n, Rating::CLASSES);
+        let d = probs.data();
+        (0..m)
+            .map(|i| {
+                (0..n)
+                    .map(|k| d[i * n + k] * (k + 1) as f32)
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+impl HasParams for OmniMatchModel {
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = self.embedding.params();
+        p.extend(self.src_backbone.params());
+        p.extend(self.tgt_backbone.params());
+        p.extend(self.item_backbone.params());
+        p.extend(self.shared_invariant.params());
+        p.extend(self.src_specific.params());
+        p.extend(self.tgt_specific.params());
+        p.extend(self.item_head.params());
+        p.extend(self.proj.params());
+        p.extend(self.domain_clf_invariant.params());
+        p.extend(self.domain_clf_specific.params());
+        p.extend(self.rating_clf.params());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_tensor::seeded_rng;
+
+    fn model() -> (OmniMatchModel, om_tensor::Rng) {
+        let cfg = OmniMatchConfig::fast();
+        let mut rng = seeded_rng(1);
+        let m = OmniMatchModel::new(&cfg, 100, None, &mut rng);
+        (m, rng)
+    }
+
+    fn docs(n: usize, len: usize) -> Vec<Vec<usize>> {
+        (0..n).map(|i| (0..len).map(|j| (i * 7 + j) % 100).collect()).collect()
+    }
+
+    #[test]
+    fn feature_shapes() {
+        let (m, mut rng) = model();
+        let d = docs(4, 16);
+        let refs: Vec<&[usize]> = d.iter().map(Vec::as_slice).collect();
+        let f = m.user_features(&refs, DomainSide::Source, false, &mut rng);
+        assert_eq!(f.invariant.dims(), &[4, 12]);
+        assert_eq!(f.specific.dims(), &[4, 12]);
+        assert_eq!(f.combined.dims(), &[4, 24]);
+        let item = m.item_features(&refs, false, &mut rng);
+        assert_eq!(item.dims(), &[4, 12]);
+        let logits = m.rating_logits(&f.combined, &item, false, &mut rng);
+        assert_eq!(logits.dims(), &[4, 5]);
+        let proj = m.project_pairs(&f.combined, &item, false, &mut rng);
+        assert_eq!(proj.dims(), &[4, 12]);
+    }
+
+    #[test]
+    fn shared_head_is_actually_shared() {
+        let (m, mut rng) = model();
+        let d = docs(2, 16);
+        let refs: Vec<&[usize]> = d.iter().map(Vec::as_slice).collect();
+        // gradient through the source path must hit the same shared tensor
+        let f = m.user_features(&refs, DomainSide::Source, false, &mut rng);
+        f.invariant.sum_all().backward();
+        assert!(m.shared_invariant.weight.grad_vec().is_some());
+        m.zero_grad();
+        let f = m.user_features(&refs, DomainSide::Target, false, &mut rng);
+        f.combined.sum_all().backward();
+        assert!(
+            m.shared_invariant.weight.grad_vec().is_some(),
+            "target path must flow through the shared invariant head"
+        );
+        // and private heads stay private: the source head is untouched by
+        // a target-side pass, while the target head receives gradient
+        assert!(m.src_specific.weight.grad_vec().is_none());
+        assert!(m.tgt_specific.weight.grad_vec().is_some());
+    }
+
+    #[test]
+    fn grl_reverses_feature_gradients() {
+        let (m, mut rng) = model();
+        let d = docs(2, 16);
+        let refs: Vec<&[usize]> = d.iter().map(Vec::as_slice).collect();
+
+        // Through the GRL, the gradient wrt the invariant features must be
+        // the exact negative of the same loss taken without the GRL.
+        let f = m.user_features(&refs, DomainSide::Source, false, &mut rng);
+        let inv = f.invariant.detach().requires_grad();
+        let logits = m.domain_logits_invariant(&inv, false, &mut seeded_rng(9));
+        logits.cross_entropy(&[0, 0]).backward();
+        let with_grl = inv.grad_vec().unwrap();
+
+        let inv2 = f.invariant.detach().requires_grad();
+        let logits2 = m
+            .domain_clf_invariant
+            .forward(&inv2, false, &mut seeded_rng(9));
+        logits2.cross_entropy(&[0, 0]).backward();
+        let without = inv2.grad_vec().unwrap();
+
+        for (a, b) in with_grl.iter().zip(&without) {
+            assert!((a + b).abs() < 1e-6, "GRL must negate: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn expected_stars_bounds() {
+        let logits = Tensor::from_vec(vec![100.0, 0.0, 0.0, 0.0, 0.0,
+                                           0.0, 0.0, 0.0, 0.0, 100.0], &[2, 5]);
+        let stars = OmniMatchModel::expected_stars(&logits);
+        assert!((stars[0] - 1.0).abs() < 1e-3);
+        assert!((stars[1] - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn transformer_backbone_builds() {
+        let cfg = OmniMatchConfig::fast().with_transformer();
+        let mut rng = seeded_rng(2);
+        let m = OmniMatchModel::new(&cfg, 50, None, &mut rng);
+        let d = docs(2, 16);
+        let refs: Vec<&[usize]> = d.iter().map(Vec::as_slice).collect();
+        let f = m.user_features(&refs, DomainSide::Target, false, &mut rng);
+        assert_eq!(f.combined.dims(), &[2, 24]);
+    }
+
+    #[test]
+    fn param_count_is_substantial_and_stable() {
+        let (m, _) = model();
+        let n = m.num_params();
+        let (m2, _) = model();
+        assert_eq!(n, m2.num_params());
+        assert!(n > 1000, "suspiciously few parameters: {n}");
+    }
+
+    #[test]
+    fn pretrained_embedding_is_used() {
+        let cfg = OmniMatchConfig::fast();
+        let mut rng = seeded_rng(3);
+        let table = Tensor::full(&[100, cfg.emb_dim], 0.5);
+        let m = OmniMatchModel::new(&cfg, 100, Some(table), &mut rng);
+        assert_eq!(m.embedding.table.to_vec()[0], 0.5);
+    }
+}

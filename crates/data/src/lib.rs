@@ -1,0 +1,27 @@
+//! # om-data
+//!
+//! Data model and corpus machinery for the OmniMatch reproduction:
+//!
+//! * [`types`] — users, items, ratings and review interactions;
+//! * [`domain`] — a single-domain review corpus with the two preprocessed
+//!   dictionaries of §4.1's complexity analysis (user → records and
+//!   (item, rating) → users);
+//! * [`split`] — cross-domain scenario construction: overlapping-user
+//!   computation and the 80/10/10 train / validation / test cold-start
+//!   split of §5.2, plus training-fraction subsampling for Table 4;
+//! * [`synth`] — the synthetic review-corpus simulator standing in for the
+//!   Amazon Review and Douban datasets (substitution rationale in
+//!   DESIGN.md), with `amazon()` and `douban()` presets;
+//! * [`loader`] — a loader for real corpora in JSON-lines or TSV form so
+//!   the pipeline runs unchanged on the genuine datasets when available.
+
+pub mod domain;
+pub mod loader;
+pub mod split;
+pub mod synth;
+pub mod types;
+
+pub use domain::Domain;
+pub use split::{CrossDomainScenario, SplitConfig};
+pub use synth::{SynthConfig, SynthWorld};
+pub use types::{Interaction, ItemId, Rating, UserId};

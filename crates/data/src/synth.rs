@@ -1,0 +1,488 @@
+//! Synthetic review-corpus simulator — the stand-in for the Amazon Review
+//! and Douban datasets (substitution rationale in DESIGN.md).
+//!
+//! The generative model bakes in exactly the two assumptions OmniMatch is
+//! built on (Fig. 1):
+//!
+//! 1. **Cross-domain preference consistency** — every user has a latent
+//!    topic-preference vector shared across domains, plus a small
+//!    per-domain jitter. A sci-fi lover loves sci-fi books *and* movies.
+//! 2. **Like-mindedness** — ratings are a noisy function of the
+//!    user-preference/item-topic dot product, so users who give the same
+//!    item the same rating genuinely share preference structure.
+//!
+//! Review summaries are emitted from a topic–word model keyed to the
+//! interaction's dominant topics plus a sentiment lexicon keyed to the
+//! rating and a domain-flavour lexicon — so review text genuinely carries
+//! the latent preference signal (what review-based methods exploit), the
+//! rating signal (what the contrastive grouping of §4.3 exploits) and a
+//! domain-specific component (what the shared-private split of §4.4 must
+//! separate out).
+
+use rand::seq::IndexedRandom;
+use rand::{RngExt as _, SeedableRng};
+
+use crate::domain::Domain;
+use crate::split::{CrossDomainScenario, SplitConfig};
+use crate::types::{Interaction, ItemId, Rating, UserId};
+
+type StdRng = rand::rngs::StdRng;
+
+/// Number of latent topics in the generator.
+pub const N_TOPICS: usize = 8;
+
+/// Topic keyword lexicons, one per latent dimension.
+const TOPIC_WORDS: [&[&str]; N_TOPICS] = [
+    &["vampire", "horror", "dark", "fangs", "creepy", "haunted", "boogeyman", "spooky", "undead", "nightmare"],
+    &["romance", "love", "sweet", "heart", "passion", "tender", "wedding", "kiss", "soulmate", "longing"],
+    &["scifi", "space", "future", "robot", "galaxy", "alien", "cyber", "starship", "quantum", "android"],
+    &["adventure", "action", "fast", "chase", "quest", "daring", "stunt", "explosive", "thrill", "journey"],
+    &["drama", "family", "life", "moving", "emotional", "touching", "tears", "bond", "struggle", "honest"],
+    &["comedy", "funny", "light", "hilarious", "witty", "laugh", "silly", "charming", "quirky", "playful"],
+    &["mystery", "crime", "detective", "clue", "suspense", "twist", "noir", "puzzle", "conspiracy", "secret"],
+    &["history", "war", "epic", "ancient", "battle", "kingdom", "legend", "empire", "saga", "heritage"],
+];
+
+/// Sentiment lexicons indexed by rating label (1★ → index 0).
+const SENTIMENT_WORDS: [&[&str]; 5] = [
+    &["terrible", "awful", "waste", "boring", "worst", "disappointing", "dreadful", "unwatchable"],
+    &["weak", "mediocre", "dull", "flawed", "tedious", "forgettable", "underwhelming", "lacking"],
+    &["okay", "decent", "average", "fine", "passable", "reasonable", "fair", "middling"],
+    &["good", "solid", "enjoyable", "engaging", "nice", "recommended", "satisfying", "strong"],
+    &["amazing", "fantastic", "loved", "brilliant", "perfect", "masterpiece", "wonderful", "superb"],
+];
+
+/// Domain-flavour lexicons (domain-*specific* signal for the adversarial
+/// module to detect and the shared extractor to discard).
+fn domain_words(domain: &str) -> &'static [&'static str] {
+    match domain {
+        "Books" => &["read", "pages", "author", "chapter", "novel", "prose", "paperback", "writing"],
+        "Movies" => &["watch", "screen", "film", "scenes", "director", "cast", "cinema", "picture"],
+        "Music" => &["listen", "album", "songs", "sound", "vocals", "melody", "lyrics", "beat"],
+        _ => &["item", "product", "quality", "value", "bought", "using", "arrived", "works"],
+    }
+}
+
+/// Generator parameters. The two presets emulate the paper's corpora.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthConfig {
+    /// Size of the global user pool (users may appear in several domains).
+    pub n_users: usize,
+    /// Items per domain.
+    pub n_items: usize,
+    /// Min/max reviews a user writes in a domain they participate in.
+    pub reviews_per_user: (usize, usize),
+    /// Probability a user participates in any given domain (controls
+    /// overlap size).
+    pub participation: f64,
+    /// Std-dev of the rating noise ε.
+    pub rating_noise: f32,
+    /// Std-dev of the per-domain preference jitter δ (0 = perfectly
+    /// domain-invariant preferences).
+    pub preference_jitter: f32,
+    /// Master seed; the corpus is a pure function of the config.
+    pub seed: u64,
+}
+
+impl SynthConfig {
+    /// Amazon-like preset: denser interactions, milder noise — matches the
+    /// regime of Table 2 where mapping baselines stay competitive.
+    pub fn amazon() -> SynthConfig {
+        SynthConfig {
+            n_users: 320,
+            n_items: 160,
+            reviews_per_user: (6, 12),
+            participation: 0.80,
+            rating_noise: 0.65,
+            preference_jitter: 0.35,
+            seed: 0xA11A50,
+        }
+    }
+
+    /// Douban-like preset: sparser, noisier ratings — the regime of
+    /// Table 3 where MF-based mapping methods (CMF/EMCDR/PTUPCDR) collapse
+    /// while review-based extraction stays robust.
+    pub fn douban() -> SynthConfig {
+        SynthConfig {
+            n_users: 360,
+            n_items: 140,
+            reviews_per_user: (3, 6),
+            participation: 0.52,
+            rating_noise: 1.05,
+            preference_jitter: 0.45,
+            seed: 0xD0BA4,
+        }
+    }
+
+    /// A small, fast preset for tests and the quickstart example.
+    pub fn tiny() -> SynthConfig {
+        SynthConfig {
+            n_users: 60,
+            n_items: 30,
+            reviews_per_user: (3, 6),
+            participation: 0.85,
+            rating_noise: 0.6,
+            preference_jitter: 0.3,
+            seed: 42,
+        }
+    }
+}
+
+fn sample_normal(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.random::<f32>().max(1e-12);
+    let u2: f32 = rng.random::<f32>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+struct ItemProfile {
+    topics: Vec<f32>,
+    bias: f32,
+}
+
+/// A generated multi-domain world: latent user preferences plus one
+/// [`Domain`] per requested domain name.
+pub struct SynthWorld {
+    cfg: SynthConfig,
+    names: Vec<String>,
+    domains: Vec<Domain>,
+    /// Ground-truth user preference vectors (for diagnostics/tests).
+    user_topics: Vec<Vec<f32>>,
+}
+
+impl SynthWorld {
+    /// Generate domains named `names` (use `"Books"`, `"Movies"`, `"Music"`
+    /// for the paper's scenarios).
+    pub fn generate(cfg: SynthConfig, names: &[&str]) -> SynthWorld {
+        assert!(!names.is_empty(), "need at least one domain");
+        assert!(cfg.n_users >= 10, "need a non-trivial user pool");
+        assert!(
+            cfg.reviews_per_user.0 >= 1 && cfg.reviews_per_user.0 <= cfg.reviews_per_user.1,
+            "invalid reviews_per_user range"
+        );
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Global latent users (Fig. 1 assumption 1: shared preferences).
+        let user_topics: Vec<Vec<f32>> = (0..cfg.n_users)
+            .map(|_| (0..N_TOPICS).map(|_| sample_normal(&mut rng)).collect())
+            .collect();
+        let user_bias: Vec<f32> = (0..cfg.n_users)
+            .map(|_| 0.3 * sample_normal(&mut rng))
+            .collect();
+
+        let mut domains = Vec::with_capacity(names.len());
+        for name in names {
+            let items: Vec<ItemProfile> = (0..cfg.n_items)
+                .map(|_| {
+                    // 1–2 dominant topics plus low-level noise elsewhere.
+                    let mut topics = vec![0.0f32; N_TOPICS];
+                    for t in topics.iter_mut() {
+                        *t = 0.12 * sample_normal(&mut rng);
+                    }
+                    let dominant = 1 + (rng.random::<f32>() < 0.45) as usize;
+                    for _ in 0..dominant {
+                        let k = rng.random_range(0..N_TOPICS);
+                        topics[k] += 0.9 + 0.2 * sample_normal(&mut rng);
+                    }
+                    ItemProfile {
+                        topics,
+                        bias: 0.25 * sample_normal(&mut rng),
+                    }
+                })
+                .collect();
+
+            let mut interactions = Vec::new();
+            for (u, theta) in user_topics.iter().enumerate() {
+                if rng.random::<f64>() >= cfg.participation {
+                    continue;
+                }
+                // Per-domain jittered preferences (assumption 1's "some
+                // degree of" consistency).
+                let jittered: Vec<f32> = theta
+                    .iter()
+                    .map(|&t| t + cfg.preference_jitter * sample_normal(&mut rng))
+                    .collect();
+                let n_reviews = rng
+                    .random_range(cfg.reviews_per_user.0..=cfg.reviews_per_user.1)
+                    .min(cfg.n_items);
+                // Users review items they *chose*: selection is biased
+                // toward items matching their preferences (softmax over
+                // affinity), which is what makes review text informative
+                // about user taste in real corpora.
+                let affinities: Vec<f32> = items
+                    .iter()
+                    .map(|it| {
+                        jittered
+                            .iter()
+                            .zip(&it.topics)
+                            .map(|(a, b)| a * b)
+                            .sum::<f32>()
+                    })
+                    .collect();
+                let chosen = preference_biased_sample(&affinities, n_reviews, 1.2, &mut rng);
+                for &item_idx in &chosen {
+                    let item = &items[item_idx];
+                    let affinity: f32 = jittered
+                        .iter()
+                        .zip(&item.topics)
+                        .map(|(a, b)| a * b)
+                        .sum();
+                    let score = 3.45
+                        + 0.85 * affinity
+                        + user_bias[u]
+                        + item.bias
+                        + cfg.rating_noise * sample_normal(&mut rng);
+                    let rating = Rating::from_score(score);
+                    let (summary, full_text) =
+                        compose_review(&jittered, &item.topics, rating, name, &mut rng);
+                    let mut interaction = Interaction::new(
+                        UserId(u as u32),
+                        ItemId(item_idx as u32),
+                        rating,
+                        summary,
+                    );
+                    interaction.full_text = full_text;
+                    interactions.push(interaction);
+                }
+            }
+            domains.push(Domain::new(*name, interactions));
+        }
+
+        SynthWorld {
+            cfg,
+            names: names.iter().map(|s| s.to_string()).collect(),
+            domains,
+            user_topics,
+        }
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &SynthConfig {
+        &self.cfg
+    }
+
+    /// Fetch a generated domain by name.
+    pub fn domain(&self, name: &str) -> &Domain {
+        let idx = self
+            .names
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("unknown domain {name}"));
+        &self.domains[idx]
+    }
+
+    /// All generated domain names.
+    pub fn domain_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Ground-truth preference vector of a user (diagnostics/tests only —
+    /// models never see this).
+    pub fn true_preferences(&self, user: UserId) -> &[f32] {
+        &self.user_topics[user.0 as usize]
+    }
+
+    /// Convenience: build the cross-domain scenario `source -> target`.
+    pub fn scenario(&self, source: &str, target: &str, split: SplitConfig) -> CrossDomainScenario {
+        CrossDomainScenario::build(self.domain(source), self.domain(target), split)
+    }
+}
+
+/// Sample `k` distinct indices with probability ∝ exp(affinity / T):
+/// preference-biased selection without replacement (Gumbel top-k).
+fn preference_biased_sample(
+    affinities: &[f32],
+    k: usize,
+    temperature: f32,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let mut keyed: Vec<(usize, f32)> = affinities
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| {
+            let u: f32 = rng.random::<f32>().max(1e-12);
+            let gumbel = -(-u.ln()).ln();
+            (i, a / temperature + gumbel)
+        })
+        .collect();
+    keyed.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("no NaNs"));
+    keyed.truncate(k);
+    keyed.into_iter().map(|(i, _)| i).collect()
+}
+
+/// Compose the (summary, full_text) pair for one interaction.
+fn compose_review(
+    user_topics: &[f32],
+    item_topics: &[f32],
+    rating: Rating,
+    domain: &str,
+    rng: &mut StdRng,
+) -> (String, String) {
+    // Rank topics by the user×item contribution that produced the rating.
+    let mut contrib: Vec<(usize, f32)> = user_topics
+        .iter()
+        .zip(item_topics)
+        .map(|(u, i)| u * i)
+        .enumerate()
+        .collect();
+    contrib.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
+
+    let mut words: Vec<&str> = Vec::new();
+    for &(topic, _) in contrib.iter().take(2) {
+        let lex = TOPIC_WORDS[topic];
+        words.push(lex.choose(rng).expect("non-empty lexicon"));
+        if rng.random::<f32>() < 0.5 {
+            words.push(lex.choose(rng).expect("non-empty lexicon"));
+        }
+    }
+    let senti = SENTIMENT_WORDS[rating.label()];
+    words.push(senti.choose(rng).expect("non-empty lexicon"));
+    if rng.random::<f32>() < 0.4 {
+        words.push(senti.choose(rng).expect("non-empty lexicon"));
+    }
+    words.push(domain_words(domain).choose(rng).expect("non-empty lexicon"));
+    let summary = words.join(" ");
+
+    // Full text: the summary plus extra topic/sentiment/domain filler —
+    // longer and more diluted, which is exactly why the paper found
+    // summaries work better (§5.7).
+    let mut full = words.clone();
+    for _ in 0..rng.random_range(8..20) {
+        let roll: f32 = rng.random();
+        let w = if roll < 0.4 {
+            let &(topic, _) = contrib.choose(rng).expect("non-empty");
+            TOPIC_WORDS[topic].choose(rng).expect("non-empty")
+        } else if roll < 0.7 {
+            senti.choose(rng).expect("non-empty")
+        } else {
+            domain_words(domain).choose(rng).expect("non-empty")
+        };
+        full.push(w);
+    }
+    (summary, full.join(" "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SynthWorld::generate(SynthConfig::tiny(), &["Books", "Movies"]);
+        let b = SynthWorld::generate(SynthConfig::tiny(), &["Books", "Movies"]);
+        assert_eq!(a.domain("Books").len(), b.domain("Books").len());
+        let ia = &a.domain("Books").interactions()[0];
+        let ib = &b.domain("Books").interactions()[0];
+        assert_eq!(ia.summary, ib.summary);
+        assert_eq!(ia.rating, ib.rating);
+    }
+
+    #[test]
+    fn domains_share_users() {
+        let w = SynthWorld::generate(SynthConfig::tiny(), &["Books", "Movies"]);
+        let overlap = w.domain("Books").overlapping_users(w.domain("Movies"));
+        assert!(
+            overlap.len() > 20,
+            "expected substantial overlap, got {}",
+            overlap.len()
+        );
+    }
+
+    #[test]
+    fn ratings_span_the_scale_and_skew_positive() {
+        let w = SynthWorld::generate(SynthConfig::amazon(), &["Books"]);
+        let mut counts = [0usize; 5];
+        for it in w.domain("Books").interactions() {
+            counts[it.rating.label()] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "all classes used: {counts:?}");
+        // e-commerce corpora skew positive
+        assert!(counts[3] + counts[4] > counts[0] + counts[1], "{counts:?}");
+    }
+
+    #[test]
+    fn summaries_are_short_and_full_texts_longer() {
+        let w = SynthWorld::generate(SynthConfig::tiny(), &["Books"]);
+        for it in w.domain("Books").interactions().iter().take(50) {
+            let s_len = it.summary.split_whitespace().count();
+            let f_len = it.full_text.split_whitespace().count();
+            assert!((2..=8).contains(&s_len), "summary len {s_len}");
+            assert!(f_len > s_len, "full text must be longer");
+        }
+    }
+
+    #[test]
+    fn sentiment_words_track_rating() {
+        // 5★ summaries must draw sentiment from the 5★ lexicon.
+        let w = SynthWorld::generate(SynthConfig::tiny(), &["Movies"]);
+        let five: Vec<_> = w
+            .domain("Movies")
+            .interactions()
+            .iter()
+            .filter(|i| i.rating.stars() == 5)
+            .take(20)
+            .collect();
+        assert!(!five.is_empty());
+        for it in five {
+            let has_pos = it
+                .summary
+                .split_whitespace()
+                .any(|tok| SENTIMENT_WORDS[4].contains(&tok));
+            assert!(has_pos, "5★ summary lacks positive sentiment: {}", it.summary);
+        }
+    }
+
+    #[test]
+    fn domain_flavour_words_present() {
+        let w = SynthWorld::generate(SynthConfig::tiny(), &["Books"]);
+        let any_flavour = w
+            .domain("Books")
+            .interactions()
+            .iter()
+            .take(30)
+            .any(|it| {
+                it.summary
+                    .split_whitespace()
+                    .any(|tok| domain_words("Books").contains(&tok))
+            });
+        assert!(any_flavour);
+    }
+
+    #[test]
+    fn preference_consistency_across_domains() {
+        // Users' mean rating deviation must correlate across domains more
+        // than across different users (the cross-domain signal exists).
+        let w = SynthWorld::generate(SynthConfig::amazon(), &["Books", "Movies"]);
+        let books = w.domain("Books");
+        let movies = w.domain("Movies");
+        let overlap = books.overlapping_users(movies);
+        let mean = |d: &Domain, u: UserId| -> f32 {
+            let (s, n) = d
+                .user_records(u)
+                .fold((0.0f32, 0usize), |(s, n), it| (s + it.rating.value(), n + 1));
+            s / n as f32
+        };
+        let xs: Vec<f32> = overlap.iter().map(|&u| mean(books, u)).collect();
+        let ys: Vec<f32> = overlap.iter().map(|&u| mean(movies, u)).collect();
+        let mx = xs.iter().sum::<f32>() / xs.len() as f32;
+        let my = ys.iter().sum::<f32>() / ys.len() as f32;
+        let cov: f32 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let vx: f32 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+        let vy: f32 = ys.iter().map(|y| (y - my).powi(2)).sum();
+        let corr = cov / (vx.sqrt() * vy.sqrt());
+        assert!(corr > 0.2, "cross-domain rating correlation too weak: {corr}");
+    }
+
+    #[test]
+    fn scenario_convenience_builds() {
+        let w = SynthWorld::generate(SynthConfig::tiny(), &["Books", "Movies"]);
+        let sc = w.scenario("Books", "Movies", SplitConfig::default());
+        assert!(sc.train_users.len() > sc.test_users.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown domain")]
+    fn unknown_domain_panics() {
+        let w = SynthWorld::generate(SynthConfig::tiny(), &["Books"]);
+        let _ = w.domain("Movies");
+    }
+}

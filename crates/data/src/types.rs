@@ -1,0 +1,171 @@
+//! Core record types: users, items, ratings, and review interactions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A user identifier, unique across the whole multi-domain world (so
+/// overlap between domains is literal id equality, as in §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UserId(pub u32);
+
+/// An item identifier, unique within its domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ItemId(pub u32);
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// A 1–5 star rating, the label space of both datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Rating(u8);
+
+impl Rating {
+    /// Minimum star value.
+    pub const MIN: u8 = 1;
+    /// Maximum star value.
+    pub const MAX: u8 = 5;
+    /// Number of distinct rating classes.
+    pub const CLASSES: usize = 5;
+
+    /// Construct from stars; returns `None` outside 1–5.
+    pub fn new(stars: u8) -> Option<Rating> {
+        (Self::MIN..=Self::MAX).contains(&stars).then_some(Rating(stars))
+    }
+
+    /// Construct from a float by clamping to [1, 5] and rounding, the way
+    /// the synthetic generator discretises latent scores.
+    pub fn from_score(score: f32) -> Rating {
+        Rating(score.round().clamp(Self::MIN as f32, Self::MAX as f32) as u8)
+    }
+
+    /// The star value.
+    pub fn stars(self) -> u8 {
+        self.0
+    }
+
+    /// The star value as f32 (for RMSE/MAE computation).
+    pub fn value(self) -> f32 {
+        self.0 as f32
+    }
+
+    /// Zero-based class label (stars − 1), for classifiers.
+    pub fn label(self) -> usize {
+        (self.0 - 1) as usize
+    }
+
+    /// Inverse of [`Rating::label`].
+    pub fn from_label(label: usize) -> Rating {
+        Rating::new(label as u8 + 1).expect("label must be 0..5")
+    }
+}
+
+impl fmt::Display for Rating {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}★", self.0)
+    }
+}
+
+/// One review record `{u, i, txt, r}` of §2: a user's rating of an item
+/// plus the associated text. `summary` is the short "review summary" field
+/// the paper found superior (§5.2); `full_text` is the complete review used
+/// by the `OmniMatch-ReviewText` ablation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Interaction {
+    /// The reviewing user.
+    pub user: UserId,
+    /// The reviewed item.
+    pub item: ItemId,
+    /// The star rating.
+    pub rating: Rating,
+    /// The short review-summary text.
+    pub summary: String,
+    /// The full review body.
+    pub full_text: String,
+}
+
+impl Interaction {
+    /// Convenience constructor; the full text defaults to the summary when
+    /// the corpus has no separate body field.
+    pub fn new(user: UserId, item: ItemId, rating: Rating, summary: impl Into<String>) -> Self {
+        let summary = summary.into();
+        Interaction {
+            user,
+            item,
+            rating,
+            full_text: summary.clone(),
+            summary,
+        }
+    }
+
+    /// The text selected by the given field switch.
+    pub fn text(&self, field: TextField) -> &str {
+        match field {
+            TextField::Summary => &self.summary,
+            TextField::FullText => &self.full_text,
+        }
+    }
+}
+
+/// Which review text field feeds the feature extractors — the paper's
+/// default is the summary (§5.2); the full text is an ablation (Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TextField {
+    /// The short "review summary" field (paper default).
+    Summary,
+    /// The complete "reviewText" body (`OmniMatch-ReviewText` ablation).
+    FullText,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rating_bounds() {
+        assert!(Rating::new(0).is_none());
+        assert!(Rating::new(6).is_none());
+        assert_eq!(Rating::new(3).unwrap().stars(), 3);
+    }
+
+    #[test]
+    fn rating_from_score_clamps_and_rounds() {
+        assert_eq!(Rating::from_score(7.9).stars(), 5);
+        assert_eq!(Rating::from_score(-2.0).stars(), 1);
+        assert_eq!(Rating::from_score(3.4).stars(), 3);
+        assert_eq!(Rating::from_score(3.6).stars(), 4);
+    }
+
+    #[test]
+    fn label_roundtrip() {
+        for s in 1..=5u8 {
+            let r = Rating::new(s).unwrap();
+            assert_eq!(Rating::from_label(r.label()), r);
+        }
+        assert_eq!(Rating::new(1).unwrap().label(), 0);
+    }
+
+    #[test]
+    fn interaction_text_field_switch() {
+        let mut i = Interaction::new(UserId(1), ItemId(2), Rating::new(5).unwrap(), "great");
+        i.full_text = "great in every way, really".into();
+        assert_eq!(i.text(TextField::Summary), "great");
+        assert!(i.text(TextField::FullText).len() > 5);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(UserId(7).to_string(), "u7");
+        assert_eq!(ItemId(9).to_string(), "i9");
+        assert_eq!(Rating::new(4).unwrap().to_string(), "4★");
+    }
+}

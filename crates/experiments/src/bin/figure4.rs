@@ -1,0 +1,62 @@
+//! Regenerates **Figure 4**: sensitivity of Movies→Music (Amazon preset)
+//! to the loss weights — (a) RMSE/MAE vs α ∈ {0.1..0.7} with β = 0.1 and
+//! (b) vs β ∈ {0.1..0.7} with α = 0.2. The paper's point is *robustness*:
+//! the curves stay inside a narrow band.
+
+use om_data::{SynthConfig, SynthWorld};
+use om_experiments::paper;
+use om_experiments::report::Table;
+use om_experiments::runner::{cli_trials, run_trials, Method};
+use omnimatch_core::OmniMatchConfig;
+
+fn sweep(
+    world: &SynthWorld,
+    trials: usize,
+    label: &str,
+    make: impl Fn(f32) -> OmniMatchConfig,
+) -> Table {
+    let mut table = Table::new(
+        format!("Figure 4 — {label} sweep (Movies -> Music)"),
+        &[label, "RMSE", "MAE"],
+    );
+    for &v in &paper::FIGURE4_VALUES {
+        eprintln!("{label} = {v}…");
+        let r = run_trials(world, "Movies", "Music", &Method::Ours(make(v)), trials, 1.0);
+        table.row(vec![
+            format!("{v:.1}"),
+            format!("{:.3}", r.rmse.mean),
+            format!("{:.3}", r.mae.mean),
+        ]);
+    }
+    table
+}
+
+fn main() {
+    let trials = cli_trials(1);
+    let world = SynthWorld::generate(SynthConfig::amazon(), &["Books", "Movies", "Music"]);
+
+    // (a) sweep α with β fixed at 0.1 (§5.8)
+    let alpha_table = sweep(&world, trials, "alpha", |a| OmniMatchConfig {
+        alpha: a,
+        beta: 0.1,
+        ..OmniMatchConfig::default()
+    });
+    println!("{}", alpha_table.render());
+    alpha_table.write_tsv("figure4_alpha.tsv").expect("write TSV");
+
+    // (b) sweep β with α fixed at 0.2
+    let beta_table = sweep(&world, trials, "beta", |b| OmniMatchConfig {
+        alpha: 0.2,
+        beta: b,
+        ..OmniMatchConfig::default()
+    });
+    println!("{}", beta_table.render());
+    beta_table.write_tsv("figure4_beta.tsv").expect("write TSV");
+
+    println!(
+        "paper bands: RMSE {:?}, MAE {:?} — the claim is robustness across the sweep",
+        paper::FIGURE4_RMSE_BAND,
+        paper::FIGURE4_MAE_BAND
+    );
+    println!("TSVs written to results/figure4_alpha.tsv and results/figure4_beta.tsv");
+}

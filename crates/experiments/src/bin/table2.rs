@@ -1,0 +1,17 @@
+//! Regenerates **Table 2**: RMSE/MAE of all seven methods on the six
+//! Amazon-preset cross-domain scenarios, with the Δ% improvement of Ours
+//! over the best competitor. Pass `--trials 5` to match the paper's
+//! protocol exactly (default 3; `--fast` = 1).
+
+use om_data::SynthConfig;
+use om_experiments::paper;
+use om_experiments::tables23::run_table;
+
+fn main() {
+    run_table(
+        "Table 2 — Amazon preset (measured; paper reference rows inline)",
+        SynthConfig::amazon(),
+        &paper::TABLE2,
+        "table2.tsv",
+    );
+}

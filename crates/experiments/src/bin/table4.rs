@@ -1,0 +1,67 @@
+//! Regenerates **Table 4**: RMSE/MAE of EMCDR, PTUPCDR and Ours when
+//! training with 100/80/50/20 % of the overlapping training users
+//! (Amazon preset; Books→Movies, Movies→Music, Books→Music).
+
+use om_data::{SynthConfig, SynthWorld};
+use om_experiments::paper;
+use om_experiments::report::Table;
+use om_experiments::runner::{cli_trials, run_trials, Method};
+use omnimatch_core::OmniMatchConfig;
+
+fn main() {
+    let trials = cli_trials(2);
+    eprintln!("generating world ({trials} trial(s) per cell)…");
+    let world = SynthWorld::generate(SynthConfig::amazon(), &["Books", "Movies", "Music"]);
+    let methods = [
+        Method::Emcdr,
+        Method::Ptupcdr,
+        Method::Ours(OmniMatchConfig::default()),
+    ];
+
+    let header = build_header();
+    let hdr_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Table 4 — training-user fractions (Amazon preset)",
+        &hdr_refs,
+    );
+
+    for (mi, method) in methods.iter().enumerate() {
+        let mut rmse_row = vec![method.label().to_string(), "RMSE".to_string()];
+        let mut mae_row = vec![String::new(), "MAE".to_string()];
+        let mut rmse_paper = vec![String::new(), "RMSE(paper)".to_string()];
+        let mut mae_paper = vec![String::new(), "MAE(paper)".to_string()];
+        for (si, (src, tgt)) in paper::TABLE4_SCENARIOS.iter().enumerate() {
+            for (fi, &frac) in paper::TABLE4_FRACTIONS.iter().enumerate() {
+                eprintln!("{} {src}->{tgt} {}%…", method.label(), (frac * 100.0) as u32);
+                let r = run_trials(&world, src, tgt, method, trials, frac);
+                rmse_row.push(format!("{:.3}", r.rmse.mean));
+                mae_row.push(format!("{:.3}", r.mae.mean));
+                rmse_paper.push(format!("{:.3}", paper::TABLE4_RMSE[mi][si][fi]));
+                mae_paper.push(format!("{:.3}", paper::TABLE4_MAE[mi][si][fi]));
+            }
+        }
+        table.row(rmse_row);
+        table.row(mae_row);
+        table.row(rmse_paper);
+        table.row(mae_paper);
+    }
+
+    println!("{}", table.render());
+    table.write_tsv("table4.tsv").expect("write results TSV");
+    println!("TSV written to results/table4.tsv");
+}
+
+fn build_header() -> Vec<String> {
+    let mut header = vec!["Method".to_string(), "Metric".to_string()];
+    for (src, tgt) in paper::TABLE4_SCENARIOS {
+        for f in paper::TABLE4_FRACTIONS {
+            header.push(format!(
+                "{}->{} {}%",
+                &src[..2],
+                &tgt[..2],
+                (f * 100.0) as u32
+            ));
+        }
+    }
+    header
+}

@@ -1,0 +1,73 @@
+//! Regenerates **Table 5**: the ablation study. Each OmniMatch variant is
+//! trained in the paper's data-scarce regime — 20 % of the overlapping
+//! training users (§5.7) — on Books→Movies, Books→Music and Movies→Music
+//! of the Amazon preset.
+
+use om_data::{SynthConfig, SynthWorld};
+use om_experiments::paper;
+use om_experiments::report::Table;
+use om_experiments::runner::{cli_trials, run_trials, Method};
+use omnimatch_core::OmniMatchConfig;
+
+fn variants() -> Vec<(&'static str, OmniMatchConfig)> {
+    vec![
+        ("w/o SCL", OmniMatchConfig::default().without_scl()),
+        ("w/o DA", OmniMatchConfig::default().without_da()),
+        (
+            "w/o Aux Reviews",
+            OmniMatchConfig::default().without_aux_reviews(),
+        ),
+        ("OmniMatch", OmniMatchConfig::default()),
+        (
+            "OmniMatch-ReviewText",
+            OmniMatchConfig::default().with_full_review_text(),
+        ),
+        (
+            "OmniMatch-BERT",
+            OmniMatchConfig::default().with_transformer(),
+        ),
+    ]
+}
+
+fn main() {
+    let trials = cli_trials(2);
+    eprintln!("generating world ({trials} trial(s) per cell)…");
+    let world = SynthWorld::generate(SynthConfig::amazon(), &["Books", "Movies", "Music"]);
+
+    let mut header = vec!["Variant".to_string(), "Metric".to_string()];
+    for (src, tgt) in paper::TABLE5_SCENARIOS {
+        header.push(format!("{src} -> {tgt}"));
+        header.push("paper".to_string());
+    }
+    let hdr_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Table 5 — ablations at 20% training users (Amazon preset)",
+        &hdr_refs,
+    );
+
+    for (vi, (name, cfg)) in variants().into_iter().enumerate() {
+        let mut rmse_row = vec![name.to_string(), "RMSE".to_string()];
+        let mut mae_row = vec![String::new(), "MAE".to_string()];
+        for (si, (src, tgt)) in paper::TABLE5_SCENARIOS.iter().enumerate() {
+            eprintln!("{name} on {src}->{tgt}…");
+            let r = run_trials(
+                &world,
+                src,
+                tgt,
+                &Method::Ours(cfg.clone()),
+                trials,
+                0.2,
+            );
+            rmse_row.push(format!("{:.3}", r.rmse.mean));
+            rmse_row.push(format!("{:.3}", paper::TABLE5_RMSE[vi][si]));
+            mae_row.push(format!("{:.3}", r.mae.mean));
+            mae_row.push(format!("{:.3}", paper::TABLE5_MAE[vi][si]));
+        }
+        table.row(rmse_row);
+        table.row(mae_row);
+    }
+
+    println!("{}", table.render());
+    table.write_tsv("table5.tsv").expect("write results TSV");
+    println!("TSV written to results/table5.tsv");
+}

@@ -1,0 +1,53 @@
+//! Regenerates **Table 6**: wall-clock training time of the full model vs
+//! the variants with the Domain Adaptation or Supervised Contrastive
+//! Learning module removed (Books→Music and Movies→Music). Absolute times
+//! differ from the paper's A100 numbers by construction; the comparison is
+//! the *relative* cost of each module, printed alongside the paper's
+//! ratios.
+
+use om_data::{SplitConfig, SynthConfig, SynthWorld};
+use om_experiments::paper;
+use om_experiments::report::Table;
+use omnimatch_core::{OmniMatchConfig, Trainer};
+
+fn main() {
+    let world = SynthWorld::generate(SynthConfig::amazon(), &["Books", "Movies", "Music"]);
+    let mut table = Table::new(
+        "Table 6 — training time with modules removed",
+        &[
+            "Scenario",
+            "Full",
+            "w/o DA",
+            "w/o SCL",
+            "full/woDA",
+            "paper full/woDA",
+            "full/woSCL",
+            "paper full/woSCL",
+        ],
+    );
+
+    for &(src, tgt, p_full, p_woda, p_woscl) in &paper::TABLE6_MINUTES {
+        eprintln!("timing {src}->{tgt}…");
+        let scenario = world.scenario(src, tgt, SplitConfig::default());
+        let time_of = |cfg: OmniMatchConfig| -> f64 {
+            Trainer::new(cfg).fit(&scenario).report().train_seconds
+        };
+        let full = time_of(OmniMatchConfig::default());
+        let woda = time_of(OmniMatchConfig::default().without_da());
+        let woscl = time_of(OmniMatchConfig::default().without_scl());
+        table.row(vec![
+            format!("{src} -> {tgt}"),
+            format!("{full:.1}s"),
+            format!("{woda:.1}s"),
+            format!("{woscl:.1}s"),
+            format!("{:.2}x", full / woda),
+            format!("{:.2}x", p_full / p_woda),
+            format!("{:.2}x", full / woscl),
+            format!("{:.2}x", p_full / p_woscl),
+        ]);
+    }
+
+    println!("{}", table.render());
+    table.write_tsv("table6.tsv").expect("write results TSV");
+    println!("TSV written to results/table6.tsv");
+}

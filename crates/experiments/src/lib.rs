@@ -1,0 +1,28 @@
+//! # om-experiments
+//!
+//! The harness that regenerates every table and figure of the paper's
+//! evaluation (§5). One binary per artifact:
+//!
+//! | binary      | paper artifact | contents |
+//! |-------------|----------------|----------|
+//! | `table2`    | Table 2        | 6 Amazon scenarios × 7 methods, RMSE/MAE + Δ% |
+//! | `table3`    | Table 3        | same on the Douban preset |
+//! | `table4`    | Table 4        | EMCDR/PTUPCDR/Ours at 100/80/50/20 % training users |
+//! | `table5`    | Table 5        | ablations at 20 % training users |
+//! | `table6`    | Table 6        | training time with DA / SCL removed |
+//! | `figure4`   | Figure 4       | RMSE/MAE vs α and β sweeps (Movies → Music) |
+//! | `case_study`| §5.10          | an auxiliary-review generation trace |
+//!
+//! Every binary prints the paper-layout table with the paper's reported
+//! values beside the measured ones and writes a TSV under `results/`.
+//! Trials vary both the split seed and the model seed and are averaged
+//! (the paper averages 5 random trials; the default here is 3 for CPU
+//! runtime — pass `--trials 5` to match the paper exactly).
+
+pub mod paper;
+pub mod report;
+pub mod tables23;
+pub mod runner;
+
+pub use report::{write_tsv, Table};
+pub use runner::{run_trials, Method, TrialResult};

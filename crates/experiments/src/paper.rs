@@ -1,0 +1,270 @@
+//! The paper's reported numbers, transcribed from the EDBT 2025 text, so
+//! every experiment binary can print measured-vs-paper side by side and
+//! EXPERIMENTS.md can be regenerated mechanically.
+
+/// Method order of Tables 2–3.
+pub const METHODS: [&str; 7] = [
+    "NGCF", "LIGHTGCN", "CMF", "EMCDR", "PTUPCDR", "HeroGraph", "Ours",
+];
+
+/// The six cross-domain scenarios of §5.1, `(source, target)`.
+pub const SCENARIOS: [(&str, &str); 6] = [
+    ("Books", "Movies"),
+    ("Movies", "Books"),
+    ("Books", "Music"),
+    ("Music", "Books"),
+    ("Movies", "Music"),
+    ("Music", "Movies"),
+];
+
+/// One scenario row of Table 2/3: per-method RMSE and MAE plus the Δ%.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperRow {
+    /// RMSE per method, Table 2/3 order.
+    pub rmse: [f32; 7],
+    /// MAE per method.
+    pub mae: [f32; 7],
+    /// Reported improvement of Ours over the best competitor.
+    pub delta_rmse_pct: f32,
+    /// Reported MAE improvement.
+    pub delta_mae_pct: f32,
+}
+
+/// Table 2 (Amazon), scenario order as in [`SCENARIOS`].
+pub const TABLE2: [PaperRow; 6] = [
+    PaperRow {
+        rmse: [1.150, 1.124, 1.558, 1.166, 1.049, 1.118, 1.031],
+        mae: [0.893, 0.870, 1.188, 0.903, 0.906, 0.861, 0.758],
+        delta_rmse_pct: 1.7,
+        delta_mae_pct: 12.0,
+    },
+    PaperRow {
+        rmse: [1.180, 1.174, 1.747, 1.222, 1.215, 1.133, 1.035],
+        mae: [0.958, 0.901, 1.319, 0.953, 0.946, 0.867, 0.787],
+        delta_rmse_pct: 8.6,
+        delta_mae_pct: 9.2,
+    },
+    PaperRow {
+        rmse: [1.104, 1.102, 2.510, 1.167, 1.175, 1.026, 0.962],
+        mae: [0.906, 0.828, 1.967, 0.920, 0.894, 0.815, 0.725],
+        delta_rmse_pct: 6.2,
+        delta_mae_pct: 11.0,
+    },
+    PaperRow {
+        rmse: [1.180, 1.174, 1.641, 1.337, 1.300, 1.121, 1.038],
+        mae: [0.958, 0.901, 1.266, 1.054, 1.015, 0.886, 0.821],
+        delta_rmse_pct: 7.4,
+        delta_mae_pct: 7.3,
+    },
+    PaperRow {
+        rmse: [1.104, 1.102, 1.972, 1.095, 1.118, 1.101, 0.940],
+        mae: [0.906, 0.828, 1.468, 0.829, 0.843, 0.798, 0.694],
+        delta_rmse_pct: 14.6,
+        delta_mae_pct: 13.0,
+    },
+    PaperRow {
+        rmse: [1.150, 1.124, 1.972, 1.109, 1.118, 1.088, 1.026],
+        mae: [0.893, 0.870, 1.068, 0.935, 0.908, 0.802, 0.785],
+        delta_rmse_pct: 5.7,
+        delta_mae_pct: 2.1,
+    },
+];
+
+/// Table 3 (Douban), scenario order as in [`SCENARIOS`].
+pub const TABLE3: [PaperRow; 6] = [
+    PaperRow {
+        rmse: [1.312, 1.296, 1.598, 1.416, 1.142, 1.131, 0.838],
+        mae: [1.091, 1.055, 1.131, 1.008, 0.951, 0.894, 0.603],
+        delta_rmse_pct: 25.9,
+        delta_mae_pct: 32.6,
+    },
+    PaperRow {
+        rmse: [1.412, 1.212, 2.602, 2.732, 2.820, 1.201, 0.919],
+        mae: [1.121, 1.055, 1.900, 2.173, 2.732, 0.987, 0.727],
+        delta_rmse_pct: 23.5,
+        delta_mae_pct: 26.3,
+    },
+    PaperRow {
+        rmse: [1.284, 1.237, 2.917, 2.908, 3.008, 1.212, 0.904],
+        mae: [1.101, 1.002, 2.273, 2.351, 2.329, 0.979, 0.801],
+        delta_rmse_pct: 25.4,
+        delta_mae_pct: 18.2,
+    },
+    PaperRow {
+        rmse: [1.412, 1.212, 3.034, 2.826, 3.036, 1.268, 0.914],
+        mae: [1.121, 1.055, 2.341, 2.232, 2.284, 1.049, 0.780],
+        delta_rmse_pct: 25.4,
+        delta_mae_pct: 25.6,
+    },
+    PaperRow {
+        rmse: [1.284, 1.237, 2.863, 2.802, 2.851, 1.226, 0.958],
+        mae: [1.101, 1.002, 2.138, 2.210, 2.158, 0.988, 0.657],
+        delta_rmse_pct: 21.9,
+        delta_mae_pct: 33.5,
+    },
+    PaperRow {
+        rmse: [1.312, 1.296, 1.869, 1.414, 1.377, 1.158, 0.873],
+        mae: [1.091, 1.055, 1.289, 0.989, 0.941, 0.895, 0.687],
+        delta_rmse_pct: 24.6,
+        delta_mae_pct: 23.2,
+    },
+];
+
+/// Table 4 scenarios (Amazon): Books→Movies, Movies→Music, Books→Music.
+pub const TABLE4_SCENARIOS: [(&str, &str); 3] = [
+    ("Books", "Movies"),
+    ("Movies", "Music"),
+    ("Books", "Music"),
+];
+
+/// Table 4 training-user fractions.
+pub const TABLE4_FRACTIONS: [f32; 4] = [1.0, 0.8, 0.5, 0.2];
+
+/// Table 4 reported values `[method][scenario][fraction]` for RMSE.
+pub const TABLE4_RMSE: [[[f32; 4]; 3]; 3] = [
+    // EMCDR
+    [
+        [1.166, 1.184, 1.197, 1.221],
+        [1.095, 1.128, 1.154, 1.183],
+        [1.167, 1.189, 1.192, 1.199],
+    ],
+    // PTUPCDR
+    [
+        [1.049, 1.066, 1.143, 1.225],
+        [1.118, 1.150, 1.173, 1.209],
+        [1.175, 1.183, 1.201, 1.254],
+    ],
+    // Ours
+    [
+        [1.031, 1.036, 1.041, 1.071],
+        [0.940, 0.953, 0.973, 1.006],
+        [0.962, 0.976, 0.991, 1.014],
+    ],
+];
+
+/// Table 4 reported values `[method][scenario][fraction]` for MAE.
+pub const TABLE4_MAE: [[[f32; 4]; 3]; 3] = [
+    [
+        [0.903, 0.906, 0.921, 0.944],
+        [0.829, 0.859, 0.871, 0.885],
+        [0.920, 0.945, 0.947, 0.954],
+    ],
+    [
+        [0.906, 0.910, 0.924, 0.946],
+        [0.843, 0.874, 0.884, 0.906],
+        [0.894, 0.926, 0.941, 0.972],
+    ],
+    [
+        [0.758, 0.791, 0.787, 0.812],
+        [0.694, 0.706, 0.733, 0.756],
+        [0.725, 0.822, 0.864, 0.876],
+    ],
+];
+
+/// Table 5 variant names, in paper order.
+pub const TABLE5_VARIANTS: [&str; 6] = [
+    "w/o SCL",
+    "w/o DA",
+    "w/o Aux Reviews",
+    "OmniMatch",
+    "OmniMatch-ReviewText",
+    "OmniMatch-BERT",
+];
+
+/// Table 5 scenarios (Amazon, 20 % training users).
+pub const TABLE5_SCENARIOS: [(&str, &str); 3] = [
+    ("Books", "Movies"),
+    ("Books", "Music"),
+    ("Movies", "Music"),
+];
+
+/// Table 5 reported `[variant][scenario]` RMSE. (The 0.548 MAE printed in
+/// the paper's ReviewText row is reproduced verbatim from the text.)
+pub const TABLE5_RMSE: [[f32; 3]; 6] = [
+    [1.073, 1.029, 1.013],
+    [1.075, 1.025, 1.011],
+    [1.173, 1.034, 1.061],
+    [1.068, 1.021, 1.006],
+    [1.088, 1.080, 1.031],
+    [1.174, 1.038, 1.077],
+];
+
+/// Table 5 reported `[variant][scenario]` MAE.
+pub const TABLE5_MAE: [[f32; 3]; 6] = [
+    [0.909, 0.902, 0.769],
+    [0.905, 0.894, 0.764],
+    [0.928, 0.896, 0.854],
+    [0.901, 0.830, 0.756],
+    [0.548, 0.856, 0.781],
+    [0.917, 0.810, 0.836],
+];
+
+/// Table 6: training minutes `(full, w/o DA, w/o SCL)` for
+/// Books→Music and Movies→Music.
+pub const TABLE6_MINUTES: [(&str, &str, f32, f32, f32); 2] = [
+    ("Books", "Music", 20.0, 16.0, 17.0),
+    ("Movies", "Music", 24.0, 19.0, 20.0),
+];
+
+/// Figure 4 sweeps α ∈ {0.1..0.7} with β = 0.1 and β ∈ {0.1..0.7} with
+/// α = 0.2 on Movies→Music; the paper's reported RMSE band.
+pub const FIGURE4_VALUES: [f32; 7] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7];
+/// RMSE band read off Figure 4(a).
+pub const FIGURE4_RMSE_BAND: (f32, f32) = (0.938, 0.958);
+/// MAE band read off Figure 4(b).
+pub const FIGURE4_MAE_BAND: (f32, f32) = (0.68, 0.72);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ours_is_best_in_every_paper_row() {
+        for row in TABLE2.iter().chain(&TABLE3) {
+            let ours = row.rmse[6];
+            assert!(row.rmse[..6].iter().all(|&r| ours < r), "{row:?}");
+            let ours = row.mae[6];
+            assert!(row.mae[..6].iter().all(|&m| ours < m), "{row:?}");
+        }
+    }
+
+    #[test]
+    fn delta_matches_best_competitor_rmse() {
+        // recompute Δ% from the row and compare with the printed value
+        for row in TABLE2.iter().chain(&TABLE3) {
+            let best_other = row.rmse[..6].iter().cloned().fold(f32::INFINITY, f32::min);
+            let delta = (best_other - row.rmse[6]) / best_other * 100.0;
+            // NOTE: the paper's printed Δ% disagrees with its own row
+            // values by up to ~0.8 points in one Douban row (Music→Books:
+            // recomputing gives 24.6% where 25.4% is printed), so the
+            // tolerance here is 1.0.
+            assert!(
+                (delta - row.delta_rmse_pct).abs() < 1.0,
+                "computed {delta:.1} printed {}",
+                row.delta_rmse_pct
+            );
+        }
+    }
+
+    #[test]
+    fn table4_degrades_with_fewer_users() {
+        // every method's RMSE is monotone non-decreasing as fraction drops
+        for method in &TABLE4_RMSE {
+            for scenario in method {
+                for w in scenario.windows(2) {
+                    assert!(w[1] >= w[0] - 1e-6, "{scenario:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table5_full_model_beats_ablations_on_rmse() {
+        for s in 0..3 {
+            let full = TABLE5_RMSE[3][s];
+            for v in [0, 1, 2, 4, 5] {
+                assert!(full <= TABLE5_RMSE[v][s], "variant {v} scenario {s}");
+            }
+        }
+    }
+}

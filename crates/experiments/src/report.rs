@@ -1,0 +1,139 @@
+//! Table rendering (paper layout: best bold, second-best underlined —
+//! rendered as `*value*` and `_value_` in a terminal) and TSV artifacts.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use om_metrics::best_and_second;
+
+/// A simple column-aligned table accumulated row by row.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n=== {} ===", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Write the raw cells as TSV under `results/` (created on demand).
+    pub fn write_tsv(&self, filename: &str) -> std::io::Result<()> {
+        write_tsv(filename, &self.header, &self.rows)
+    }
+}
+
+/// Write a header + rows as a TSV file under `results/`.
+pub fn write_tsv(
+    filename: &str,
+    header: &[String],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir)?;
+    let mut out = String::new();
+    out.push_str(&header.join("\t"));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join("\t"));
+        out.push('\n');
+    }
+    fs::write(dir.join(filename), out)
+}
+
+/// Format a measured-vs-paper metric pair: `measured (paper p)`.
+pub fn vs_paper(measured: f32, paper: f32) -> String {
+    format!("{measured:.3} (p {paper:.3})")
+}
+
+/// Mark the best value with `*…*` and the runner-up with `_…_` across a
+/// row of error metrics, as the paper does with bold/underline.
+pub fn mark_best(values: &[f32]) -> Vec<String> {
+    let (best, second) = best_and_second(values);
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            if i == best {
+                format!("*{v:.3}*")
+            } else if i == second {
+                format!("_{v:.3}_")
+            } else {
+                format!("{v:.3}")
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["a", "metric"]);
+        t.row(vec!["x".into(), "1.0".into()]);
+        t.row(vec!["longer".into(), "2.0".into()]);
+        let s = t.render();
+        assert!(s.contains("=== demo ==="));
+        assert!(s.contains("longer"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn mark_best_formats() {
+        let marked = mark_best(&[1.5, 1.0, 1.2]);
+        assert_eq!(marked, vec!["1.500", "*1.000*", "_1.200_"]);
+    }
+
+    #[test]
+    fn vs_paper_format() {
+        assert_eq!(vs_paper(1.0315, 1.031), "1.031 (p 1.031)");
+    }
+}

@@ -1,0 +1,68 @@
+//! Shared driver for Tables 2 and 3 (the binaries differ only by the
+//! generator preset and the paper reference rows).
+
+use om_data::{SynthConfig, SynthWorld};
+use om_metrics::improvement_pct;
+
+use crate::paper;
+use crate::report::{mark_best, Table};
+use crate::runner::{cli_trials, run_trials, Method};
+
+/// Shared driver for Tables 2 and 3 (the binaries differ by preset).
+pub fn run_table(
+    title: &str,
+    preset: SynthConfig,
+    paper_rows: &[paper::PaperRow; 6],
+    tsv: &str,
+) {
+    let trials = cli_trials(3);
+    eprintln!("generating world ({trials} trial(s) per cell)…");
+    let world = SynthWorld::generate(preset, &["Books", "Movies", "Music"]);
+    let methods = Method::paper_lineup();
+
+    let mut header: Vec<&str> = vec!["Scenario", "Metric"];
+    header.extend(paper::METHODS);
+    header.push("Δ%");
+    header.push("paper Δ%");
+    let mut table = Table::new(title, &header);
+
+    for (si, (src, tgt)) in paper::SCENARIOS.iter().enumerate() {
+        eprintln!("scenario {src} -> {tgt}…");
+        let results: Vec<_> = methods
+            .iter()
+            .map(|m| run_trials(&world, src, tgt, m, trials, 1.0))
+            .collect();
+        let rmse: Vec<f32> = results.iter().map(|r| r.rmse.mean).collect();
+        let mae: Vec<f32> = results.iter().map(|r| r.mae.mean).collect();
+        let best_other_rmse = rmse[..6].iter().cloned().fold(f32::INFINITY, f32::min);
+        let best_other_mae = mae[..6].iter().cloned().fold(f32::INFINITY, f32::min);
+
+        let mut row = vec![format!("{src} -> {tgt}"), "RMSE".to_string()];
+        row.extend(mark_best(&rmse));
+        row.push(format!("{:+.1}%", improvement_pct(rmse[6], best_other_rmse)));
+        row.push(format!("{:+.1}%", paper_rows[si].delta_rmse_pct));
+        table.row(row);
+
+        let mut row = vec![String::new(), "MAE".to_string()];
+        row.extend(mark_best(&mae));
+        row.push(format!("{:+.1}%", improvement_pct(mae[6], best_other_mae)));
+        row.push(format!("{:+.1}%", paper_rows[si].delta_mae_pct));
+        table.row(row);
+
+        // paper reference rows in the TSV for archival comparison
+        let mut row = vec![String::new(), "RMSE(paper)".to_string()];
+        row.extend(paper_rows[si].rmse.iter().map(|v| format!("{v:.3}")));
+        row.push(String::new());
+        row.push(String::new());
+        table.row(row);
+        let mut row = vec![String::new(), "MAE(paper)".to_string()];
+        row.extend(paper_rows[si].mae.iter().map(|v| format!("{v:.3}")));
+        row.push(String::new());
+        row.push(String::new());
+        table.row(row);
+    }
+
+    println!("{}", table.render());
+    table.write_tsv(tsv).expect("write results TSV");
+    println!("TSV written to results/{tsv}");
+}

@@ -1,0 +1,159 @@
+//! # om-metrics
+//!
+//! Evaluation metrics (RMSE / MAE, Eqs. 22–23 of the paper) plus the
+//! aggregation helpers the experiment harness uses: mean ± std over random
+//! trials and the percentage-improvement (Δ%) column of Tables 2–3.
+//! The [`ranking`] module adds HR@K / NDCG@K / MRR for top-K evaluation.
+
+pub mod ranking;
+pub mod stats;
+
+pub use ranking::{hit_rate_at_k, mrr, ndcg_at_k, RankedList};
+pub use stats::{paired_t, PairedComparison};
+
+/// Root mean squared error over `(predicted, gold)` pairs (Eq. 22).
+pub fn rmse(pairs: &[(f32, f32)]) -> f32 {
+    assert!(!pairs.is_empty(), "rmse: empty evaluation set");
+    let sq: f32 = pairs.iter().map(|(p, y)| (p - y) * (p - y)).sum();
+    (sq / pairs.len() as f32).sqrt()
+}
+
+/// Mean absolute error over `(predicted, gold)` pairs (Eq. 23).
+pub fn mae(pairs: &[(f32, f32)]) -> f32 {
+    assert!(!pairs.is_empty(), "mae: empty evaluation set");
+    let abs: f32 = pairs.iter().map(|(p, y)| (p - y).abs()).sum();
+    abs / pairs.len() as f32
+}
+
+/// One method's evaluation on one scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Eval {
+    /// Root mean squared error.
+    pub rmse: f32,
+    /// Mean absolute error.
+    pub mae: f32,
+}
+
+impl Eval {
+    /// Compute both metrics in one pass.
+    pub fn of(pairs: &[(f32, f32)]) -> Eval {
+        Eval {
+            rmse: rmse(pairs),
+            mae: mae(pairs),
+        }
+    }
+}
+
+/// Mean and sample standard deviation of a series of trial results.
+#[derive(Debug, Clone, Copy)]
+pub struct Aggregate {
+    /// Mean over trials.
+    pub mean: f32,
+    /// Sample standard deviation (0 for a single trial).
+    pub std: f32,
+    /// Number of trials aggregated.
+    pub n: usize,
+}
+
+/// Aggregate repeated trials (the paper reports the average of 5 random
+/// trials, §5.4).
+pub fn aggregate(values: &[f32]) -> Aggregate {
+    assert!(!values.is_empty(), "aggregate: no trials");
+    let n = values.len();
+    let mean = values.iter().sum::<f32>() / n as f32;
+    let std = if n > 1 {
+        (values.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / (n - 1) as f32).sqrt()
+    } else {
+        0.0
+    };
+    Aggregate { mean, std, n }
+}
+
+/// The Δ% improvement of `ours` over the best competitor `best_other`,
+/// as reported in the rightmost column of Tables 2–3: positive when ours
+/// is lower (better) on an error metric.
+pub fn improvement_pct(ours: f32, best_other: f32) -> f32 {
+    assert!(best_other > 0.0, "improvement_pct: non-positive baseline");
+    (best_other - ours) / best_other * 100.0
+}
+
+/// Identify the best (minimum) and second-best values in a row of error
+/// metrics; returns their indices. Used to bold/underline table cells the
+/// way the paper does.
+pub fn best_and_second(values: &[f32]) -> (usize, usize) {
+    assert!(values.len() >= 2, "need at least two methods");
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("no NaNs"));
+    (idx[0], idx[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn rmse_reference() {
+        // errors 1 and -1 → rmse 1
+        assert!(close(rmse(&[(4.0, 3.0), (2.0, 3.0)]), 1.0));
+        // perfect predictions
+        assert!(close(rmse(&[(5.0, 5.0)]), 0.0));
+    }
+
+    #[test]
+    fn mae_reference() {
+        assert!(close(mae(&[(4.0, 3.0), (1.0, 3.0)]), 1.5));
+    }
+
+    #[test]
+    fn rmse_upper_bounds_mae() {
+        let pairs = [(1.0, 3.0), (4.5, 3.0), (2.8, 3.0), (3.0, 3.0)];
+        assert!(rmse(&pairs) >= mae(&pairs));
+    }
+
+    #[test]
+    fn eval_of_computes_both() {
+        let e = Eval::of(&[(4.0, 3.0), (2.0, 3.0)]);
+        assert!(close(e.rmse, 1.0));
+        assert!(close(e.mae, 1.0));
+    }
+
+    #[test]
+    fn aggregate_mean_and_std() {
+        let a = aggregate(&[1.0, 2.0, 3.0]);
+        assert!(close(a.mean, 2.0));
+        assert!(close(a.std, 1.0));
+        assert_eq!(a.n, 3);
+    }
+
+    #[test]
+    fn aggregate_single_trial_has_zero_std() {
+        let a = aggregate(&[1.5]);
+        assert!(close(a.std, 0.0));
+    }
+
+    #[test]
+    fn improvement_pct_reference() {
+        // paper's Books→Movies Douban row: 0.838 vs 1.131 → 25.9 %
+        let pct = improvement_pct(0.838, 1.131);
+        assert!((pct - 25.9).abs() < 0.1, "{pct}");
+        // worse model → negative
+        assert!(improvement_pct(1.2, 1.0) < 0.0);
+    }
+
+    #[test]
+    fn best_and_second_indices() {
+        let (b, s) = best_and_second(&[1.15, 1.124, 1.558, 1.031]);
+        assert_eq!(b, 3);
+        assert_eq!(s, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty evaluation set")]
+    fn empty_rmse_panics() {
+        let _ = rmse(&[]);
+    }
+}

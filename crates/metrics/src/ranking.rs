@@ -1,0 +1,148 @@
+//! Ranking metrics (HR@K, NDCG@K, MRR) — an extension beyond the paper's
+//! RMSE/MAE protocol, for top-K recommendation evaluation of the same
+//! models. Each user contributes one ranked candidate list with
+//! relevance labels.
+
+/// One user's ranked evaluation list: `(predicted_score, relevant)`
+/// pairs. The list is sorted by the caller's model score, descending.
+#[derive(Debug, Clone)]
+pub struct RankedList {
+    items: Vec<(f32, bool)>,
+}
+
+impl RankedList {
+    /// Build from `(score, relevant)` pairs; sorts by score descending
+    /// (stable, so ties keep insertion order).
+    pub fn new(mut items: Vec<(f32, bool)>) -> RankedList {
+        items.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN scores"));
+        RankedList { items }
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Hit ratio at cut-off `k`: 1 if any relevant item ranks in the top k.
+    pub fn hit_at(&self, k: usize) -> f32 {
+        if self.items.iter().take(k).any(|&(_, rel)| rel) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Normalised discounted cumulative gain at cut-off `k` (binary
+    /// relevance). 0 when the list has no relevant item at all.
+    pub fn ndcg_at(&self, k: usize) -> f32 {
+        let dcg: f32 = self
+            .items
+            .iter()
+            .take(k)
+            .enumerate()
+            .filter(|(_, &(_, rel))| rel)
+            .map(|(i, _)| 1.0 / ((i + 2) as f32).log2())
+            .sum();
+        let n_rel = self.items.iter().filter(|&&(_, rel)| rel).count();
+        if n_rel == 0 {
+            return 0.0;
+        }
+        let idcg: f32 = (0..n_rel.min(k))
+            .map(|i| 1.0 / ((i + 2) as f32).log2())
+            .sum();
+        dcg / idcg
+    }
+
+    /// Reciprocal rank of the first relevant item (0 when none).
+    pub fn reciprocal_rank(&self) -> f32 {
+        self.items
+            .iter()
+            .position(|&(_, rel)| rel)
+            .map(|i| 1.0 / (i + 1) as f32)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Mean HR@K over users.
+pub fn hit_rate_at_k(lists: &[RankedList], k: usize) -> f32 {
+    assert!(!lists.is_empty(), "hit_rate_at_k: no users");
+    lists.iter().map(|l| l.hit_at(k)).sum::<f32>() / lists.len() as f32
+}
+
+/// Mean NDCG@K over users.
+pub fn ndcg_at_k(lists: &[RankedList], k: usize) -> f32 {
+    assert!(!lists.is_empty(), "ndcg_at_k: no users");
+    lists.iter().map(|l| l.ndcg_at(k)).sum::<f32>() / lists.len() as f32
+}
+
+/// Mean reciprocal rank over users.
+pub fn mrr(lists: &[RankedList]) -> f32 {
+    assert!(!lists.is_empty(), "mrr: no users");
+    lists.iter().map(RankedList::reciprocal_rank).sum::<f32>() / lists.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(scores: &[(f32, bool)]) -> RankedList {
+        RankedList::new(scores.to_vec())
+    }
+
+    #[test]
+    fn sorting_is_descending() {
+        let l = list(&[(0.1, true), (0.9, false), (0.5, false)]);
+        assert_eq!(l.hit_at(1), 0.0); // the relevant item sank to rank 3
+        assert_eq!(l.hit_at(3), 1.0);
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn perfect_ranking_has_unit_ndcg() {
+        let l = list(&[(0.9, true), (0.8, true), (0.1, false)]);
+        assert!((l.ndcg_at(3) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn worst_ranking_has_lower_ndcg() {
+        let good = list(&[(0.9, true), (0.1, false), (0.0, false)]);
+        let bad = list(&[(0.9, false), (0.1, false), (0.0, true)]);
+        assert!(good.ndcg_at(3) > bad.ndcg_at(3));
+        assert!(bad.ndcg_at(3) > 0.0);
+    }
+
+    #[test]
+    fn ndcg_no_relevant_is_zero() {
+        let l = list(&[(0.9, false), (0.1, false)]);
+        assert_eq!(l.ndcg_at(2), 0.0);
+    }
+
+    #[test]
+    fn reciprocal_rank_reference() {
+        let l = list(&[(0.9, false), (0.8, true), (0.1, false)]);
+        assert!((l.reciprocal_rank() - 0.5).abs() < 1e-6);
+        let none = list(&[(0.9, false)]);
+        assert_eq!(none.reciprocal_rank(), 0.0);
+    }
+
+    #[test]
+    fn aggregates_average_over_users() {
+        let a = list(&[(0.9, true)]);
+        let b = list(&[(0.9, false), (0.8, true)]);
+        let lists = vec![a, b];
+        assert!((hit_rate_at_k(&lists, 1) - 0.5).abs() < 1e-6);
+        assert!((mrr(&lists) - 0.75).abs() < 1e-6);
+        assert!(ndcg_at_k(&lists, 2) > 0.5);
+    }
+
+    #[test]
+    fn hit_beyond_list_length_is_safe() {
+        let l = list(&[(0.9, true)]);
+        assert_eq!(l.hit_at(10), 1.0);
+    }
+}

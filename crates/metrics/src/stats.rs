@@ -1,0 +1,129 @@
+//! Significance testing for trial comparisons: a paired t statistic and a
+//! conservative significance call, used to decide whether "Ours beats
+//! baseline X" survives trial noise (the margins in Tables 2–3 are often
+//! within one standard deviation at small trial counts).
+
+/// Result of a paired comparison between two methods across trials.
+#[derive(Debug, Clone, Copy)]
+pub struct PairedComparison {
+    /// Mean of (a − b) over trials; negative means `a` has lower error.
+    pub mean_diff: f32,
+    /// Sample standard deviation of the differences.
+    pub std_diff: f32,
+    /// The paired t statistic (0 when the std is 0 and means are equal).
+    pub t: f32,
+    /// Number of paired trials.
+    pub n: usize,
+}
+
+impl PairedComparison {
+    /// Conservative significance call at roughly α = 0.05 using fixed
+    /// two-sided critical values of the t distribution for small n
+    /// (n−1 degrees of freedom; n ≤ 30 supported, larger n uses 1.96).
+    pub fn significant(&self) -> bool {
+        if self.n < 2 {
+            return false;
+        }
+        let crit = t_critical(self.n - 1);
+        self.t.abs() > crit
+    }
+}
+
+/// Two-sided 5 % critical values of Student's t for df = 1..30.
+fn t_critical(df: usize) -> f32 {
+    const TABLE: [f32; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+        2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+        2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f32::INFINITY
+    } else if df <= 30 {
+        TABLE[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// Paired comparison of per-trial metric values (`a[i]` and `b[i]` come
+/// from the same split/model seed).
+pub fn paired_t(a: &[f32], b: &[f32]) -> PairedComparison {
+    assert_eq!(a.len(), b.len(), "paired_t: unequal trial counts");
+    assert!(!a.is_empty(), "paired_t: no trials");
+    let n = a.len();
+    let diffs: Vec<f32> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let mean = diffs.iter().sum::<f32>() / n as f32;
+    let var = if n > 1 {
+        diffs.iter().map(|d| (d - mean).powi(2)).sum::<f32>() / (n - 1) as f32
+    } else {
+        0.0
+    };
+    let std = var.sqrt();
+    let se = std / (n as f32).sqrt();
+    let t = if se > 0.0 {
+        mean / se
+    } else if mean == 0.0 {
+        0.0
+    } else {
+        f32::INFINITY * mean.signum()
+    };
+    PairedComparison {
+        mean_diff: mean,
+        std_diff: std,
+        t,
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_difference_is_significant() {
+        let a = [0.90, 0.91, 0.89, 0.90, 0.92];
+        let b = [1.10, 1.12, 1.09, 1.11, 1.10];
+        let c = paired_t(&a, &b);
+        assert!(c.mean_diff < -0.15);
+        assert!(c.significant(), "{c:?}");
+    }
+
+    #[test]
+    fn noise_is_not_significant() {
+        let a = [0.90, 1.02, 0.95, 1.01];
+        let b = [0.92, 0.99, 0.97, 1.00];
+        let c = paired_t(&a, &b);
+        assert!(!c.significant(), "{c:?}");
+    }
+
+    #[test]
+    fn identical_series_is_zero_t() {
+        let a = [1.0, 2.0, 3.0];
+        let c = paired_t(&a, &a);
+        assert_eq!(c.t, 0.0);
+        assert!(!c.significant());
+    }
+
+    #[test]
+    fn single_trial_never_significant() {
+        let c = paired_t(&[0.5], &[1.5]);
+        assert!(!c.significant());
+    }
+
+    #[test]
+    fn constant_nonzero_difference_is_significant() {
+        // zero variance, nonzero mean → infinite t
+        let a = [1.0, 1.0, 1.0];
+        let b = [2.0, 2.0, 2.0];
+        let c = paired_t(&a, &b);
+        assert!(c.t.is_infinite() && c.t < 0.0);
+        assert!(c.significant());
+    }
+
+    #[test]
+    fn critical_values_decrease_with_df() {
+        assert!(t_critical(1) > t_critical(5));
+        assert!(t_critical(5) > t_critical(30));
+        assert!((t_critical(100) - 1.96).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,102 @@
+//! Inverted dropout. The paper applies dropout 0.4 after every linear layer
+//! (§5.4).
+
+use om_tensor::{Rng, Tensor};
+use rand::RngExt as _;
+
+/// Inverted dropout: at train time each element is zeroed with probability
+/// `rate` and survivors are scaled by `1/(1-rate)`, so evaluation is a
+/// no-op.
+pub struct Dropout {
+    rate: f32,
+}
+
+impl Dropout {
+    /// Create with drop probability `rate ∈ [0, 1)`.
+    pub fn new(rate: f32) -> Dropout {
+        assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0,1)");
+        Dropout { rate }
+    }
+
+    /// The configured drop probability.
+    pub fn rate(&self) -> f32 {
+        self.rate
+    }
+
+    /// Apply dropout. `training = false` (or `rate == 0`) returns the input
+    /// unchanged.
+    pub fn forward(&self, x: &Tensor, training: bool, rng: &mut Rng) -> Tensor {
+        if !training || self.rate == 0.0 {
+            return x.clone();
+        }
+        let keep = 1.0 - self.rate;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..x.numel())
+            .map(|_| if rng.random::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let mask = Tensor::from_vec(mask, x.dims());
+        x.mul(&mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_tensor::seeded_rng;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let d = Dropout::new(0.4);
+        let x = Tensor::ones(&[10]);
+        let y = d.forward(&x, false, &mut seeded_rng(1));
+        assert_eq!(y.to_vec(), vec![1.0; 10]);
+    }
+
+    #[test]
+    fn zero_rate_is_identity_even_training() {
+        let d = Dropout::new(0.0);
+        let x = Tensor::ones(&[10]);
+        let y = d.forward(&x, true, &mut seeded_rng(1));
+        assert_eq!(y.to_vec(), vec![1.0; 10]);
+    }
+
+    #[test]
+    fn surviving_elements_are_rescaled() {
+        let d = Dropout::new(0.5);
+        let x = Tensor::ones(&[1000]);
+        let y = d.forward(&x, true, &mut seeded_rng(2));
+        let v = y.to_vec();
+        assert!(v.iter().all(|&e| e == 0.0 || (e - 2.0).abs() < 1e-6));
+        // roughly half survive
+        let kept = v.iter().filter(|&&e| e > 0.0).count();
+        assert!((350..650).contains(&kept), "kept {kept}");
+    }
+
+    #[test]
+    fn expectation_is_preserved() {
+        let d = Dropout::new(0.4);
+        let x = Tensor::ones(&[20_000]);
+        let y = d.forward(&x, true, &mut seeded_rng(3));
+        let mean: f32 = y.to_vec().iter().sum::<f32>() / 20_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn gradient_respects_mask() {
+        let d = Dropout::new(0.5);
+        let x = Tensor::ones(&[100]).requires_grad();
+        let y = d.forward(&x, true, &mut seeded_rng(4));
+        y.sum_all().backward();
+        let g = x.grad_vec().unwrap();
+        let out = y.to_vec();
+        for (gi, oi) in g.iter().zip(&out) {
+            assert_eq!(gi, oi); // grad equals mask value (0 or 2)
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in")]
+    fn invalid_rate_panics() {
+        let _ = Dropout::new(1.0);
+    }
+}

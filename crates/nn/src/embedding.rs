@@ -1,0 +1,118 @@
+//! Token-embedding lookup table.
+
+use om_tensor::{init, Rng, Tensor};
+
+use crate::module::HasParams;
+
+/// A trainable `[vocab, dim]` embedding table.
+///
+/// In the reproduction this replaces the paper's pretrained 300-d fastText
+/// vectors; `om-text` offers subword-hash initialisation and skip-gram
+/// pretraining to provide the analogous warm start (see DESIGN.md).
+pub struct Embedding {
+    /// The `[vocab, dim]` table.
+    pub table: Tensor,
+}
+
+impl Embedding {
+    /// Randomly initialised table with `N(0, 0.1)` entries.
+    pub fn new(vocab: usize, dim: usize, rng: &mut Rng) -> Embedding {
+        Embedding {
+            table: init::normal(&[vocab, dim], 0.1, rng).requires_grad(),
+        }
+    }
+
+    /// Build from a pre-initialised table (e.g. subword-hash or skip-gram
+    /// pretrained weights).
+    pub fn from_table(table: Tensor) -> Embedding {
+        assert_eq!(table.dims().len(), 2, "embedding table must be 2-D");
+        let table = if table.is_parameter() {
+            table
+        } else {
+            table.requires_grad()
+        };
+        Embedding { table }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.table.dims()[0]
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.table.dims()[1]
+    }
+
+    /// Embed a flat index sequence → `[len, dim]`.
+    pub fn forward(&self, indices: &[usize]) -> Tensor {
+        self.table.embedding_lookup(indices)
+    }
+
+    /// Embed a batch of equal-length documents → `[batch, len, dim]`.
+    pub fn forward_batch(&self, docs: &[Vec<usize>]) -> Tensor {
+        assert!(!docs.is_empty(), "forward_batch: empty batch");
+        let len = docs[0].len();
+        let flat: Vec<usize> = docs
+            .iter()
+            .flat_map(|d| {
+                assert_eq!(d.len(), len, "forward_batch: ragged documents");
+                d.iter().copied()
+            })
+            .collect();
+        self.table
+            .embedding_lookup(&flat)
+            .reshape(&[docs.len(), len, self.dim()])
+    }
+}
+
+impl HasParams for Embedding {
+    fn params(&self) -> Vec<Tensor> {
+        vec![self.table.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_tensor::seeded_rng;
+
+    #[test]
+    fn lookup_shape() {
+        let e = Embedding::new(10, 4, &mut seeded_rng(1));
+        assert_eq!(e.forward(&[1, 2, 3]).dims(), &[3, 4]);
+        assert_eq!(e.vocab(), 10);
+        assert_eq!(e.dim(), 4);
+    }
+
+    #[test]
+    fn batch_shape() {
+        let e = Embedding::new(10, 4, &mut seeded_rng(1));
+        let docs = vec![vec![0, 1], vec![2, 3], vec![4, 5]];
+        assert_eq!(e.forward_batch(&docs).dims(), &[3, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_batch_panics() {
+        let e = Embedding::new(10, 4, &mut seeded_rng(1));
+        let docs = vec![vec![0, 1], vec![2]];
+        let _ = e.forward_batch(&docs);
+    }
+
+    #[test]
+    fn gradient_flows_to_table() {
+        let e = Embedding::new(5, 2, &mut seeded_rng(2));
+        e.forward(&[3, 3]).sum_all().backward();
+        let g = e.table.grad_vec().unwrap();
+        assert_eq!(&g[6..8], &[2.0, 2.0]); // row 3 hit twice
+        assert!(g[0..6].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_table_promotes_to_parameter() {
+        let t = Tensor::zeros(&[4, 3]);
+        let e = Embedding::from_table(t);
+        assert!(e.table.is_parameter());
+    }
+}

@@ -1,0 +1,96 @@
+//! Fully-connected layer: `y = x·W + b`.
+
+use om_tensor::{init, Rng, Tensor};
+
+use crate::module::HasParams;
+
+/// A dense layer mapping `[batch, in] → [batch, out]`.
+pub struct Linear {
+    /// Weight `[in, out]`.
+    pub weight: Tensor,
+    /// Bias `[out]`.
+    pub bias: Tensor,
+}
+
+impl Linear {
+    /// He-initialised dense layer (suits the ReLU stacks of §4.2).
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut Rng) -> Linear {
+        Linear {
+            weight: init::he(in_dim, out_dim, rng).requires_grad(),
+            bias: Tensor::zeros(&[out_dim]).requires_grad(),
+        }
+    }
+
+    /// Xavier-initialised variant (for linear/sigmoid heads).
+    pub fn xavier(in_dim: usize, out_dim: usize, rng: &mut Rng) -> Linear {
+        Linear {
+            weight: init::xavier(in_dim, out_dim, rng).requires_grad(),
+            bias: Tensor::zeros(&[out_dim]).requires_grad(),
+        }
+    }
+
+    /// Input feature width.
+    pub fn in_dim(&self) -> usize {
+        self.weight.dims()[0]
+    }
+
+    /// Output feature width.
+    pub fn out_dim(&self) -> usize {
+        self.weight.dims()[1]
+    }
+
+    /// Affine map.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        x.matmul(&self.weight).add_row(&self.bias)
+    }
+}
+
+impl HasParams for Linear {
+    fn params(&self) -> Vec<Tensor> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_tensor::seeded_rng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = seeded_rng(1);
+        let l = Linear::new(8, 3, &mut rng);
+        let x = Tensor::zeros(&[5, 8]);
+        assert_eq!(l.forward(&x).dims(), &[5, 3]);
+        assert_eq!(l.in_dim(), 8);
+        assert_eq!(l.out_dim(), 3);
+    }
+
+    #[test]
+    fn zero_weight_outputs_bias() {
+        let mut rng = seeded_rng(1);
+        let l = Linear::new(2, 2, &mut rng);
+        l.weight.data_mut().fill(0.0);
+        l.bias.data_mut().copy_from_slice(&[1.5, -2.5]);
+        let y = l.forward(&Tensor::ones(&[1, 2]));
+        assert_eq!(y.to_vec(), vec![1.5, -2.5]);
+    }
+
+    #[test]
+    fn gradients_reach_both_params() {
+        let mut rng = seeded_rng(2);
+        let l = Linear::new(3, 2, &mut rng);
+        let x = Tensor::ones(&[4, 3]);
+        l.forward(&x).sum_all().backward();
+        assert!(l.weight.grad_vec().is_some());
+        assert_eq!(l.bias.grad_vec().unwrap(), vec![4.0, 4.0]);
+    }
+
+    #[test]
+    fn params_exposes_two_tensors() {
+        let mut rng = seeded_rng(3);
+        let l = Linear::new(4, 4, &mut rng);
+        assert_eq!(l.params().len(), 2);
+        assert_eq!(l.num_params(), 16 + 4);
+    }
+}

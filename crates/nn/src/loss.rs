@@ -1,0 +1,259 @@
+//! Loss functions: mean-squared error and the supervised contrastive loss
+//! (Khosla et al. 2020), Eq. 13 of the paper.
+
+use om_tensor::Tensor;
+
+/// Mean squared error between predictions and constant targets.
+pub fn mse_loss(pred: &Tensor, target: &[f32]) -> Tensor {
+    assert_eq!(pred.numel(), target.len(), "mse_loss: length mismatch");
+    let t = Tensor::from_vec(target.to_vec(), pred.dims());
+    pred.sub(&t).square().mean_all()
+}
+
+/// Accumulates the two projected "views" of a training batch — source-side
+/// and target-side user–item pairs (Eq. 11) — together with their rating
+/// labels, then yields the stacked input for [`supcon_loss`].
+///
+/// In the paper's Contrastive Representation Learning Module (§4.3), `I` is
+/// the set of all projected user–item pairs in the batch; positives `P(i)`
+/// are pairs with the same rating label. Because the source and target
+/// projections of the same user–item pair carry the same rating, they are
+/// automatically positives of each other, which is what pulls each user's
+/// source and target representations together (Fig. 3, top); same-rating
+/// pairs from different users converge too (Fig. 3, bottom).
+pub struct SupConBatch {
+    views: Vec<Tensor>,
+    labels: Vec<usize>,
+}
+
+impl SupConBatch {
+    /// Empty batch.
+    pub fn new() -> SupConBatch {
+        SupConBatch {
+            views: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Add a `[n, p]` block of projected pairs with one label per row.
+    pub fn push(&mut self, projected: Tensor, labels: &[usize]) {
+        let (n, _) = projected.shape().as_2d();
+        assert_eq!(n, labels.len(), "SupConBatch: one label per row required");
+        self.views.push(projected);
+        self.labels.extend_from_slice(labels);
+    }
+
+    /// Number of samples accumulated.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Compute the supervised contrastive loss over everything accumulated.
+    pub fn loss(&self, temperature: f32) -> Tensor {
+        assert!(!self.is_empty(), "SupConBatch: empty batch");
+        let refs: Vec<&Tensor> = self.views.iter().collect();
+        let stacked = if refs.len() == 1 {
+            refs[0].clone()
+        } else {
+            // All views share the projection width; stack over rows.
+            let rows: Vec<Tensor> = refs
+                .iter()
+                .flat_map(|t| {
+                    let (n, p) = t.shape().as_2d();
+                    (0..n).map(move |i| t.select_rows(&[i]).reshape(&[p]))
+                })
+                .collect();
+            let row_refs: Vec<&Tensor> = rows.iter().collect();
+            Tensor::stack_rows(&row_refs)
+        };
+        supcon_loss(&stacked, &self.labels, temperature)
+    }
+}
+
+impl Default for SupConBatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Supervised contrastive loss (Eq. 13):
+///
+/// ```text
+/// L = Σ_{i∈I}  -1/|P(i)|  Σ_{p∈P(i)}  log  exp(x̂_i·x̂_p / τ) / Σ_{a∈A(i)} exp(x̂_i·x̂_a / τ)
+/// ```
+///
+/// Rows of `z` are L2-normalised before the dot products so similarities are
+/// bounded by `1/τ`; `P(i)` = other samples with the same label, `A(i)` =
+/// everything but `i` itself. Samples with no positive partner contribute
+/// nothing (the `1/|P(i)|` convention of Khosla et al.). The returned loss
+/// is averaged over the samples that do have positives.
+pub fn supcon_loss(z: &Tensor, labels: &[usize], temperature: f32) -> Tensor {
+    let (n, _) = z.shape().as_2d();
+    assert_eq!(n, labels.len(), "supcon_loss: one label per row required");
+    assert!(temperature > 0.0, "supcon_loss: temperature must be positive");
+    if n < 2 {
+        return Tensor::scalar(0.0);
+    }
+
+    let zn = z.l2_normalize_rows();
+    let sims = zn.matmul(&zn.transpose()).scale(1.0 / temperature); // [n, n]
+
+    // Mask self-similarity out of the log-sum-exp denominator (A(i) = I∖{i}).
+    const NEG: f32 = -1e9;
+    let mut diag_mask = vec![0.0f32; n * n];
+    for i in 0..n {
+        diag_mask[i * n + i] = NEG;
+    }
+    let masked = sims.add(&Tensor::from_vec(diag_mask, &[n, n]));
+    let logp = masked.log_softmax_rows();
+
+    // Positive-pair weights: w[i][p] = 1/|P(i)| for p ∈ P(i).
+    let mut weights = vec![0.0f32; n * n];
+    let mut anchors_with_positives = 0usize;
+    for i in 0..n {
+        let positives: Vec<usize> = (0..n)
+            .filter(|&p| p != i && labels[p] == labels[i])
+            .collect();
+        if positives.is_empty() {
+            continue;
+        }
+        anchors_with_positives += 1;
+        let w = 1.0 / positives.len() as f32;
+        for p in positives {
+            weights[i * n + p] = w;
+        }
+    }
+    if anchors_with_positives == 0 {
+        return Tensor::scalar(0.0);
+    }
+    let w = Tensor::from_vec(weights, &[n, n]);
+    logp.mul(&w)
+        .sum_all()
+        .scale(-1.0 / anchors_with_positives as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_tensor::{gradcheck, init, seeded_rng};
+
+    #[test]
+    fn mse_zero_when_exact() {
+        let p = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        assert_eq!(mse_loss(&p, &[1.0, 2.0]).item(), 0.0);
+    }
+
+    #[test]
+    fn mse_matches_reference() {
+        let p = Tensor::from_vec(vec![1.0, 3.0], &[2]);
+        assert_eq!(mse_loss(&p, &[0.0, 0.0]).item(), 5.0);
+    }
+
+    #[test]
+    fn supcon_zero_without_positives() {
+        let z = init::normal(&[3, 4], 1.0, &mut seeded_rng(1));
+        let loss = supcon_loss(&z, &[0, 1, 2], 0.07);
+        assert_eq!(loss.item(), 0.0);
+    }
+
+    #[test]
+    fn supcon_singleton_batch_is_zero() {
+        let z = Tensor::ones(&[1, 4]);
+        assert_eq!(supcon_loss(&z, &[0], 0.07).item(), 0.0);
+    }
+
+    #[test]
+    fn supcon_prefers_aligned_positives() {
+        // Two positives perfectly aligned, negative orthogonal → lower loss
+        // than positives orthogonal, negative aligned.
+        let good = Tensor::from_vec(
+            vec![1.0, 0.0, 1.0, 0.0, 0.0, 1.0],
+            &[3, 2],
+        );
+        let bad = Tensor::from_vec(
+            vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0],
+            &[3, 2],
+        );
+        let labels = [7usize, 7, 3];
+        let lg = supcon_loss(&good, &labels, 0.1).item();
+        let lb = supcon_loss(&bad, &labels, 0.1).item();
+        assert!(lg < lb, "aligned {lg} should beat misaligned {lb}");
+    }
+
+    #[test]
+    fn supcon_two_samples_no_negatives_is_degenerate_zero() {
+        // With only one candidate in the denominator the log-softmax is 0,
+        // so the loss (and gradient) vanish — matching Eq. 13 exactly.
+        let z = Tensor::from_vec(vec![1.0, 0.2, 0.2, 1.0], &[2, 2]).requires_grad();
+        let loss = supcon_loss(&z, &[5, 5], 0.5);
+        assert!(loss.item().abs() < 1e-6);
+    }
+
+    #[test]
+    fn supcon_gradient_pulls_positives_together() {
+        // Two positives plus one negative: the gradient must increase the
+        // positives' cosine similarity.
+        let z = Tensor::from_vec(
+            vec![1.0, 0.2, 0.2, 1.0, -0.7, 0.6],
+            &[3, 2],
+        )
+        .requires_grad();
+        let loss = supcon_loss(&z, &[5, 5, 9], 0.5);
+        loss.backward();
+        let g = z.grad_vec().unwrap();
+        // Moving each row against its gradient must increase their cosine
+        // similarity (positives attract).
+        let step = 0.1f32;
+        let a = [1.0 - step * g[0], 0.2 - step * g[1]];
+        let b = [0.2 - step * g[2], 1.0 - step * g[3]];
+        let cos = |x: &[f32; 2], y: &[f32; 2]| {
+            let dot = x[0] * y[0] + x[1] * y[1];
+            let nx = (x[0] * x[0] + x[1] * x[1]).sqrt();
+            let ny = (y[0] * y[0] + y[1] * y[1]).sqrt();
+            dot / (nx * ny)
+        };
+        let before = cos(&[1.0, 0.2], &[0.2, 1.0]);
+        let after = cos(&a, &b);
+        assert!(after > before, "cos before {before}, after {after}");
+    }
+
+    #[test]
+    fn supcon_gradcheck() {
+        let z = init::uniform(&[4, 3], -1.0, 1.0, &mut seeded_rng(2)).requires_grad();
+        let labels = [0usize, 0, 1, 1];
+        let r = gradcheck(&z, |z| supcon_loss(z, &labels, 0.2), 1e-2);
+        assert!(r.passes(3e-2), "{r:?}");
+    }
+
+    #[test]
+    fn batch_accumulates_views() {
+        let mut b = SupConBatch::new();
+        assert!(b.is_empty());
+        b.push(Tensor::ones(&[2, 3]), &[1, 2]);
+        b.push(Tensor::zeros(&[2, 3]), &[1, 2]);
+        assert_eq!(b.len(), 4);
+        let loss = b.loss(0.07);
+        assert!(loss.item().is_finite());
+    }
+
+    #[test]
+    fn batch_two_views_equals_manual_stack() {
+        let a = init::normal(&[2, 3], 1.0, &mut seeded_rng(3));
+        let b = init::normal(&[2, 3], 1.0, &mut seeded_rng(4));
+        let mut batch = SupConBatch::new();
+        batch.push(a.clone(), &[1, 2]);
+        batch.push(b.clone(), &[1, 2]);
+        let via_batch = batch.loss(0.1).item();
+
+        let mut stacked = a.to_vec();
+        stacked.extend(b.to_vec());
+        let z = Tensor::from_vec(stacked, &[4, 3]);
+        let manual = supcon_loss(&z, &[1, 2, 1, 2], 0.1).item();
+        assert!((via_batch - manual).abs() < 1e-5);
+    }
+}

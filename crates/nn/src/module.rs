@@ -1,0 +1,80 @@
+//! Parameter collection: the minimal "module system" the dynamic graph
+//! needs. A module is any struct that can enumerate its trainable tensors.
+
+use om_tensor::Tensor;
+
+/// Implemented by every layer/model that owns trainable parameters.
+///
+/// `params()` returns handles (cheap `Rc` clones) to the *live* parameter
+/// tensors, so optimizers mutate the same storage the forward pass reads.
+pub trait HasParams {
+    /// All trainable parameters of this module, in a stable order.
+    fn params(&self) -> Vec<Tensor>;
+
+    /// Total number of trainable scalars.
+    fn num_params(&self) -> usize {
+        self.params().iter().map(Tensor::numel).sum()
+    }
+
+    /// Clear accumulated gradients on every parameter.
+    fn zero_grad(&self) {
+        for p in self.params() {
+            p.zero_grad();
+        }
+    }
+}
+
+/// Collect the parameters of several modules into one flat list (e.g. to
+/// hand the whole model to one optimizer).
+pub fn collect_params(modules: &[&dyn HasParams]) -> Vec<Tensor> {
+    modules.iter().flat_map(|m| m.params()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Toy {
+        w: Tensor,
+        b: Tensor,
+    }
+
+    impl HasParams for Toy {
+        fn params(&self) -> Vec<Tensor> {
+            vec![self.w.clone(), self.b.clone()]
+        }
+    }
+
+    #[test]
+    fn num_params_counts_scalars() {
+        let t = Toy {
+            w: Tensor::zeros(&[3, 4]).requires_grad(),
+            b: Tensor::zeros(&[4]).requires_grad(),
+        };
+        assert_eq!(t.num_params(), 16);
+    }
+
+    #[test]
+    fn zero_grad_clears_all() {
+        let t = Toy {
+            w: Tensor::zeros(&[2]).requires_grad(),
+            b: Tensor::zeros(&[2]).requires_grad(),
+        };
+        t.w.accumulate_grad(&[1.0, 1.0]);
+        t.zero_grad();
+        assert!(t.w.grad_vec().is_none());
+    }
+
+    #[test]
+    fn collect_flattens() {
+        let a = Toy {
+            w: Tensor::zeros(&[1]).requires_grad(),
+            b: Tensor::zeros(&[1]).requires_grad(),
+        };
+        let b = Toy {
+            w: Tensor::zeros(&[1]).requires_grad(),
+            b: Tensor::zeros(&[1]).requires_grad(),
+        };
+        assert_eq!(collect_params(&[&a, &b]).len(), 4);
+    }
+}

@@ -1,0 +1,298 @@
+//! First-order optimizers. The paper trains with Adadelta
+//! (lr = 0.02, ρ = 0.95, §5.4); SGD and Adam are provided for the baselines
+//! and ablations.
+
+use std::collections::HashMap;
+
+use om_tensor::Tensor;
+
+/// Common optimizer interface: owns handles to the parameters it updates.
+pub trait Optimizer {
+    /// Apply one update using the gradients currently accumulated on the
+    /// parameters, then leave gradients untouched (call
+    /// [`Optimizer::zero_grad`] to clear them).
+    fn step(&mut self);
+
+    /// Clear gradients on all managed parameters.
+    fn zero_grad(&mut self);
+
+    /// The managed parameters.
+    fn params(&self) -> &[Tensor];
+}
+
+fn apply_update(param: &Tensor, update: impl Fn(usize, f32, f32) -> f32) {
+    let grad = match param.grad_vec() {
+        Some(g) => g,
+        None => return, // parameter unused this step
+    };
+    let mut data = param.data_mut();
+    for (i, (d, g)) in data.iter_mut().zip(grad.iter()).enumerate() {
+        *d = update(i, *d, *g);
+    }
+}
+
+// --------------------------------------------------------------------- SGD
+
+/// Stochastic gradient descent with optional momentum.
+pub struct Sgd {
+    params: Vec<Tensor>,
+    lr: f32,
+    momentum: f32,
+    velocity: HashMap<u64, Vec<f32>>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(params: Vec<Tensor>, lr: f32) -> Sgd {
+        Sgd::with_momentum(params, lr, 0.0)
+    }
+
+    /// SGD with heavy-ball momentum.
+    pub fn with_momentum(params: Vec<Tensor>, lr: f32, momentum: f32) -> Sgd {
+        Sgd {
+            params,
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self) {
+        for p in &self.params {
+            let grad = match p.grad_vec() {
+                Some(g) => g,
+                None => continue,
+            };
+            if self.momentum > 0.0 {
+                let v = self
+                    .velocity
+                    .entry(p.id())
+                    .or_insert_with(|| vec![0.0; p.numel()]);
+                let mut data = p.data_mut();
+                for ((d, g), vi) in data.iter_mut().zip(&grad).zip(v.iter_mut()) {
+                    *vi = self.momentum * *vi + g;
+                    *d -= self.lr * *vi;
+                }
+            } else {
+                apply_update(p, |_, d, g| d - self.lr * g);
+            }
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+}
+
+// -------------------------------------------------------------------- Adam
+
+/// Adam (Kingma & Ba) with bias correction.
+pub struct Adam {
+    params: Vec<Tensor>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: HashMap<u64, Vec<f32>>,
+    v: HashMap<u64, Vec<f32>>,
+}
+
+impl Adam {
+    /// Adam with the standard (0.9, 0.999) betas.
+    pub fn new(params: Vec<Tensor>, lr: f32) -> Adam {
+        Adam {
+            params,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for p in &self.params {
+            let grad = match p.grad_vec() {
+                Some(g) => g,
+                None => continue,
+            };
+            let m = self.m.entry(p.id()).or_insert_with(|| vec![0.0; p.numel()]);
+            let v = self.v.entry(p.id()).or_insert_with(|| vec![0.0; p.numel()]);
+            let mut data = p.data_mut();
+            for i in 0..grad.len() {
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grad[i];
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                data[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+}
+
+// ---------------------------------------------------------------- Adadelta
+
+/// Adadelta (Zeiler 2012) — the optimizer the paper uses, with
+/// lr = 0.02 and ρ = 0.95 (§5.4).
+pub struct Adadelta {
+    params: Vec<Tensor>,
+    lr: f32,
+    rho: f32,
+    eps: f32,
+    sq_avg: HashMap<u64, Vec<f32>>,
+    acc_delta: HashMap<u64, Vec<f32>>,
+}
+
+impl Adadelta {
+    /// Build with explicit hyper-parameters.
+    pub fn new(params: Vec<Tensor>, lr: f32, rho: f32) -> Adadelta {
+        Adadelta {
+            params,
+            lr,
+            rho,
+            eps: 1e-6,
+            sq_avg: HashMap::new(),
+            acc_delta: HashMap::new(),
+        }
+    }
+
+    /// The paper's configuration: lr 0.02, ρ 0.95.
+    pub fn paper(params: Vec<Tensor>) -> Adadelta {
+        Adadelta::new(params, 0.02, 0.95)
+    }
+}
+
+impl Optimizer for Adadelta {
+    fn step(&mut self) {
+        for p in &self.params {
+            let grad = match p.grad_vec() {
+                Some(g) => g,
+                None => continue,
+            };
+            let sq = self
+                .sq_avg
+                .entry(p.id())
+                .or_insert_with(|| vec![0.0; p.numel()]);
+            let acc = self
+                .acc_delta
+                .entry(p.id())
+                .or_insert_with(|| vec![0.0; p.numel()]);
+            let mut data = p.data_mut();
+            for i in 0..grad.len() {
+                let g = grad[i];
+                sq[i] = self.rho * sq[i] + (1.0 - self.rho) * g * g;
+                let delta = ((acc[i] + self.eps).sqrt() / (sq[i] + self.eps).sqrt()) * g;
+                acc[i] = self.rho * acc[i] + (1.0 - self.rho) * delta * delta;
+                data[i] -= self.lr * delta;
+            }
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quadratic bowl: loss = Σ (x - target)²; every optimizer must descend.
+    fn quadratic_descends(mut make: impl FnMut(Vec<Tensor>) -> Box<dyn Optimizer>) -> f32 {
+        let x = Tensor::from_vec(vec![5.0, -3.0], &[2]).requires_grad();
+        let mut opt = make(vec![x.clone()]);
+        let mut last = f32::INFINITY;
+        for _ in 0..2000 {
+            opt.zero_grad();
+            let loss = x.square().sum_all();
+            loss.backward();
+            opt.step();
+            last = loss.item();
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_descends() {
+        let end = quadratic_descends(|p| Box::new(Sgd::new(p, 0.1)));
+        assert!(end < 1e-4, "final loss {end}");
+    }
+
+    #[test]
+    fn sgd_momentum_descends() {
+        let end = quadratic_descends(|p| Box::new(Sgd::with_momentum(p, 0.05, 0.9)));
+        assert!(end < 1e-4, "final loss {end}");
+    }
+
+    #[test]
+    fn adam_descends() {
+        let end = quadratic_descends(|p| Box::new(Adam::new(p, 0.1)));
+        assert!(end < 1e-2, "final loss {end}");
+    }
+
+    #[test]
+    fn adadelta_descends() {
+        let end = quadratic_descends(|p| Box::new(Adadelta::new(p, 1.0, 0.9)));
+        assert!(end < 1.0, "final loss {end}"); // adadelta starts slowly
+    }
+
+    #[test]
+    fn unused_parameter_is_skipped() {
+        let used = Tensor::from_vec(vec![1.0], &[1]).requires_grad();
+        let unused = Tensor::from_vec(vec![9.0], &[1]).requires_grad();
+        let mut opt = Sgd::new(vec![used.clone(), unused.clone()], 0.5);
+        used.square().sum_all().backward();
+        opt.step();
+        assert_eq!(unused.to_vec(), vec![9.0]);
+        assert!(used.to_vec()[0] < 1.0);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let x = Tensor::ones(&[1]).requires_grad();
+        let mut opt = Adam::new(vec![x.clone()], 0.1);
+        x.square().sum_all().backward();
+        assert!(x.grad_vec().is_some());
+        opt.zero_grad();
+        assert!(x.grad_vec().is_none());
+    }
+
+    #[test]
+    fn paper_adadelta_settings() {
+        let opt = Adadelta::paper(vec![]);
+        assert_eq!(opt.lr, 0.02);
+        assert_eq!(opt.rho, 0.95);
+    }
+}

@@ -1,0 +1,198 @@
+//! Binary checkpointing of parameter sets.
+//!
+//! Format (little-endian, via `bytes`):
+//!
+//! ```text
+//! magic "OMCK" | u32 version | u32 tensor count |
+//!   per tensor: u32 ndim | u64 dims[ndim] | f32 data[numel]
+//! ```
+//!
+//! Loading restores *values into* an existing parameter list (shapes must
+//! match), which keeps optimizer state and graph wiring intact.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use om_tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"OMCK";
+const VERSION: u32 = 1;
+
+/// Errors raised while decoding a checkpoint.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Buffer does not start with the `OMCK` magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Buffer ended before the declared payload.
+    Truncated,
+    /// Checkpoint tensor count differs from the target parameter list.
+    CountMismatch { expected: usize, found: usize },
+    /// A tensor's shape differs from the corresponding parameter.
+    ShapeMismatch { index: usize },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not an OMCK checkpoint"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::CountMismatch { expected, found } => {
+                write!(f, "expected {expected} tensors, found {found}")
+            }
+            CheckpointError::ShapeMismatch { index } => {
+                write!(f, "shape mismatch at tensor {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Serialise a parameter list to bytes.
+pub fn save_params(params: &[Tensor]) -> Bytes {
+    let payload: usize = params
+        .iter()
+        .map(|p| 4 + 8 * p.dims().len() + 4 * p.numel())
+        .sum();
+    let mut buf = BytesMut::with_capacity(12 + payload);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(params.len() as u32);
+    for p in params {
+        buf.put_u32_le(p.dims().len() as u32);
+        for &d in p.dims() {
+            buf.put_u64_le(d as u64);
+        }
+        for &v in p.data().iter() {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Restore values into `params` from a checkpoint produced by
+/// [`save_params`]. Order and shapes must match.
+pub fn load_params(params: &[Tensor], bytes: &[u8]) -> Result<(), CheckpointError> {
+    let mut buf = bytes;
+    if buf.remaining() < 12 {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let count = buf.get_u32_le() as usize;
+    if count != params.len() {
+        return Err(CheckpointError::CountMismatch {
+            expected: params.len(),
+            found: count,
+        });
+    }
+    for (index, p) in params.iter().enumerate() {
+        if buf.remaining() < 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let ndim = buf.get_u32_le() as usize;
+        if buf.remaining() < 8 * ndim {
+            return Err(CheckpointError::Truncated);
+        }
+        let dims: Vec<usize> = (0..ndim).map(|_| buf.get_u64_le() as usize).collect();
+        if dims != p.dims() {
+            return Err(CheckpointError::ShapeMismatch { index });
+        }
+        let numel: usize = dims.iter().product();
+        if buf.remaining() < 4 * numel {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut data = p.data_mut();
+        for v in data.iter_mut() {
+            *v = buf.get_f32_le();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_tensor::{init, seeded_rng};
+
+    fn sample_params() -> Vec<Tensor> {
+        let mut rng = seeded_rng(11);
+        vec![
+            init::normal(&[3, 4], 1.0, &mut rng).requires_grad(),
+            init::normal(&[4], 1.0, &mut rng).requires_grad(),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_restores_values() {
+        let src = sample_params();
+        let bytes = save_params(&src);
+        let dst = vec![
+            Tensor::zeros(&[3, 4]).requires_grad(),
+            Tensor::zeros(&[4]).requires_grad(),
+        ];
+        load_params(&dst, &bytes).unwrap();
+        for (a, b) in src.iter().zip(&dst) {
+            assert_eq!(a.to_vec(), b.to_vec());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let dst = sample_params();
+        assert_eq!(
+            load_params(&dst, b"NOPE________"),
+            Err(CheckpointError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let src = sample_params();
+        let bytes = save_params(&src[..1]);
+        let err = load_params(&src, &bytes).unwrap_err();
+        assert_eq!(
+            err,
+            CheckpointError::CountMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let src = sample_params();
+        let bytes = save_params(&src);
+        let dst = vec![
+            Tensor::zeros(&[4, 3]).requires_grad(),
+            Tensor::zeros(&[4]).requires_grad(),
+        ];
+        assert_eq!(
+            load_params(&dst, &bytes),
+            Err(CheckpointError::ShapeMismatch { index: 0 })
+        );
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let src = sample_params();
+        let bytes = save_params(&src);
+        let cut = &bytes[..bytes.len() - 5];
+        assert_eq!(load_params(&src, cut), Err(CheckpointError::Truncated));
+    }
+
+    #[test]
+    fn empty_param_list_roundtrips() {
+        let bytes = save_params(&[]);
+        load_params(&[], &bytes).unwrap();
+    }
+}

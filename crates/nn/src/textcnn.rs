@@ -1,0 +1,151 @@
+//! The TextCNN feature extractor of §4.2: parallel 1-D convolutions with
+//! kernel widths (3, 4, 5) over embedded review documents, ReLU, and
+//! max-over-time pooling (Eqs. 4–7). Output width = `kernels × filters`.
+
+use om_tensor::{init, Rng, Tensor};
+
+use crate::module::HasParams;
+
+/// One convolution branch of a given kernel width.
+struct ConvBranch {
+    width: usize,
+    /// `[width * emb_dim, filters]` — convolution expressed as unfold+matmul.
+    weight: Tensor,
+    bias: Tensor,
+}
+
+/// Multi-width text convolution with max-over-time pooling.
+pub struct TextCnn {
+    emb_dim: usize,
+    filters: usize,
+    branches: Vec<ConvBranch>,
+}
+
+impl TextCnn {
+    /// Build with the paper's kernel widths `(3, 4, 5)` by default; any
+    /// non-empty width set is accepted.
+    pub fn new(emb_dim: usize, kernel_widths: &[usize], filters: usize, rng: &mut Rng) -> TextCnn {
+        assert!(!kernel_widths.is_empty(), "TextCnn: need at least one kernel width");
+        assert!(filters > 0, "TextCnn: need at least one filter");
+        let branches = kernel_widths
+            .iter()
+            .map(|&w| ConvBranch {
+                width: w,
+                weight: init::he(w * emb_dim, filters, rng).requires_grad(),
+                bias: Tensor::zeros(&[filters]).requires_grad(),
+            })
+            .collect();
+        TextCnn {
+            emb_dim,
+            filters,
+            branches,
+        }
+    }
+
+    /// Output feature width: `kernel_widths.len() * filters`.
+    pub fn out_dim(&self) -> usize {
+        self.branches.len() * self.filters
+    }
+
+    /// Minimum document length this extractor accepts (the widest kernel).
+    pub fn min_len(&self) -> usize {
+        self.branches.iter().map(|b| b.width).max().unwrap_or(1)
+    }
+
+    /// Forward pass over a batch of embedded documents `[batch, len, emb]`
+    /// → pooled features `[batch, out_dim]` (Eqs. 4–7).
+    pub fn forward(&self, embedded: &Tensor) -> Tensor {
+        let dims = embedded.dims();
+        assert_eq!(dims.len(), 3, "TextCnn expects [batch, len, emb]");
+        let (b, l, d) = (dims[0], dims[1], dims[2]);
+        assert_eq!(d, self.emb_dim, "TextCnn: embedding width mismatch");
+        assert!(
+            l >= self.min_len(),
+            "TextCnn: document length {l} shorter than widest kernel {}",
+            self.min_len()
+        );
+        let pooled: Vec<Tensor> = self
+            .branches
+            .iter()
+            .map(|br| {
+                let t = l - br.width + 1;
+                let windows = embedded.unfold_windows(br.width); // [b*t, w*d]
+                let z = windows
+                    .matmul(&br.weight)
+                    .add_row(&br.bias)
+                    .relu()
+                    .reshape(&[b, t, self.filters]);
+                z.max_over_time() // [b, filters]
+            })
+            .collect();
+        let refs: Vec<&Tensor> = pooled.iter().collect();
+        Tensor::concat_cols(&refs)
+    }
+}
+
+impl HasParams for TextCnn {
+    fn params(&self) -> Vec<Tensor> {
+        self.branches
+            .iter()
+            .flat_map(|b| [b.weight.clone(), b.bias.clone()])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_tensor::seeded_rng;
+
+    #[test]
+    fn paper_configuration_shapes() {
+        let mut rng = seeded_rng(1);
+        let cnn = TextCnn::new(16, &[3, 4, 5], 20, &mut rng);
+        assert_eq!(cnn.out_dim(), 60);
+        assert_eq!(cnn.min_len(), 5);
+        let x = Tensor::zeros(&[2, 12, 16]);
+        assert_eq!(cnn.forward(&x).dims(), &[2, 60]);
+    }
+
+    #[test]
+    fn single_kernel_matches_manual_conv() {
+        // kernel width 1 over a single 1-d "embedding": conv == matmul.
+        let mut rng = seeded_rng(2);
+        let cnn = TextCnn::new(1, &[1], 1, &mut rng);
+        cnn.branches[0].weight.data_mut()[0] = 2.0;
+        cnn.branches[0].bias.data_mut()[0] = 0.5;
+        // doc [1, 3, 1] = [1, -1, 4] → relu(2x + .5) per pos → max = 8.5
+        let x = Tensor::from_vec(vec![1.0, -1.0, 4.0], &[1, 3, 1]);
+        let y = cnn.forward(&x);
+        assert_eq!(y.to_vec(), vec![8.5]);
+    }
+
+    #[test]
+    fn gradients_flow_through_all_branches() {
+        let mut rng = seeded_rng(3);
+        let cnn = TextCnn::new(4, &[2, 3], 5, &mut rng);
+        let x = om_tensor::init::normal(&[2, 6, 4], 1.0, &mut rng);
+        cnn.forward(&x).sum_all().backward();
+        for p in cnn.params() {
+            assert!(p.grad_vec().is_some(), "missing grad on {p:?}");
+        }
+    }
+
+    #[test]
+    fn params_count() {
+        let mut rng = seeded_rng(4);
+        let cnn = TextCnn::new(8, &[3, 4, 5], 10, &mut rng);
+        // per branch: w*8*10 weights + 10 bias
+        let expected = (3 * 8 * 10 + 10) + (4 * 8 * 10 + 10) + (5 * 8 * 10 + 10);
+        assert_eq!(cnn.num_params(), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than widest kernel")]
+    fn short_document_panics() {
+        let mut rng = seeded_rng(5);
+        let cnn = TextCnn::new(4, &[5], 2, &mut rng);
+        let x = Tensor::zeros(&[1, 3, 4]);
+        let _ = cnn.forward(&x);
+    }
+}

@@ -1,0 +1,241 @@
+//! A small transformer encoder used as the drop-in feature extractor for the
+//! paper's `OmniMatch-BERT` ablation row (Table 5).
+//!
+//! The paper found that a large contextual encoder *underperforms* the
+//! TextCNN on short review summaries (overfitting, no locality prior). A
+//! compact pre-norm encoder trained from scratch reproduces that qualitative
+//! behaviour without a pretrained-checkpoint dependency (see DESIGN.md).
+
+use om_tensor::{init, Rng, Tensor};
+
+use crate::linear::Linear;
+use crate::module::HasParams;
+
+struct AttentionHead {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+}
+
+struct EncoderLayer {
+    heads: Vec<AttentionHead>,
+    wo: Linear,
+    ff1: Linear,
+    ff2: Linear,
+    ln1_gain: Tensor,
+    ln1_bias: Tensor,
+    ln2_gain: Tensor,
+    ln2_bias: Tensor,
+}
+
+impl EncoderLayer {
+    fn new(dim: usize, n_heads: usize, ff_dim: usize, rng: &mut Rng) -> EncoderLayer {
+        assert!(dim % n_heads == 0, "dim must divide by head count");
+        let head_dim = dim / n_heads;
+        EncoderLayer {
+            heads: (0..n_heads)
+                .map(|_| AttentionHead {
+                    wq: Linear::xavier(dim, head_dim, rng),
+                    wk: Linear::xavier(dim, head_dim, rng),
+                    wv: Linear::xavier(dim, head_dim, rng),
+                })
+                .collect(),
+            wo: Linear::xavier(dim, dim, rng),
+            ff1: Linear::new(dim, ff_dim, rng),
+            ff2: Linear::xavier(ff_dim, dim, rng),
+            ln1_gain: Tensor::ones(&[dim]).requires_grad(),
+            ln1_bias: Tensor::zeros(&[dim]).requires_grad(),
+            ln2_gain: Tensor::ones(&[dim]).requires_grad(),
+            ln2_bias: Tensor::zeros(&[dim]).requires_grad(),
+        }
+    }
+
+    fn layer_norm(x: &Tensor, gain: &Tensor, bias: &Tensor) -> Tensor {
+        x.layer_norm_rows().mul_row(gain).add_row(bias)
+    }
+
+    /// Pre-norm encoder layer over one sequence `[len, dim]`.
+    fn forward(&self, x: &Tensor) -> Tensor {
+        let head_dim = self.heads[0].wq.out_dim();
+        let scale = 1.0 / (head_dim as f32).sqrt();
+        let normed = Self::layer_norm(x, &self.ln1_gain, &self.ln1_bias);
+        let head_outputs: Vec<Tensor> = self
+            .heads
+            .iter()
+            .map(|h| {
+                let q = h.wq.forward(&normed);
+                let k = h.wk.forward(&normed);
+                let v = h.wv.forward(&normed);
+                let attn = q.matmul(&k.transpose()).scale(scale).softmax_rows();
+                attn.matmul(&v) // [len, head_dim]
+            })
+            .collect();
+        let refs: Vec<&Tensor> = head_outputs.iter().collect();
+        let mha = self.wo.forward(&Tensor::concat_cols(&refs));
+        let x = x.add(&mha);
+        let normed2 = Self::layer_norm(&x, &self.ln2_gain, &self.ln2_bias);
+        let ff = self.ff2.forward(&self.ff1.forward(&normed2).relu());
+        x.add(&ff)
+    }
+}
+
+impl HasParams for EncoderLayer {
+    fn params(&self) -> Vec<Tensor> {
+        let mut p: Vec<Tensor> = self
+            .heads
+            .iter()
+            .flat_map(|h| {
+                [h.wq.params(), h.wk.params(), h.wv.params()]
+                    .into_iter()
+                    .flatten()
+            })
+            .collect();
+        p.extend(self.wo.params());
+        p.extend(self.ff1.params());
+        p.extend(self.ff2.params());
+        p.extend([
+            self.ln1_gain.clone(),
+            self.ln1_bias.clone(),
+            self.ln2_gain.clone(),
+            self.ln2_bias.clone(),
+        ]);
+        p
+    }
+}
+
+/// A compact BERT-style encoder: learned positional embeddings, `n` pre-norm
+/// self-attention layers, mean pooling over time.
+pub struct TransformerEncoder {
+    dim: usize,
+    max_len: usize,
+    pos_emb: Tensor,
+    layers: Vec<EncoderLayer>,
+}
+
+impl TransformerEncoder {
+    /// Build an encoder for sequences up to `max_len` tokens of width `dim`.
+    pub fn new(
+        dim: usize,
+        n_heads: usize,
+        ff_dim: usize,
+        n_layers: usize,
+        max_len: usize,
+        rng: &mut Rng,
+    ) -> TransformerEncoder {
+        assert!(n_layers >= 1, "need at least one encoder layer");
+        TransformerEncoder {
+            dim,
+            max_len,
+            pos_emb: init::normal(&[max_len, dim], 0.02, rng).requires_grad(),
+            layers: (0..n_layers)
+                .map(|_| EncoderLayer::new(dim, n_heads, ff_dim, rng))
+                .collect(),
+        }
+    }
+
+    /// Output width (same as input embedding width).
+    pub fn out_dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Encode a batch of embedded documents `[batch, len, dim]` into pooled
+    /// features `[batch, dim]`.
+    pub fn forward(&self, embedded: &Tensor) -> Tensor {
+        let dims = embedded.dims();
+        assert_eq!(dims.len(), 3, "TransformerEncoder expects [batch, len, dim]");
+        let (b, l, d) = (dims[0], dims[1], dims[2]);
+        assert_eq!(d, self.dim, "embedding width mismatch");
+        assert!(l <= self.max_len, "sequence longer than max_len");
+        let flat = embedded.reshape(&[b * l, d]);
+        let positions: Vec<usize> = (0..l).collect();
+        let pos = self.pos_emb.embedding_lookup(&positions); // [l, d]
+        let pooled: Vec<Tensor> = (0..b)
+            .map(|bi| {
+                let rows: Vec<usize> = (bi * l..(bi + 1) * l).collect();
+                let mut x = flat.select_rows(&rows).add(&pos);
+                for layer in &self.layers {
+                    x = layer.forward(&x);
+                }
+                x.mean_rows() // [d]
+            })
+            .collect();
+        let refs: Vec<&Tensor> = pooled.iter().collect();
+        Tensor::stack_rows(&refs)
+    }
+}
+
+impl HasParams for TransformerEncoder {
+    fn params(&self) -> Vec<Tensor> {
+        let mut p = vec![self.pos_emb.clone()];
+        p.extend(self.layers.iter().flat_map(|l| l.params()));
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use om_tensor::seeded_rng;
+
+    #[test]
+    fn output_shape() {
+        let mut rng = seeded_rng(1);
+        let enc = TransformerEncoder::new(8, 2, 16, 2, 10, &mut rng);
+        let x = om_tensor::init::normal(&[3, 6, 8], 1.0, &mut rng);
+        let y = enc.forward(&x);
+        assert_eq!(y.dims(), &[3, 8]);
+        assert_eq!(enc.out_dim(), 8);
+    }
+
+    #[test]
+    fn gradients_reach_every_parameter() {
+        let mut rng = seeded_rng(2);
+        let enc = TransformerEncoder::new(4, 2, 8, 1, 6, &mut rng);
+        let x = om_tensor::init::normal(&[2, 4, 4], 1.0, &mut rng).requires_grad();
+        enc.forward(&x).square().mean_all().backward();
+        for p in enc.params() {
+            assert!(p.grad_vec().is_some(), "missing grad");
+        }
+        assert!(x.grad_vec().is_some());
+    }
+
+    #[test]
+    fn samples_are_independent() {
+        // Changing sample 1 must not change sample 0's encoding.
+        let mut rng = seeded_rng(3);
+        let enc = TransformerEncoder::new(4, 1, 8, 1, 6, &mut rng);
+        let base = om_tensor::init::normal(&[2, 3, 4], 1.0, &mut seeded_rng(4));
+        let y0 = enc.forward(&base).to_vec()[..4].to_vec();
+        let mut altered = base.to_vec();
+        for v in altered[12..].iter_mut() {
+            *v += 5.0;
+        }
+        let altered = Tensor::from_vec(altered, &[2, 3, 4]);
+        let y0_after = enc.forward(&altered).to_vec()[..4].to_vec();
+        assert_eq!(y0, y0_after);
+    }
+
+    #[test]
+    fn position_matters() {
+        // Swapping token order must change the encoding (positional signal).
+        let mut rng = seeded_rng(5);
+        let enc = TransformerEncoder::new(4, 1, 8, 1, 6, &mut rng);
+        let a = om_tensor::init::normal(&[1, 2, 4], 1.0, &mut seeded_rng(6));
+        let av = a.to_vec();
+        let mut swapped = av[4..8].to_vec();
+        swapped.extend_from_slice(&av[0..4]);
+        let b = Tensor::from_vec(swapped, &[1, 2, 4]);
+        let ya = enc.forward(&a).to_vec();
+        let yb = enc.forward(&b).to_vec();
+        assert_ne!(ya, yb);
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than max_len")]
+    fn overlong_sequence_panics() {
+        let mut rng = seeded_rng(7);
+        let enc = TransformerEncoder::new(4, 1, 8, 1, 3, &mut rng);
+        let x = Tensor::zeros(&[1, 5, 4]);
+        let _ = enc.forward(&x);
+    }
+}

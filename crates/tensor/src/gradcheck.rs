@@ -1,0 +1,169 @@
+//! Finite-difference gradient checking.
+//!
+//! Every differentiable op in this crate is validated against a central
+//! finite difference by property tests. f32 arithmetic limits attainable
+//! precision; a relative tolerance around `1e-2` with an absolute floor is
+//! the standard working regime.
+
+use crate::Tensor;
+
+/// Outcome of a gradient check for a single parameter tensor.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Maximum relative error over all coordinates.
+    pub max_rel_err: f32,
+    /// Coordinate where the maximum occurred.
+    pub worst_index: usize,
+    /// Analytic gradient at the worst coordinate.
+    pub analytic: f32,
+    /// Numeric gradient at the worst coordinate.
+    pub numeric: f32,
+}
+
+impl GradCheckReport {
+    /// Whether the check passed at the given tolerance.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_rel_err <= tol
+    }
+}
+
+/// Compare the analytic gradient of `f` with central finite differences.
+///
+/// `f` must build a fresh graph from `param` each call and return a scalar
+/// loss tensor. `param` must be a parameter (requires_grad). Returns the
+/// worst-coordinate report.
+pub fn gradcheck<F>(param: &Tensor, f: F, eps: f32) -> GradCheckReport
+where
+    F: Fn(&Tensor) -> Tensor,
+{
+    assert!(param.is_parameter(), "gradcheck target must be a parameter");
+    // Analytic pass.
+    param.zero_grad();
+    let loss = f(param);
+    assert_eq!(loss.numel(), 1, "gradcheck requires a scalar loss");
+    loss.backward();
+    let analytic = param
+        .grad_vec()
+        .unwrap_or_else(|| vec![0.0; param.numel()]);
+
+    // Numeric pass, coordinate by coordinate.
+    let n = param.numel();
+    let mut max_rel = 0.0f32;
+    let mut worst = 0usize;
+    let mut worst_pair = (0.0f32, 0.0f32);
+    for i in 0..n {
+        let orig = param.at(i);
+        param.data_mut()[i] = orig + eps;
+        let plus = f(param).item();
+        param.data_mut()[i] = orig - eps;
+        let minus = f(param).item();
+        param.data_mut()[i] = orig;
+        let numeric = (plus - minus) / (2.0 * eps);
+        let denom = analytic[i].abs().max(numeric.abs()).max(1e-3);
+        let rel = (analytic[i] - numeric).abs() / denom;
+        if rel > max_rel {
+            max_rel = rel;
+            worst = i;
+            worst_pair = (analytic[i], numeric);
+        }
+    }
+    GradCheckReport {
+        max_rel_err: max_rel,
+        worst_index: worst,
+        analytic: worst_pair.0,
+        numeric: worst_pair.1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{init, seeded_rng, Tensor};
+
+    const TOL: f32 = 2e-2;
+    const EPS: f32 = 1e-2;
+
+    fn param(dims: &[usize], seed: u64) -> Tensor {
+        init::uniform(dims, -1.0, 1.0, &mut seeded_rng(seed)).requires_grad()
+    }
+
+    #[test]
+    fn gradcheck_matmul() {
+        let w = param(&[3, 4], 10);
+        let x = init::uniform(&[2, 3], -1.0, 1.0, &mut seeded_rng(11));
+        let r = gradcheck(&w, |w| x.matmul(w).square().mean_all(), EPS);
+        assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn gradcheck_relu_chain() {
+        let w = param(&[4, 4], 12);
+        let x = init::uniform(&[3, 4], -1.0, 1.0, &mut seeded_rng(13));
+        let r = gradcheck(&w, |w| x.matmul(w).relu().mean_all(), EPS);
+        assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn gradcheck_log_softmax_nll() {
+        let w = param(&[4, 5], 14);
+        let x = init::uniform(&[3, 4], -1.0, 1.0, &mut seeded_rng(15));
+        let r = gradcheck(&w, |w| x.matmul(w).cross_entropy(&[0, 3, 2]), EPS);
+        assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn gradcheck_l2_normalize() {
+        let w = param(&[3, 6], 16);
+        let m = init::uniform(&[3, 6], -1.0, 1.0, &mut seeded_rng(17));
+        let r = gradcheck(&w, |w| w.l2_normalize_rows().mul(&m).sum_all(), EPS);
+        assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn gradcheck_unfold_maxpool() {
+        let w = param(&[1, 5, 3], 18);
+        let r = gradcheck(
+            &w,
+            |w| {
+                let u = w.unfold_windows(2); // [4, 6]
+                u.reshape(&[1, 4, 6]).max_over_time().square().mean_all()
+            },
+            EPS,
+        );
+        assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn gradcheck_embedding() {
+        let table = param(&[6, 3], 19);
+        let r = gradcheck(
+            &table,
+            |t| t.embedding_lookup(&[0, 2, 2, 5]).square().mean_all(),
+            EPS,
+        );
+        assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn gradcheck_concat_sigmoid() {
+        let w = param(&[2, 3], 20);
+        let other = init::uniform(&[2, 2], -1.0, 1.0, &mut seeded_rng(21));
+        let r = gradcheck(
+            &w,
+            |w| Tensor::concat_cols(&[w, &other]).sigmoid().mean_all(),
+            EPS,
+        );
+        assert!(r.passes(TOL), "{r:?}");
+    }
+
+    #[test]
+    fn gradcheck_tanh_exp_log_chain() {
+        let w = param(&[2, 2], 22);
+        let r = gradcheck(
+            &w,
+            |w| w.tanh_act().exp().log().square().mean_all(),
+            EPS,
+        );
+        assert!(r.passes(TOL), "{r:?}");
+    }
+}

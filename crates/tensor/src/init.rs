@@ -1,0 +1,94 @@
+//! Deterministic weight initialisers over a seeded RNG.
+
+use rand::RngExt as _;
+
+use crate::{Rng, Tensor};
+
+/// Sample one standard normal value via Box–Muller (the `rand` crate alone
+/// is on the dependency allowlist; `rand_distr` is not).
+pub fn sample_normal(rng: &mut Rng) -> f32 {
+    // Guard against log(0).
+    let u1: f32 = rng.random::<f32>().max(1e-12);
+    let u2: f32 = rng.random::<f32>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// A tensor with entries drawn from `N(0, std²)`.
+pub fn normal(dims: &[usize], std: f32, rng: &mut Rng) -> Tensor {
+    let n: usize = dims.iter().product();
+    let data: Vec<f32> = (0..n).map(|_| sample_normal(rng) * std).collect();
+    Tensor::from_vec(data, dims)
+}
+
+/// A tensor with entries drawn uniformly from `[lo, hi)`.
+pub fn uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut Rng) -> Tensor {
+    let n: usize = dims.iter().product();
+    let data: Vec<f32> = (0..n).map(|_| rng.random_range(lo..hi)).collect();
+    Tensor::from_vec(data, dims)
+}
+
+/// Xavier/Glorot uniform initialisation for a `[fan_in, fan_out]` weight.
+pub fn xavier(fan_in: usize, fan_out: usize, rng: &mut Rng) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(&[fan_in, fan_out], -bound, bound, rng)
+}
+
+/// He (Kaiming) normal initialisation, suited to ReLU stacks like the
+/// paper's extractors.
+pub fn he(fan_in: usize, fan_out: usize, rng: &mut Rng) -> Tensor {
+    let std = (2.0 / fan_in as f32).sqrt();
+    normal(&[fan_in, fan_out], std, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = normal(&[4, 4], 1.0, &mut seeded_rng(7));
+        let b = normal(&[4, 4], 1.0, &mut seeded_rng(7));
+        assert_eq!(a.to_vec(), b.to_vec());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = normal(&[4, 4], 1.0, &mut seeded_rng(7));
+        let b = normal(&[4, 4], 1.0, &mut seeded_rng(8));
+        assert_ne!(a.to_vec(), b.to_vec());
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = seeded_rng(42);
+        let t = normal(&[10_000], 2.0, &mut rng);
+        let d = t.to_vec();
+        let mean: f32 = d.iter().sum::<f32>() / d.len() as f32;
+        let var: f32 = d.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / d.len() as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = seeded_rng(1);
+        let t = uniform(&[1000], -0.5, 0.5, &mut rng);
+        assert!(t.to_vec().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn xavier_bound_shrinks_with_fan() {
+        let mut rng = seeded_rng(1);
+        let w = xavier(300, 300, &mut rng);
+        let bound = (6.0f32 / 600.0).sqrt();
+        assert!(w.to_vec().iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn he_shapes() {
+        let mut rng = seeded_rng(3);
+        let w = he(64, 32, &mut rng);
+        assert_eq!(w.dims(), &[64, 32]);
+    }
+}

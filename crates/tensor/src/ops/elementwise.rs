@@ -1,0 +1,402 @@
+//! Elementwise arithmetic and activations.
+
+use super::{acc, wants_grad};
+use crate::Tensor;
+
+impl Tensor {
+    fn assert_same_shape(&self, other: &Tensor, op: &str) {
+        assert_eq!(
+            self.dims(),
+            other.dims(),
+            "{op}: shape mismatch {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+    }
+
+    /// Elementwise addition of two same-shape tensors.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.assert_same_shape(other, "add");
+        let out: Vec<f32> = {
+            let a = self.data();
+            let b = other.data();
+            a.iter().zip(b.iter()).map(|(x, y)| x + y).collect()
+        };
+        Tensor::from_op(
+            out,
+            self.dims(),
+            vec![self.clone(), other.clone()],
+            Box::new(move |g, parents| {
+                acc(&parents[0], g);
+                acc(&parents[1], g);
+            }),
+        )
+    }
+
+    /// Elementwise subtraction `self - other`.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.assert_same_shape(other, "sub");
+        let out: Vec<f32> = {
+            let a = self.data();
+            let b = other.data();
+            a.iter().zip(b.iter()).map(|(x, y)| x - y).collect()
+        };
+        Tensor::from_op(
+            out,
+            self.dims(),
+            vec![self.clone(), other.clone()],
+            Box::new(move |g, parents| {
+                acc(&parents[0], g);
+                if wants_grad(&parents[1]) {
+                    let neg: Vec<f32> = g.iter().map(|x| -x).collect();
+                    acc(&parents[1], &neg);
+                }
+            }),
+        )
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.assert_same_shape(other, "mul");
+        let out: Vec<f32> = {
+            let a = self.data();
+            let b = other.data();
+            a.iter().zip(b.iter()).map(|(x, y)| x * y).collect()
+        };
+        Tensor::from_op(
+            out,
+            self.dims(),
+            vec![self.clone(), other.clone()],
+            Box::new(move |g, parents| {
+                let (pa, pb) = (&parents[0], &parents[1]);
+                if wants_grad(pa) {
+                    let b = pb.data();
+                    let ga: Vec<f32> = g.iter().zip(b.iter()).map(|(x, y)| x * y).collect();
+                    acc(pa, &ga);
+                }
+                if wants_grad(pb) {
+                    let a = pa.data();
+                    let gb: Vec<f32> = g.iter().zip(a.iter()).map(|(x, y)| x * y).collect();
+                    acc(pb, &gb);
+                }
+            }),
+        )
+    }
+
+    /// Multiply every element by a scalar.
+    pub fn scale(&self, c: f32) -> Tensor {
+        let out: Vec<f32> = self.data().iter().map(|x| x * c).collect();
+        Tensor::from_op(
+            out,
+            self.dims(),
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                if wants_grad(&parents[0]) {
+                    let gp: Vec<f32> = g.iter().map(|x| x * c).collect();
+                    acc(&parents[0], &gp);
+                }
+            }),
+        )
+    }
+
+    /// Add a scalar to every element.
+    pub fn add_scalar(&self, c: f32) -> Tensor {
+        let out: Vec<f32> = self.data().iter().map(|x| x + c).collect();
+        Tensor::from_op(
+            out,
+            self.dims(),
+            vec![self.clone()],
+            Box::new(move |g, parents| acc(&parents[0], g)),
+        )
+    }
+
+    /// Negate every element.
+    pub fn neg(&self) -> Tensor {
+        self.scale(-1.0)
+    }
+
+    /// Broadcast-add a row vector `[n]` to every row of a `[..., n]` tensor.
+    /// This is the bias pattern of a dense layer.
+    pub fn add_row(&self, row: &Tensor) -> Tensor {
+        let (_, n) = self.shape().as_2d();
+        assert_eq!(
+            row.numel(),
+            n,
+            "add_row: row length {} does not match last dim {}",
+            row.numel(),
+            n
+        );
+        let out: Vec<f32> = {
+            let a = self.data();
+            let b = row.data();
+            a.iter()
+                .enumerate()
+                .map(|(i, x)| x + b[i % n])
+                .collect()
+        };
+        Tensor::from_op(
+            out,
+            self.dims(),
+            vec![self.clone(), row.clone()],
+            Box::new(move |g, parents| {
+                acc(&parents[0], g);
+                if wants_grad(&parents[1]) {
+                    let mut gb = vec![0.0f32; n];
+                    for (i, x) in g.iter().enumerate() {
+                        gb[i % n] += x;
+                    }
+                    acc(&parents[1], &gb);
+                }
+            }),
+        )
+    }
+
+    /// Broadcast-multiply a row vector `[n]` into every row of a `[..., n]`
+    /// tensor. This is the gain pattern of layer normalisation.
+    pub fn mul_row(&self, row: &Tensor) -> Tensor {
+        let (_, n) = self.shape().as_2d();
+        assert_eq!(
+            row.numel(),
+            n,
+            "mul_row: row length {} does not match last dim {}",
+            row.numel(),
+            n
+        );
+        let out: Vec<f32> = {
+            let a = self.data();
+            let b = row.data();
+            a.iter().enumerate().map(|(i, x)| x * b[i % n]).collect()
+        };
+        Tensor::from_op(
+            out,
+            self.dims(),
+            vec![self.clone(), row.clone()],
+            Box::new(move |g, parents| {
+                let (pa, pb) = (&parents[0], &parents[1]);
+                if wants_grad(pa) {
+                    let b = pb.data();
+                    let ga: Vec<f32> = g.iter().enumerate().map(|(i, x)| x * b[i % n]).collect();
+                    acc(pa, &ga);
+                }
+                if wants_grad(pb) {
+                    let a = pa.data();
+                    let mut gb = vec![0.0f32; n];
+                    for (i, x) in g.iter().enumerate() {
+                        gb[i % n] += x * a[i];
+                    }
+                    acc(pb, &gb);
+                }
+            }),
+        )
+    }
+
+    /// Rectified linear unit, the paper's activation (Eq. 5).
+    pub fn relu(&self) -> Tensor {
+        let out: Vec<f32> = self.data().iter().map(|&x| x.max(0.0)).collect();
+        let mask: Vec<bool> = self.data().iter().map(|&x| x > 0.0).collect();
+        Tensor::from_op(
+            out,
+            self.dims(),
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                if wants_grad(&parents[0]) {
+                    let gp: Vec<f32> = g
+                        .iter()
+                        .zip(mask.iter())
+                        .map(|(&x, &m)| if m { x } else { 0.0 })
+                        .collect();
+                    acc(&parents[0], &gp);
+                }
+            }),
+        )
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Tensor {
+        let out: Vec<f32> = self
+            .data()
+            .iter()
+            .map(|&x| 1.0 / (1.0 + (-x).exp()))
+            .collect();
+        let saved = out.clone();
+        Tensor::from_op(
+            out,
+            self.dims(),
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                if wants_grad(&parents[0]) {
+                    let gp: Vec<f32> = g
+                        .iter()
+                        .zip(saved.iter())
+                        .map(|(&gy, &y)| gy * y * (1.0 - y))
+                        .collect();
+                    acc(&parents[0], &gp);
+                }
+            }),
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh_act(&self) -> Tensor {
+        let out: Vec<f32> = self.data().iter().map(|&x| x.tanh()).collect();
+        let saved = out.clone();
+        Tensor::from_op(
+            out,
+            self.dims(),
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                if wants_grad(&parents[0]) {
+                    let gp: Vec<f32> = g
+                        .iter()
+                        .zip(saved.iter())
+                        .map(|(&gy, &y)| gy * (1.0 - y * y))
+                        .collect();
+                    acc(&parents[0], &gp);
+                }
+            }),
+        )
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Tensor {
+        let out: Vec<f32> = self.data().iter().map(|&x| x.exp()).collect();
+        let saved = out.clone();
+        Tensor::from_op(
+            out,
+            self.dims(),
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                if wants_grad(&parents[0]) {
+                    let gp: Vec<f32> = g
+                        .iter()
+                        .zip(saved.iter())
+                        .map(|(&gy, &y)| gy * y)
+                        .collect();
+                    acc(&parents[0], &gp);
+                }
+            }),
+        )
+    }
+
+    /// Elementwise natural logarithm (inputs must be positive).
+    pub fn log(&self) -> Tensor {
+        let saved = self.to_vec();
+        let out: Vec<f32> = saved.iter().map(|&x| x.ln()).collect();
+        Tensor::from_op(
+            out,
+            self.dims(),
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                if wants_grad(&parents[0]) {
+                    let gp: Vec<f32> = g
+                        .iter()
+                        .zip(saved.iter())
+                        .map(|(&gy, &x)| gy / x)
+                        .collect();
+                    acc(&parents[0], &gp);
+                }
+            }),
+        )
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Tensor {
+        self.mul(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn add_forward_backward() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).requires_grad();
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]).requires_grad();
+        let y = a.add(&b).sum_all();
+        assert_eq!(y.item(), 10.0);
+        y.backward();
+        assert_eq!(a.grad_vec().unwrap(), vec![1.0, 1.0]);
+        assert_eq!(b.grad_vec().unwrap(), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn sub_backward_negates_rhs() {
+        let a = Tensor::from_vec(vec![5.0, 5.0], &[2]).requires_grad();
+        let b = Tensor::from_vec(vec![1.0, 2.0], &[2]).requires_grad();
+        let y = a.sub(&b).sum_all();
+        y.backward();
+        assert_eq!(a.grad_vec().unwrap(), vec![1.0, 1.0]);
+        assert_eq!(b.grad_vec().unwrap(), vec![-1.0, -1.0]);
+    }
+
+    #[test]
+    fn mul_backward_is_cross() {
+        let a = Tensor::from_vec(vec![2.0, 3.0], &[2]).requires_grad();
+        let b = Tensor::from_vec(vec![5.0, 7.0], &[2]).requires_grad();
+        let y = a.mul(&b).sum_all();
+        assert_eq!(y.item(), 31.0);
+        y.backward();
+        assert_eq!(a.grad_vec().unwrap(), vec![5.0, 7.0]);
+        assert_eq!(b.grad_vec().unwrap(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn scale_and_add_scalar() {
+        let a = Tensor::from_vec(vec![1.0, -2.0], &[2]).requires_grad();
+        let y = a.scale(3.0).add_scalar(1.0).sum_all();
+        assert_eq!(y.item(), 3.0 - 6.0 + 2.0);
+        y.backward();
+        assert_eq!(a.grad_vec().unwrap(), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn add_row_broadcasts_bias() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).requires_grad();
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]).requires_grad();
+        let y = x.add_row(&b);
+        assert_eq!(y.to_vec(), vec![11.0, 22.0, 13.0, 24.0]);
+        y.sum_all().backward();
+        assert_eq!(b.grad_vec().unwrap(), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_kills_negative_gradient() {
+        let x = Tensor::from_vec(vec![-1.0, 2.0], &[2]).requires_grad();
+        let y = x.relu();
+        assert_eq!(y.to_vec(), vec![0.0, 2.0]);
+        y.sum_all().backward();
+        assert_eq!(x.grad_vec().unwrap(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_tanh_exp_log_forward() {
+        let x = Tensor::from_vec(vec![0.0], &[1]);
+        assert!(close(x.sigmoid().item(), 0.5));
+        assert!(close(x.tanh_act().item(), 0.0));
+        assert!(close(x.exp().item(), 1.0));
+        let e = Tensor::from_vec(vec![std::f32::consts::E], &[1]);
+        assert!(close(e.log().item(), 1.0));
+    }
+
+    #[test]
+    fn square_matches_mul_self() {
+        let x = Tensor::from_vec(vec![3.0, -4.0], &[2]).requires_grad();
+        let y = x.square().sum_all();
+        assert_eq!(y.item(), 25.0);
+        y.backward();
+        assert_eq!(x.grad_vec().unwrap(), vec![6.0, -8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_shape_mismatch_panics() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        let _ = a.add(&b);
+    }
+}

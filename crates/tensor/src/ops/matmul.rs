@@ -1,0 +1,157 @@
+//! Dense 2-D matrix multiplication and transposition.
+
+use super::{acc, wants_grad};
+use crate::Tensor;
+
+/// Raw row-major GEMM: `c[m,n] += a[m,k] * b[k,n]`.
+///
+/// A simple ikj loop order keeps the inner loop contiguous, which is the
+/// single most important cache optimisation for this access pattern.
+pub(crate) fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_ip * b_v;
+            }
+        }
+    }
+}
+
+/// Raw transpose of a row-major `[m,n]` matrix into `[n,m]`.
+pub(crate) fn transpose_raw(a: &[f32], m: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = a[i * n + j];
+        }
+    }
+    out
+}
+
+impl Tensor {
+    /// Matrix product of `self [m,k]` and `other [k,n]` → `[m,n]`.
+    ///
+    /// Tensors with more than two axes are treated as 2-D by flattening the
+    /// leading axes (see [`crate::Shape::as_2d`]).
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, k) = self.shape().as_2d();
+        let (k2, n) = other.shape().as_2d();
+        assert_eq!(
+            k, k2,
+            "matmul: inner dims mismatch {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = vec![0.0f32; m * n];
+        gemm(&self.data(), &other.data(), &mut out, m, k, n);
+        Tensor::from_op(
+            out,
+            &[m, n],
+            vec![self.clone(), other.clone()],
+            Box::new(move |g, parents| {
+                // dA = dC · Bᵀ ; dB = Aᵀ · dC
+                let (pa, pb) = (&parents[0], &parents[1]);
+                if wants_grad(pa) {
+                    let bt = transpose_raw(&pb.data(), k, n);
+                    let mut ga = vec![0.0f32; m * k];
+                    gemm(g, &bt, &mut ga, m, n, k);
+                    acc(pa, &ga);
+                }
+                if wants_grad(pb) {
+                    let at = transpose_raw(&pa.data(), m, k);
+                    let mut gb = vec![0.0f32; k * n];
+                    gemm(&at, g, &mut gb, k, m, n);
+                    acc(pb, &gb);
+                }
+            }),
+        )
+    }
+
+    /// Transpose a 2-D tensor.
+    pub fn transpose(&self) -> Tensor {
+        let (m, n) = self.shape().as_2d();
+        let out = transpose_raw(&self.data(), m, n);
+        Tensor::from_op(
+            out,
+            &[n, m],
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                if wants_grad(&parents[0]) {
+                    let gt = transpose_raw(g, n, m);
+                    acc(&parents[0], &gt);
+                }
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    #[test]
+    fn matmul_forward() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.to_vec(), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_backward() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).requires_grad();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).requires_grad();
+        let y = a.matmul(&b).sum_all();
+        y.backward();
+        // dA = 1·Bᵀ summed: each row of dA = column sums of B rows
+        assert_eq!(a.grad_vec().unwrap(), vec![11.0, 15.0, 11.0, 15.0]);
+        assert_eq!(b.grad_vec().unwrap(), vec![4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]);
+        let b = Tensor::from_vec(vec![2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], &[2, 4]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[3, 4]);
+        assert_eq!(&c.to_vec()[0..4], &[2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(&c.to_vec()[4..8], &[6.0, 7.0, 8.0, 9.0]);
+        assert_eq!(&c.to_vec()[8..12], &[8.0, 10.0, 12.0, 14.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let t = a.transpose();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.to_vec(), vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert_eq!(t.transpose().to_vec(), a.to_vec());
+    }
+
+    #[test]
+    fn transpose_backward() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).requires_grad();
+        let w = Tensor::from_vec(vec![1.0, 10.0, 100.0, 1000.0], &[2, 2]);
+        let y = a.transpose().mul(&w).sum_all();
+        y.backward();
+        // grad wrt a[i][j] = w[j][i]
+        assert_eq!(a.grad_vec().unwrap(), vec![1.0, 100.0, 10.0, 1000.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims mismatch")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        let _ = a.matmul(&b);
+    }
+}

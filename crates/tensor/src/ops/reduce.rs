@@ -1,0 +1,139 @@
+//! Reductions over all elements or single axes.
+
+use super::{acc, wants_grad};
+use crate::Tensor;
+
+impl Tensor {
+    /// Sum of all elements, as a scalar tensor.
+    pub fn sum_all(&self) -> Tensor {
+        let s: f32 = self.data().iter().sum();
+        let n = self.numel();
+        Tensor::from_op(
+            vec![s],
+            &[1],
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                if wants_grad(&parents[0]) {
+                    let gp = vec![g[0]; n];
+                    acc(&parents[0], &gp);
+                }
+            }),
+        )
+    }
+
+    /// Mean of all elements, as a scalar tensor.
+    pub fn mean_all(&self) -> Tensor {
+        let n = self.numel() as f32;
+        self.sum_all().scale(1.0 / n)
+    }
+
+    /// Sum over rows of a 2-D view: `[m, n] -> [n]`.
+    pub fn sum_rows(&self) -> Tensor {
+        let (m, n) = self.shape().as_2d();
+        let d = self.data();
+        let mut out = vec![0.0f32; n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j] += d[i * n + j];
+            }
+        }
+        drop(d);
+        Tensor::from_op(
+            out,
+            &[n],
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                if wants_grad(&parents[0]) {
+                    let mut gp = vec![0.0f32; m * n];
+                    for i in 0..m {
+                        gp[i * n..(i + 1) * n].copy_from_slice(g);
+                    }
+                    acc(&parents[0], &gp);
+                }
+            }),
+        )
+    }
+
+    /// Sum over columns of a 2-D view: `[m, n] -> [m]`.
+    pub fn sum_cols(&self) -> Tensor {
+        let (m, n) = self.shape().as_2d();
+        let d = self.data();
+        let out: Vec<f32> = (0..m).map(|i| d[i * n..(i + 1) * n].iter().sum()).collect();
+        drop(d);
+        Tensor::from_op(
+            out,
+            &[m],
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                if wants_grad(&parents[0]) {
+                    let mut gp = vec![0.0f32; m * n];
+                    for i in 0..m {
+                        for j in 0..n {
+                            gp[i * n + j] = g[i];
+                        }
+                    }
+                    acc(&parents[0], &gp);
+                }
+            }),
+        )
+    }
+
+    /// Mean over columns of a 2-D view: `[m, n] -> [m]`.
+    pub fn mean_cols(&self) -> Tensor {
+        let (_, n) = self.shape().as_2d();
+        self.sum_cols().scale(1.0 / n as f32)
+    }
+
+    /// Mean over rows of a 2-D view: `[m, n] -> [n]`. This is the batch-mean
+    /// used for pooled statistics.
+    pub fn mean_rows(&self) -> Tensor {
+        let (m, _) = self.shape().as_2d();
+        self.sum_rows().scale(1.0 / m as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    #[test]
+    fn sum_all_and_mean_all() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).requires_grad();
+        let s = x.sum_all();
+        assert_eq!(s.item(), 10.0);
+        let m = x.mean_all();
+        assert_eq!(m.item(), 2.5);
+        m.backward();
+        assert_eq!(x.grad_vec().unwrap(), vec![0.25; 4]);
+    }
+
+    #[test]
+    fn sum_rows_collapses_batch() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).requires_grad();
+        let r = x.sum_rows();
+        assert_eq!(r.to_vec(), vec![5.0, 7.0, 9.0]);
+        r.sum_all().backward();
+        assert_eq!(x.grad_vec().unwrap(), vec![1.0; 6]);
+    }
+
+    #[test]
+    fn sum_cols_collapses_features() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).requires_grad();
+        let c = x.sum_cols();
+        assert_eq!(c.to_vec(), vec![6.0, 15.0]);
+        // weight rows differently to check the backward spread
+        let w = Tensor::from_vec(vec![1.0, 10.0], &[2]);
+        c.mul(&w).sum_all().backward();
+        assert_eq!(
+            x.grad_vec().unwrap(),
+            vec![1.0, 1.0, 1.0, 10.0, 10.0, 10.0]
+        );
+    }
+
+    #[test]
+    fn mean_cols_and_rows() {
+        let x = Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0], &[2, 2]);
+        assert_eq!(x.mean_cols().to_vec(), vec![3.0, 7.0]);
+        assert_eq!(x.mean_rows().to_vec(), vec![4.0, 6.0]);
+    }
+}

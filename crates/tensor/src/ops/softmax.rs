@@ -1,0 +1,165 @@
+//! Row-wise (log-)softmax and the fused negative-log-likelihood gather used
+//! by classification losses.
+
+use super::{acc, wants_grad};
+use crate::Tensor;
+
+/// Numerically-stable log-softmax of one row, written into `out`.
+fn log_softmax_row(row: &[f32], out: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for &x in row {
+        sum += (x - max).exp();
+    }
+    let lse = max + sum.ln();
+    for (o, &x) in out.iter_mut().zip(row) {
+        *o = x - lse;
+    }
+}
+
+impl Tensor {
+    /// Log-softmax over the last axis of a 2-D view: each row becomes a
+    /// log-probability distribution.
+    pub fn log_softmax_rows(&self) -> Tensor {
+        let (m, n) = self.shape().as_2d();
+        let d = self.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            log_softmax_row(&d[i * n..(i + 1) * n], &mut out[i * n..(i + 1) * n]);
+        }
+        drop(d);
+        let saved = out.clone();
+        Tensor::from_op(
+            out,
+            self.dims(),
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                if wants_grad(&parents[0]) {
+                    // d log_softmax: dx = g - softmax(x) * sum(g) per row
+                    let mut gp = vec![0.0f32; m * n];
+                    for i in 0..m {
+                        let gs: f32 = g[i * n..(i + 1) * n].iter().sum();
+                        for j in 0..n {
+                            let sm = saved[i * n + j].exp();
+                            gp[i * n + j] = g[i * n + j] - sm * gs;
+                        }
+                    }
+                    acc(&parents[0], &gp);
+                }
+            }),
+        )
+    }
+
+    /// Softmax over the last axis of a 2-D view.
+    pub fn softmax_rows(&self) -> Tensor {
+        self.log_softmax_rows().exp()
+    }
+
+    /// Fused NLL gather: given row-wise log-probabilities `[m, n]` and one
+    /// target class per row, return the mean negative log-likelihood as a
+    /// scalar. This is the second half of softmax cross-entropy.
+    pub fn nll_gather(&self, targets: &[usize]) -> Tensor {
+        let (m, n) = self.shape().as_2d();
+        assert_eq!(targets.len(), m, "nll_gather: one target per row required");
+        for (&t, i) in targets.iter().zip(0..) {
+            assert!(t < n, "nll_gather: target {t} out of range at row {i}");
+        }
+        let d = self.data();
+        let loss: f32 = targets
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| -d[i * n + t])
+            .sum::<f32>()
+            / m as f32;
+        drop(d);
+        let tgts = targets.to_vec();
+        Tensor::from_op(
+            vec![loss],
+            &[1],
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                if wants_grad(&parents[0]) {
+                    let mut gp = vec![0.0f32; m * n];
+                    let scale = g[0] / m as f32;
+                    for (i, &t) in tgts.iter().enumerate() {
+                        gp[i * n + t] = -scale;
+                    }
+                    acc(&parents[0], &gp);
+                }
+            }),
+        )
+    }
+
+    /// Softmax cross-entropy with integer class targets; the standard
+    /// classification loss (used for both the rating classifier of Eq. 19
+    /// and the domain classifiers of Eqs. 15/17).
+    pub fn cross_entropy(&self, targets: &[usize]) -> Tensor {
+        self.log_softmax_rows().nll_gather(targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn log_softmax_rows_normalises() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1.0, 1.0, 1.0], &[2, 3]);
+        let y = x.log_softmax_rows();
+        for i in 0..2 {
+            let total: f32 = y.to_vec()[i * 3..(i + 1) * 3].iter().map(|l| l.exp()).sum();
+            assert!(close(total, 1.0), "row {i} sums to {total}");
+        }
+        // uniform row → log(1/3)
+        assert!(close(y.to_vec()[3], (1.0f32 / 3.0).ln()));
+    }
+
+    #[test]
+    fn log_softmax_is_shift_invariant() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let y = x.log_softmax_rows().to_vec();
+        let x2 = Tensor::from_vec(vec![1001.0, 1002.0, 1003.0], &[1, 3]);
+        let y2 = x2.log_softmax_rows().to_vec();
+        for (a, b) in y.iter().zip(y2.iter()) {
+            // f32 ulp at magnitude 1e3 dominates; tolerance accordingly.
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_small() {
+        let x = Tensor::from_vec(vec![100.0, 0.0, 0.0, 0.0, 100.0, 0.0], &[2, 3]);
+        let loss = x.cross_entropy(&[0, 1]);
+        assert!(loss.item() < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_n() {
+        let x = Tensor::zeros(&[4, 5]);
+        let loss = x.cross_entropy(&[0, 1, 2, 3]);
+        assert!(close(loss.item(), (5.0f32).ln()));
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_softmax_minus_onehot() {
+        let x = Tensor::from_vec(vec![0.5, -0.5, 1.5], &[1, 3]).requires_grad();
+        let loss = x.cross_entropy(&[2]);
+        loss.backward();
+        let sm = x.softmax_rows().to_vec();
+        let g = x.grad_vec().unwrap();
+        assert!(close(g[0], sm[0]));
+        assert!(close(g[1], sm[1]));
+        assert!(close(g[2], sm[2] - 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn nll_gather_rejects_bad_target() {
+        let x = Tensor::zeros(&[1, 3]);
+        let _ = x.nll_gather(&[5]);
+    }
+}

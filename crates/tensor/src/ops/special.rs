@@ -1,0 +1,218 @@
+//! Special-purpose ops for domain adversarial training and contrastive
+//! projection: gradient scaling/reversal and L2 row normalisation.
+
+use super::{acc, wants_grad};
+use crate::Tensor;
+
+impl Tensor {
+    /// Gradient-scaled identity: forward is a copy, backward multiplies the
+    /// upstream gradient by `c`.
+    ///
+    /// With `c = -λ` this is the Gradient Reversal Layer of Ganin &
+    /// Lempitsky used by the Domain Adversarial Training Module (§4.4): the
+    /// domain classifier downstream trains normally while the feature
+    /// extractor upstream receives reversed gradients, realising the
+    /// min–max objective of Eqs. 15/17.
+    pub fn grad_scale(&self, c: f32) -> Tensor {
+        Tensor::from_op(
+            self.to_vec(),
+            self.dims(),
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                if wants_grad(&parents[0]) {
+                    let gp: Vec<f32> = g.iter().map(|x| x * c).collect();
+                    acc(&parents[0], &gp);
+                }
+            }),
+        )
+    }
+
+    /// Gradient reversal with strength `lambda` (convenience wrapper).
+    pub fn gradient_reversal(&self, lambda: f32) -> Tensor {
+        self.grad_scale(-lambda)
+    }
+
+    /// L2-normalise every row of a 2-D view: `y_i = x_i / max(‖x_i‖, ε)`.
+    ///
+    /// Projected user–item pair embeddings are normalised before the
+    /// supervised contrastive loss so the dot products of Eq. 13 are cosine
+    /// similarities bounded by 1/τ, which keeps the loss well-conditioned.
+    pub fn l2_normalize_rows(&self) -> Tensor {
+        const EPS: f32 = 1e-8;
+        let (m, n) = self.shape().as_2d();
+        let x = self.to_vec();
+        let mut out = vec![0.0f32; m * n];
+        let mut norms = vec![0.0f32; m];
+        for i in 0..m {
+            let row = &x[i * n..(i + 1) * n];
+            let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(EPS);
+            norms[i] = norm;
+            for j in 0..n {
+                out[i * n + j] = row[j] / norm;
+            }
+        }
+        let saved_y = out.clone();
+        Tensor::from_op(
+            out,
+            self.dims(),
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                if wants_grad(&parents[0]) {
+                    // dx = (g - y (y·g)) / ‖x‖ per row
+                    let mut gp = vec![0.0f32; m * n];
+                    for i in 0..m {
+                        let y = &saved_y[i * n..(i + 1) * n];
+                        let gi = &g[i * n..(i + 1) * n];
+                        let dot: f32 = y.iter().zip(gi).map(|(a, b)| a * b).sum();
+                        for j in 0..n {
+                            gp[i * n + j] = (gi[j] - y[j] * dot) / norms[i];
+                        }
+                    }
+                    acc(&parents[0], &gp);
+                }
+            }),
+        )
+    }
+}
+
+impl Tensor {
+    /// Row-wise layer normalisation (no affine): each row of a 2-D view is
+    /// standardised to zero mean and unit variance. Affine gain/bias, when
+    /// wanted, compose via [`Tensor::mul_row`] and
+    /// [`Tensor::add_row`].
+    pub fn layer_norm_rows(&self) -> Tensor {
+        const EPS: f32 = 1e-5;
+        let (m, n) = self.shape().as_2d();
+        let x = self.to_vec();
+        let mut out = vec![0.0f32; m * n];
+        let mut inv_std = vec![0.0f32; m];
+        for i in 0..m {
+            let row = &x[i * n..(i + 1) * n];
+            let mean = row.iter().sum::<f32>() / n as f32;
+            let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n as f32;
+            let is = 1.0 / (var + EPS).sqrt();
+            inv_std[i] = is;
+            for j in 0..n {
+                out[i * n + j] = (row[j] - mean) * is;
+            }
+        }
+        let saved_y = out.clone();
+        Tensor::from_op(
+            out,
+            self.dims(),
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                if wants_grad(&parents[0]) {
+                    // dx = inv_std * (g - mean(g) - y * mean(g ∘ y)) per row
+                    let mut gp = vec![0.0f32; m * n];
+                    for i in 0..m {
+                        let y = &saved_y[i * n..(i + 1) * n];
+                        let gi = &g[i * n..(i + 1) * n];
+                        let mg = gi.iter().sum::<f32>() / n as f32;
+                        let mgy = gi.iter().zip(y).map(|(a, b)| a * b).sum::<f32>() / n as f32;
+                        for j in 0..n {
+                            gp[i * n + j] = inv_std[i] * (gi[j] - mg - y[j] * mgy);
+                        }
+                    }
+                    acc(&parents[0], &gp);
+                }
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tensor;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn grad_scale_forward_is_identity() {
+        let x = Tensor::from_vec(vec![1.0, -2.0], &[2]);
+        assert_eq!(x.grad_scale(-0.5).to_vec(), vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn gradient_reversal_flips_sign() {
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[2]).requires_grad();
+        let y = x.gradient_reversal(1.0).sum_all();
+        y.backward();
+        assert_eq!(x.grad_vec().unwrap(), vec![-1.0, -1.0]);
+    }
+
+    #[test]
+    fn gradient_reversal_scales_by_lambda() {
+        let x = Tensor::from_vec(vec![1.0], &[1]).requires_grad();
+        x.gradient_reversal(0.25).sum_all().backward();
+        assert_eq!(x.grad_vec().unwrap(), vec![-0.25]);
+    }
+
+    #[test]
+    fn l2_normalize_rows_unit_norm() {
+        let x = Tensor::from_vec(vec![3.0, 4.0, 0.0, 5.0], &[2, 2]);
+        let y = x.l2_normalize_rows();
+        assert!(close(y.to_vec()[0], 0.6));
+        assert!(close(y.to_vec()[1], 0.8));
+        assert!(close(y.to_vec()[2], 0.0));
+        assert!(close(y.to_vec()[3], 1.0));
+    }
+
+    #[test]
+    fn l2_normalize_gradient_orthogonal_to_output() {
+        // The gradient of any function of y wrt x must be orthogonal to y
+        // (norm direction carries no signal).
+        let x = Tensor::from_vec(vec![1.0, 2.0, 2.0], &[1, 3]).requires_grad();
+        let y = x.l2_normalize_rows();
+        let w = Tensor::from_vec(vec![1.0, 0.0, 0.0], &[1, 3]);
+        y.mul(&w).sum_all().backward();
+        let g = x.grad_vec().unwrap();
+        let xv = vec![1.0, 2.0, 2.0];
+        let dot: f32 = g.iter().zip(&xv).map(|(a, b)| a * b).sum();
+        assert!(dot.abs() < 1e-5, "grad not orthogonal: {dot}");
+    }
+
+    #[test]
+    fn l2_normalize_zero_row_is_safe() {
+        let x = Tensor::zeros(&[1, 3]);
+        let y = x.l2_normalize_rows();
+        assert_eq!(y.to_vec(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn layer_norm_standardises_rows() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0], &[2, 3]);
+        let y = x.layer_norm_rows().to_vec();
+        for row in 0..2 {
+            let r = &y[row * 3..(row + 1) * 3];
+            let mean: f32 = r.iter().sum::<f32>() / 3.0;
+            let var: f32 = r.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 3.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+        // scale invariance of the standardised output
+        assert!(close(y[0], y[3]));
+    }
+
+    #[test]
+    fn layer_norm_gradcheck() {
+        use crate::{gradcheck, init, seeded_rng};
+        let w = init::uniform(&[2, 5], -1.0, 1.0, &mut seeded_rng(33)).requires_grad();
+        let m = init::uniform(&[2, 5], -1.0, 1.0, &mut seeded_rng(34));
+        let r = gradcheck(&w, |w| w.layer_norm_rows().mul(&m).sum_all(), 1e-2);
+        assert!(r.passes(3e-2), "{r:?}");
+    }
+
+    #[test]
+    fn mul_row_broadcasts_gain() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).requires_grad();
+        let g = Tensor::from_vec(vec![10.0, 100.0], &[2]).requires_grad();
+        let y = x.mul_row(&g);
+        assert_eq!(y.to_vec(), vec![10.0, 200.0, 30.0, 400.0]);
+        y.sum_all().backward();
+        assert_eq!(x.grad_vec().unwrap(), vec![10.0, 100.0, 10.0, 100.0]);
+        assert_eq!(g.grad_vec().unwrap(), vec![4.0, 6.0]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Shape bookkeeping for row-major, contiguous tensors.
+
+use std::fmt;
+
+/// A tensor shape: the extent of every axis, row-major.
+///
+/// Tensors in this library are always contiguous, so a shape fully
+/// determines the memory layout (strides are derived).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Build a shape from a slice of axis extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Number of axes.
+    pub fn ndim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Extent of axis `i`. Panics if out of range.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// The dims as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let n = self.0.len();
+        let mut s = vec![1usize; n];
+        for i in (0..n.saturating_sub(1)).rev() {
+            s[i] = s[i + 1] * self.0[i + 1];
+        }
+        s
+    }
+
+    /// Interpret this shape as a 2-D `(rows, cols)` pair, flattening all
+    /// leading axes into `rows`. A 1-D shape becomes `(1, n)`.
+    pub fn as_2d(&self) -> (usize, usize) {
+        match self.0.len() {
+            0 => (1, 1),
+            1 => (1, self.0[0]),
+            _ => {
+                let cols = *self.0.last().expect("non-empty");
+                (self.numel() / cols.max(1), cols)
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(d: &[usize]) -> Self {
+        Shape(d.to_vec())
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(d: Vec<usize>) -> Self {
+        Shape(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_ndim() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.ndim(), 3);
+        assert_eq!(s.dim(1), 3);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        let s1 = Shape::new(&[5]);
+        assert_eq!(s1.strides(), vec![1]);
+    }
+
+    #[test]
+    fn as_2d_flattens_leading_axes() {
+        assert_eq!(Shape::new(&[2, 3, 4]).as_2d(), (6, 4));
+        assert_eq!(Shape::new(&[7]).as_2d(), (1, 7));
+        assert_eq!(Shape::new(&[3, 5]).as_2d(), (3, 5));
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.as_2d(), (1, 1));
+    }
+}

@@ -1,0 +1,122 @@
+//! Numerical and structural edge cases for the autograd engine: reuse of a
+//! tensor in several graph positions, deep chains, degenerate shapes, and
+//! gradient accumulation semantics.
+
+use om_tensor::{init, no_grad, seeded_rng, Tensor};
+
+#[test]
+fn diamond_graph_accumulates_both_paths() {
+    // y = x·x + x  → dy/dx = 2x + 1 (x used twice in one graph)
+    let x = Tensor::from_vec(vec![3.0], &[1]).requires_grad();
+    let y = x.mul(&x).add(&x).sum_all();
+    y.backward();
+    assert_eq!(x.grad_vec().unwrap(), vec![7.0]);
+}
+
+#[test]
+fn tensor_reused_across_two_losses_accumulates() {
+    let x = Tensor::from_vec(vec![2.0], &[1]).requires_grad();
+    x.square().sum_all().backward(); // d = 4
+    x.scale(3.0).sum_all().backward(); // d = 3
+    assert_eq!(x.grad_vec().unwrap(), vec![7.0]);
+}
+
+#[test]
+fn deep_chain_does_not_overflow_stack() {
+    // iterative DFS must survive a 10k-deep linear graph
+    let x = Tensor::from_vec(vec![1.0], &[1]).requires_grad();
+    let mut y = x.clone();
+    for _ in 0..10_000 {
+        y = y.add_scalar(0.0);
+    }
+    y.sum_all().backward();
+    assert_eq!(x.grad_vec().unwrap(), vec![1.0]);
+}
+
+#[test]
+fn single_element_matmul() {
+    let a = Tensor::from_vec(vec![3.0], &[1, 1]).requires_grad();
+    let b = Tensor::from_vec(vec![4.0], &[1, 1]).requires_grad();
+    let y = a.matmul(&b).sum_all();
+    assert_eq!(y.item(), 12.0);
+    y.backward();
+    assert_eq!(a.grad_vec().unwrap(), vec![4.0]);
+    assert_eq!(b.grad_vec().unwrap(), vec![3.0]);
+}
+
+#[test]
+fn softmax_handles_extreme_logits() {
+    let x = Tensor::from_vec(vec![1e4, -1e4, 0.0], &[1, 3]);
+    let s = x.softmax_rows().to_vec();
+    assert!((s[0] - 1.0).abs() < 1e-4);
+    assert!(s[1] >= 0.0 && s[1] < 1e-4);
+    assert!(s.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn relu_at_exact_zero_has_zero_gradient() {
+    // subgradient choice: relu'(0) = 0 in this implementation (x > 0 mask)
+    let x = Tensor::from_vec(vec![0.0], &[1]).requires_grad();
+    x.relu().sum_all().backward();
+    assert_eq!(x.grad_vec().unwrap(), vec![0.0]);
+}
+
+#[test]
+fn no_grad_inside_training_graph_blocks_only_inner() {
+    let w = Tensor::from_vec(vec![2.0], &[1]).requires_grad();
+    let a = w.scale(3.0); // tracked
+    let frozen = {
+        let _g = no_grad();
+        w.scale(100.0) // untracked constant 200
+    };
+    let y = a.add(&frozen).sum_all();
+    y.backward();
+    // only the tracked path contributes gradient
+    assert_eq!(w.grad_vec().unwrap(), vec![3.0]);
+    assert_eq!(y.item(), 206.0);
+}
+
+#[test]
+fn embedding_of_repeated_indices_matches_select_rows() {
+    let mut rng = seeded_rng(4);
+    let table = init::normal(&[5, 3], 1.0, &mut rng);
+    let idx = [4usize, 4, 0, 2];
+    let a = table.embedding_lookup(&idx).to_vec();
+    let b = table.select_rows(&idx).to_vec();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn unfold_full_width_window_is_identity_reshape() {
+    let mut rng = seeded_rng(5);
+    let x = init::normal(&[2, 4, 3], 1.0, &mut rng);
+    let u = x.unfold_windows(4); // one window per document
+    assert_eq!(u.dims(), &[2, 12]);
+    assert_eq!(u.to_vec(), x.to_vec());
+}
+
+#[test]
+fn max_over_time_with_single_timestep() {
+    let x = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[1, 1, 3]).requires_grad();
+    let m = x.max_over_time();
+    assert_eq!(m.to_vec(), vec![1.0, -2.0, 3.0]);
+    m.sum_all().backward();
+    assert_eq!(x.grad_vec().unwrap(), vec![1.0, 1.0, 1.0]);
+}
+
+#[test]
+fn backward_with_custom_seed_scales_gradient() {
+    let x = Tensor::from_vec(vec![1.0, 2.0], &[2]).requires_grad();
+    let y = x.scale(2.0);
+    y.backward_with(&[10.0, 100.0]);
+    assert_eq!(x.grad_vec().unwrap(), vec![20.0, 200.0]);
+}
+
+#[test]
+fn detached_branch_is_constant_to_autograd() {
+    let x = Tensor::from_vec(vec![5.0], &[1]).requires_grad();
+    let d = x.scale(2.0).detach(); // value 10, no graph
+    let y = x.mul(&d).sum_all(); // dy/dx = d = 10
+    y.backward();
+    assert_eq!(x.grad_vec().unwrap(), vec![10.0]);
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for `om-tensor`: algebraic identities and
+//! finite-difference gradient checks over randomised inputs.
+
+use om_tensor::{gradcheck, init, seeded_rng, Tensor};
+use proptest::prelude::*;
+
+const TOL: f32 = 3e-2;
+const EPS: f32 = 1e-2;
+
+fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-2.0f32..2.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_commutes(a in vec_strategy(12), b in vec_strategy(12)) {
+        let ta = Tensor::from_vec(a, &[3, 4]);
+        let tb = Tensor::from_vec(b, &[3, 4]);
+        prop_assert_eq!(ta.add(&tb).to_vec(), tb.add(&ta).to_vec());
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in vec_strategy(8), b in vec_strategy(8), c in vec_strategy(8)) {
+        let ta = Tensor::from_vec(a, &[8]);
+        let tb = Tensor::from_vec(b, &[8]);
+        let tc = Tensor::from_vec(c, &[8]);
+        let lhs = ta.mul(&tb.add(&tc)).to_vec();
+        let rhs = ta.mul(&tb).add(&ta.mul(&tc)).to_vec();
+        for (x, y) in lhs.iter().zip(&rhs) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(a in vec_strategy(20)) {
+        let t = Tensor::from_vec(a.clone(), &[4, 5]);
+        prop_assert_eq!(t.transpose().transpose().to_vec(), a);
+    }
+
+    #[test]
+    fn matmul_identity(a in vec_strategy(9)) {
+        let t = Tensor::from_vec(a.clone(), &[3, 3]);
+        let eye = Tensor::from_vec(
+            vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0], &[3, 3]);
+        let out = t.matmul(&eye).to_vec();
+        for (x, y) in out.iter().zip(&a) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in vec_strategy(15)) {
+        let t = Tensor::from_vec(a, &[3, 5]);
+        let s = t.softmax_rows().to_vec();
+        for row in 0..3 {
+            let sum: f32 = s[row * 5..(row + 1) * 5].iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s[row * 5..(row + 1) * 5].iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn l2_rows_have_unit_norm(a in vec_strategy(12)) {
+        let t = Tensor::from_vec(a.clone(), &[3, 4]);
+        let y = t.l2_normalize_rows().to_vec();
+        for row in 0..3 {
+            let input_norm: f32 = a[row * 4..(row + 1) * 4].iter().map(|x| x * x).sum::<f32>().sqrt();
+            let n: f32 = y[row * 4..(row + 1) * 4].iter().map(|x| x * x).sum::<f32>().sqrt();
+            if input_norm > 1e-3 {
+                prop_assert!((n - 1.0).abs() < 1e-4, "row {} norm {}", row, n);
+            }
+        }
+    }
+
+    #[test]
+    fn sum_all_matches_reference(a in vec_strategy(24)) {
+        let t = Tensor::from_vec(a.clone(), &[2, 3, 4]);
+        let reference: f32 = a.iter().sum();
+        prop_assert!((t.sum_all().item() - reference).abs() < 1e-3);
+    }
+
+    #[test]
+    fn max_over_time_bounds(a in vec_strategy(24)) {
+        let t = Tensor::from_vec(a.clone(), &[2, 3, 4]);
+        let m = t.max_over_time().to_vec();
+        for (i, &v) in m.iter().enumerate() {
+            let b = i / 4;
+            let f = i % 4;
+            let col: Vec<f32> = (0..3).map(|ti| a[(b * 3 + ti) * 4 + f]).collect();
+            let max = col.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            prop_assert_eq!(v, max);
+        }
+    }
+
+    #[test]
+    fn gradcheck_random_mlp(seed in 0u64..500) {
+        let w = init::uniform(&[4, 3], -1.0, 1.0, &mut seeded_rng(seed)).requires_grad();
+        let x = init::uniform(&[2, 4], -1.0, 1.0, &mut seeded_rng(seed + 1));
+        let r = gradcheck(&w, |w| x.matmul(w).relu().square().mean_all(), EPS);
+        // ReLU kinks make finite differences noisy when the true gradient is
+        // tiny; accept a small absolute error in that regime.
+        prop_assert!(
+            r.passes(TOL) || (r.analytic - r.numeric).abs() < 1e-3,
+            "{:?}", r
+        );
+    }
+
+    #[test]
+    fn gradcheck_random_softmax_pipeline(seed in 0u64..500) {
+        let w = init::uniform(&[3, 4], -1.0, 1.0, &mut seeded_rng(seed)).requires_grad();
+        let x = init::uniform(&[2, 3], -1.0, 1.0, &mut seeded_rng(seed * 31 + 7));
+        let r = gradcheck(&w, |w| x.matmul(w).cross_entropy(&[1, 2]), EPS);
+        prop_assert!(r.passes(TOL), "{:?}", r);
+    }
+
+    #[test]
+    fn gradient_reversal_negates_exactly(seed in 0u64..200, lambda in 0.01f32..2.0) {
+        let w = init::uniform(&[6], -1.0, 1.0, &mut seeded_rng(seed)).requires_grad();
+        let y = w.gradient_reversal(lambda).sum_all();
+        y.backward();
+        let g = w.grad_vec().unwrap();
+        for v in g {
+            prop_assert!((v + lambda).abs() < 1e-6);
+        }
+    }
+}

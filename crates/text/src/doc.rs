@@ -1,0 +1,119 @@
+//! Review-document assembly and fixed-length encoding.
+//!
+//! §4.2 concatenates a user's reviews into one document `R^u` (Eq. 1),
+//! tokenises it to `D^u` (Eq. 2), and truncates/pads to a fixed length
+//! before the embedding lookup (Eq. 3). The `<sp>` separator between
+//! reviews mirrors the case study of §5.10.
+
+use crate::preprocess::tokenize;
+use crate::vocab::{Vocab, PAD_TOKEN};
+
+/// Separator inserted between concatenated reviews (§5.10).
+pub const SEPARATOR: &str = "<sp>";
+
+/// Encodes review collections into fixed-length id sequences.
+#[derive(Debug, Clone)]
+pub struct DocumentEncoder {
+    max_len: usize,
+}
+
+impl DocumentEncoder {
+    /// Build an encoder producing documents of exactly `max_len` ids.
+    pub fn new(max_len: usize) -> DocumentEncoder {
+        assert!(max_len >= 1, "document length must be positive");
+        DocumentEncoder { max_len }
+    }
+
+    /// The fixed document length.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Concatenate raw review texts into one normalised token stream with
+    /// `<sp>` separators (Eq. 1 + §5.10).
+    pub fn concat_reviews(&self, reviews: &[&str]) -> Vec<String> {
+        let mut tokens = Vec::new();
+        for (i, review) in reviews.iter().enumerate() {
+            if i > 0 {
+                tokens.push(SEPARATOR.to_owned());
+            }
+            tokens.extend(tokenize(review));
+        }
+        tokens
+    }
+
+    /// Encode reviews to exactly `max_len` vocabulary ids: truncate if
+    /// longer, pad with `PAD_TOKEN` if shorter (Eqs. 2–3).
+    pub fn encode(&self, vocab: &Vocab, reviews: &[&str]) -> Vec<usize> {
+        let tokens = self.concat_reviews(reviews);
+        let mut ids: Vec<usize> = tokens
+            .iter()
+            .take(self.max_len)
+            .map(|t| vocab.id(t))
+            .collect();
+        ids.resize(self.max_len, PAD_TOKEN);
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::UNK_TOKEN;
+
+    fn vocab() -> Vocab {
+        let docs = vec![vec![
+            "vampire", "romance", "action", "great", "<sp>", "fun",
+        ]];
+        Vocab::build(docs.iter().map(|d| d.iter().copied()), 1, 100)
+    }
+
+    #[test]
+    fn concatenation_inserts_separator() {
+        let enc = DocumentEncoder::new(16);
+        let toks = enc.concat_reviews(&["Vampire Romance", "great fun"]);
+        assert_eq!(toks, vec!["vampire", "romance", "<sp>", "great", "fun"]);
+    }
+
+    #[test]
+    fn encode_pads_to_length() {
+        let enc = DocumentEncoder::new(6);
+        let v = vocab();
+        let ids = enc.encode(&v, &["vampire"]);
+        assert_eq!(ids.len(), 6);
+        assert_ne!(ids[0], PAD_TOKEN);
+        assert!(ids[1..].iter().all(|&i| i == PAD_TOKEN));
+    }
+
+    #[test]
+    fn encode_truncates_to_length() {
+        let enc = DocumentEncoder::new(2);
+        let v = vocab();
+        let ids = enc.encode(&v, &["vampire romance action great"]);
+        assert_eq!(ids.len(), 2);
+        assert!(ids.iter().all(|&i| i != PAD_TOKEN));
+    }
+
+    #[test]
+    fn unknown_words_become_unk() {
+        let enc = DocumentEncoder::new(3);
+        let v = vocab();
+        let ids = enc.encode(&v, &["xylophone"]);
+        assert_eq!(ids[0], UNK_TOKEN);
+    }
+
+    #[test]
+    fn empty_reviews_are_all_padding() {
+        let enc = DocumentEncoder::new(4);
+        let v = vocab();
+        assert_eq!(enc.encode(&v, &[]), vec![PAD_TOKEN; 4]);
+    }
+
+    #[test]
+    fn separator_is_a_token() {
+        let enc = DocumentEncoder::new(8);
+        let v = vocab();
+        let ids = enc.encode(&v, &["vampire", "fun"]);
+        assert_eq!(ids[1], v.id(SEPARATOR));
+    }
+}

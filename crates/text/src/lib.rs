@@ -1,0 +1,18 @@
+//! # om-text
+//!
+//! Text plumbing for review-based recommendation: preprocessing exactly as
+//! the paper describes (§5.2 — lowercase, punctuation removal), vocabulary
+//! construction, fixed-length document encoding with the `<sp>` review
+//! separator of §5.10, and two embedding warm-start strategies that stand in
+//! for the paper's pretrained fastText vectors (see DESIGN.md):
+//! deterministic subword-hash initialisation and skip-gram-with-negative-
+//! sampling pretraining on the in-repo corpus.
+
+pub mod doc;
+pub mod preprocess;
+pub mod pretrain;
+pub mod vocab;
+
+pub use doc::{DocumentEncoder, SEPARATOR};
+pub use preprocess::{normalize, tokenize};
+pub use vocab::{Vocab, PAD_TOKEN, UNK_TOKEN};

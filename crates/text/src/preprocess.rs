@@ -1,0 +1,68 @@
+//! Review-text normalisation, matching §5.2: "we convert the text to
+//! lowercase and eliminate all punctuation".
+
+/// Lowercase the text and replace every non-alphanumeric character (other
+/// than whitespace) with a space. The `<sp>` separator token survives
+/// because it is inserted *after* normalisation by the document encoder.
+pub fn normalize(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            out.extend(ch.to_lowercase());
+        } else if ch.is_whitespace() {
+            out.push(' ');
+        } else {
+            // punctuation → space so "fang-tastic" splits into two tokens
+            out.push(' ');
+        }
+    }
+    out
+}
+
+/// Whitespace tokenisation of already-normalised text.
+pub fn tokenize(text: &str) -> Vec<String> {
+    normalize(text)
+        .split_whitespace()
+        .map(str::to_owned)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(tokenize("Vampire Romance"), vec!["vampire", "romance"]);
+    }
+
+    #[test]
+    fn strips_punctuation() {
+        assert_eq!(
+            tokenize("Fang-tastic, Fun and Freaky!"),
+            vec!["fang", "tastic", "fun", "and", "freaky"]
+        );
+    }
+
+    #[test]
+    fn collapses_whitespace() {
+        assert_eq!(tokenize("  a\t b\n  c "), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn keeps_digits() {
+        assert_eq!(tokenize("5 stars!"), vec!["5", "stars"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("?!...;;;").is_empty());
+    }
+
+    #[test]
+    fn unicode_is_handled() {
+        let toks = tokenize("Crouching Tiger — Hidden Dragon");
+        assert_eq!(toks, vec!["crouching", "tiger", "hidden", "dragon"]);
+    }
+}

@@ -1,0 +1,259 @@
+//! Embedding warm starts replacing the paper's pretrained fastText vectors.
+//!
+//! Two strategies (substitution documented in DESIGN.md):
+//!
+//! 1. [`subword_hash_init`] — deterministic fastText-style initialisation:
+//!    each word vector is the average of hashed character n-gram vectors,
+//!    so morphologically-related words ("vampire"/"vampires") start close.
+//! 2. [`SkipGram`] — a small skip-gram-with-negative-sampling trainer that
+//!    refines the table on the actual corpus.
+
+use om_tensor::{init, seeded_rng, Rng, Tensor};
+use rand::RngExt as _;
+
+use crate::vocab::Vocab;
+
+/// FNV-1a hash, stable across runs/platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Deterministic per-ngram pseudo-random vector accumulated into `out`.
+fn add_ngram_vector(ngram: &str, out: &mut [f32]) {
+    let mut state = fnv1a(ngram.as_bytes());
+    for v in out.iter_mut() {
+        // xorshift64* stream seeded by the ngram hash
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let r = state.wrapping_mul(0x2545F4914F6CDD1D);
+        // map the top 24 bits to (-1, 1)
+        let unit = ((r >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0;
+        *v += unit;
+    }
+}
+
+/// Build a `[vocab, dim]` table where each word vector averages the hash
+/// vectors of its character 3–5-grams (with boundary markers, as fastText
+/// does). PAD stays zero; UNK gets a generic small vector.
+pub fn subword_hash_init(vocab: &Vocab, dim: usize) -> Tensor {
+    let n = vocab.len();
+    let mut data = vec![0.0f32; n * dim];
+    for id in 2..n {
+        let word = format!("<{}>", vocab.token(id));
+        let chars: Vec<char> = word.chars().collect();
+        let row = &mut data[id * dim..(id + 1) * dim];
+        let mut ngrams = 0usize;
+        for len in 3..=5usize {
+            if chars.len() < len {
+                continue;
+            }
+            for start in 0..=chars.len() - len {
+                let ng: String = chars[start..start + len].iter().collect();
+                add_ngram_vector(&ng, row);
+                ngrams += 1;
+            }
+        }
+        if ngrams > 0 {
+            let scale = 0.3 / ngrams as f32;
+            for v in row.iter_mut() {
+                *v *= scale;
+            }
+        }
+    }
+    // UNK: small deterministic vector distinct from PAD's zeros.
+    add_ngram_vector("<unk>", &mut data[dim..2 * dim]);
+    for v in data[dim..2 * dim].iter_mut() {
+        *v *= 0.05;
+    }
+    Tensor::from_vec(data, &[n, dim])
+}
+
+/// Skip-gram with negative sampling over encoded documents.
+pub struct SkipGram {
+    /// Input (word) vectors — the table handed to the model afterwards.
+    pub input: Tensor,
+    /// Output (context) vectors.
+    pub output: Tensor,
+    dim: usize,
+    window: usize,
+    negatives: usize,
+    lr: f32,
+}
+
+impl SkipGram {
+    /// Initialise from an existing table (e.g. [`subword_hash_init`]).
+    pub fn from_table(table: Tensor, window: usize, negatives: usize, lr: f32) -> SkipGram {
+        let dims = table.dims().to_vec();
+        assert_eq!(dims.len(), 2);
+        let mut rng = seeded_rng(0x5eed);
+        SkipGram {
+            output: init::normal(&dims, 0.01, &mut rng),
+            dim: dims[1],
+            input: table,
+            window,
+            negatives,
+            lr,
+        }
+    }
+
+    /// One pass over the corpus of encoded documents (id sequences). Pads
+    /// (id 0) are skipped. Classic SGNS updates, applied in place.
+    pub fn train_epoch(&mut self, docs: &[Vec<usize>], rng: &mut Rng) {
+        let vocab = self.input.dims()[0];
+        let dim = self.dim;
+        let mut input = self.input.data_mut();
+        let mut output = self.output.data_mut();
+        for doc in docs {
+            for (center_pos, &center) in doc.iter().enumerate() {
+                if center == 0 {
+                    continue;
+                }
+                let lo = center_pos.saturating_sub(self.window);
+                let hi = (center_pos + self.window + 1).min(doc.len());
+                for ctx_pos in lo..hi {
+                    if ctx_pos == center_pos {
+                        continue;
+                    }
+                    let context = doc[ctx_pos];
+                    if context == 0 {
+                        continue;
+                    }
+                    // positive update + k negatives
+                    for k in 0..=self.negatives {
+                        let (target, label) = if k == 0 {
+                            (context, 1.0f32)
+                        } else {
+                            (rng.random_range(2..vocab.max(3)), 0.0f32)
+                        };
+                        let w = center * dim;
+                        let c = target * dim;
+                        let dot: f32 = (0..dim).map(|j| input[w + j] * output[c + j]).sum();
+                        let pred = 1.0 / (1.0 + (-dot).exp());
+                        let g = self.lr * (label - pred);
+                        for j in 0..dim {
+                            let iw = input[w + j];
+                            input[w + j] += g * output[c + j];
+                            output[c + j] += g * iw;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consume the trainer, returning the refined input table.
+    pub fn into_table(self) -> Tensor {
+        self.input
+    }
+
+    /// The model's co-occurrence score `σ(vᵢₙ(center)·vₒᵤₜ(context))`; this
+    /// is the probability SGNS assigns to the pair being a true skip-gram.
+    pub fn score(&self, center: usize, context: usize) -> f32 {
+        let dim = self.dim;
+        let i = self.input.data();
+        let o = self.output.data();
+        let dot: f32 = (0..dim)
+            .map(|j| i[center * dim + j] * o[context * dim + j])
+            .sum();
+        1.0 / (1.0 + (-dot).exp())
+    }
+}
+
+/// Cosine similarity between two embedding rows (test/diagnostic helper).
+pub fn cosine(table: &Tensor, a: usize, b: usize) -> f32 {
+    let dim = table.dims()[1];
+    let d = table.data();
+    let ra = &d[a * dim..(a + 1) * dim];
+    let rb = &d[b * dim..(b + 1) * dim];
+    let dot: f32 = ra.iter().zip(rb).map(|(x, y)| x * y).sum();
+    let na: f32 = ra.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = rb.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab_of(words: &[&str]) -> Vocab {
+        let docs = vec![words.to_vec()];
+        Vocab::build(docs.iter().map(|d| d.iter().copied()), 1, 1000)
+    }
+
+    #[test]
+    fn hash_init_is_deterministic() {
+        let v = vocab_of(&["vampire", "romance"]);
+        let a = subword_hash_init(&v, 16).to_vec();
+        let b = subword_hash_init(&v, 16).to_vec();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pad_row_stays_zero() {
+        let v = vocab_of(&["vampire"]);
+        let t = subword_hash_init(&v, 8);
+        assert!(t.to_vec()[..8].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn morphological_neighbours_start_close() {
+        let v = vocab_of(&["vampire", "vampires", "soundtrack"]);
+        let t = subword_hash_init(&v, 64);
+        let related = cosine(&t, v.id("vampire"), v.id("vampires"));
+        let unrelated = cosine(&t, v.id("vampire"), v.id("soundtrack"));
+        assert!(
+            related > unrelated + 0.2,
+            "related {related} vs unrelated {unrelated}"
+        );
+    }
+
+    #[test]
+    fn skipgram_pulls_cooccurring_words_together() {
+        // Corpus where "sci" and "fi" always co-occur, "cook" is separate.
+        let v = vocab_of(&["sci", "fi", "cook", "book"]);
+        let docs: Vec<Vec<usize>> = (0..200)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![v.id("sci"), v.id("fi")]
+                } else {
+                    vec![v.id("cook"), v.id("book")]
+                }
+            })
+            .collect();
+        let table = om_tensor::init::normal(&[v.len(), 16], 0.1, &mut seeded_rng(1));
+        let mut sg = SkipGram::from_table(table, 2, 3, 0.05);
+        let mut rng = seeded_rng(2);
+        for _ in 0..12 {
+            sg.train_epoch(&docs, &mut rng);
+        }
+        // The model must assign high probability to true skip-grams and low
+        // probability to pairs that never co-occur.
+        let together = sg.score(v.id("sci"), v.id("fi"));
+        let apart = sg.score(v.id("sci"), v.id("book"));
+        assert!(
+            together > 0.55 && apart < 0.5 && together > apart,
+            "co-occurring {together} should exceed non-co-occurring {apart}"
+        );
+    }
+
+    #[test]
+    fn skipgram_skips_padding() {
+        let v = vocab_of(&["a", "b"]);
+        let docs = vec![vec![0usize, 0, 0]];
+        let table = subword_hash_init(&v, 8);
+        let before = table.to_vec();
+        let mut sg = SkipGram::from_table(table, 2, 2, 0.1);
+        sg.train_epoch(&docs, &mut seeded_rng(3));
+        assert_eq!(sg.into_table().to_vec(), before);
+    }
+}

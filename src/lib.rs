@@ -1,0 +1,12 @@
+//! # omnimatch — workspace facade
+//!
+//! Re-exports the public API of every crate in the OmniMatch reproduction so
+//! examples and downstream users need a single dependency.
+
+pub use om_baselines as baselines;
+pub use om_data as data;
+pub use om_metrics as metrics;
+pub use om_nn as nn;
+pub use om_tensor as tensor;
+pub use om_text as text;
+pub use omnimatch_core as core;

@@ -1,0 +1,128 @@
+//! Cross-crate integration: the full OmniMatch pipeline from synthetic
+//! corpus generation through training to cold-start evaluation.
+
+use omnimatch::core::{AuxMode, OmniMatchConfig, Trainer};
+use omnimatch::data::types::{TextField, UserId};
+use omnimatch::data::{SplitConfig, SynthConfig, SynthWorld};
+use omnimatch::nn::HasParams;
+
+fn tiny_scenario() -> omnimatch::data::CrossDomainScenario {
+    let world = SynthWorld::generate(SynthConfig::tiny(), &["Books", "Movies"]);
+    world.scenario("Books", "Movies", SplitConfig::default())
+}
+
+#[test]
+fn full_pipeline_trains_and_evaluates() {
+    let scenario = tiny_scenario();
+    let trained = Trainer::new(OmniMatchConfig::fast()).fit(&scenario);
+    let eval = trained.evaluate(&scenario.test_pairs());
+    assert!(eval.rmse.is_finite() && eval.rmse > 0.0);
+    assert!(eval.mae <= eval.rmse + 1e-6, "MAE must not exceed RMSE");
+}
+
+#[test]
+fn no_target_leakage_for_cold_users() {
+    // The invariant behind the whole evaluation: cold-start users' target
+    // reviews are absent from every training-visible structure.
+    let scenario = tiny_scenario();
+    for u in scenario.cold_start_users() {
+        assert!(!scenario.target_train.contains_user(u));
+    }
+    // and their auxiliary documents only contain donor (train-user) text
+    let gen = omnimatch::core::AuxiliaryReviewGenerator::new(&scenario);
+    let mut rng = omnimatch::tensor::seeded_rng(3);
+    for &u in scenario.test_users.iter().take(5) {
+        let doc = gen.generate(u, TextField::Summary, &mut rng);
+        for step in &doc.steps {
+            assert!(
+                scenario.train_users.contains(&step.chosen_user),
+                "donor {} is not a training user",
+                step.chosen_user
+            );
+            assert_ne!(step.chosen_user, u, "user donated to themself");
+        }
+    }
+}
+
+#[test]
+fn training_is_reproducible_across_full_pipeline() {
+    let scenario = tiny_scenario();
+    let cfg = OmniMatchConfig::fast().with_seed(99);
+    let a = Trainer::new(cfg.clone()).fit(&scenario);
+    let b = Trainer::new(cfg).fit(&scenario);
+    let pairs: Vec<(UserId, _)> = scenario
+        .test_pairs()
+        .iter()
+        .take(8)
+        .map(|it| (it.user, it.item))
+        .collect();
+    assert_eq!(a.predict(&pairs), b.predict(&pairs));
+}
+
+#[test]
+fn checkpoint_roundtrip_preserves_predictions() {
+    let scenario = tiny_scenario();
+    let trained = Trainer::new(OmniMatchConfig::fast()).fit(&scenario);
+    let pairs: Vec<_> = scenario
+        .test_pairs()
+        .iter()
+        .take(5)
+        .map(|it| (it.user, it.item))
+        .collect();
+    let before = trained.predict(&pairs);
+
+    let bytes = omnimatch::nn::serialize::save_params(&trained.model().params());
+    // corrupt all parameters, then restore
+    for p in trained.model().params() {
+        p.data_mut().fill(0.0);
+    }
+    let zeroed = trained.predict(&pairs);
+    assert_ne!(before, zeroed, "zeroing must change predictions");
+    omnimatch::nn::serialize::load_params(&trained.model().params(), &bytes).unwrap();
+    assert_eq!(before, trained.predict(&pairs));
+}
+
+#[test]
+fn source_fallback_differs_from_generated_aux() {
+    let scenario = tiny_scenario();
+    let a = Trainer::new(OmniMatchConfig::fast()).fit(&scenario);
+    let cfg = OmniMatchConfig {
+        aux_mode: AuxMode::SourceFallback,
+        ..OmniMatchConfig::fast()
+    };
+    let b = Trainer::new(cfg).fit(&scenario);
+    let pairs: Vec<_> = scenario
+        .test_pairs()
+        .iter()
+        .take(5)
+        .map(|it| (it.user, it.item))
+        .collect();
+    assert_ne!(a.predict(&pairs), b.predict(&pairs));
+}
+
+#[test]
+fn validation_selection_never_worse_than_last_epoch_on_validation() {
+    let scenario = tiny_scenario();
+    let trained = Trainer::new(OmniMatchConfig::fast()).fit(&scenario);
+    let report = trained.report();
+    let best = report.valid_rmse[report.best_epoch];
+    for &r in &report.valid_rmse {
+        assert!(best <= r + 1e-6, "best epoch was not minimal: {report:?}");
+    }
+}
+
+#[test]
+fn three_domain_world_supports_all_six_scenarios() {
+    let world = SynthWorld::generate(SynthConfig::tiny(), &["Books", "Movies", "Music"]);
+    for (s, t) in [
+        ("Books", "Movies"),
+        ("Movies", "Books"),
+        ("Books", "Music"),
+        ("Music", "Books"),
+        ("Movies", "Music"),
+        ("Music", "Movies"),
+    ] {
+        let sc = world.scenario(s, t, SplitConfig::default());
+        assert!(!sc.test_pairs().is_empty(), "{s}->{t} has no test pairs");
+    }
+}

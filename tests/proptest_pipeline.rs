@@ -1,0 +1,107 @@
+//! Property-based tests over the data pipeline: split invariants, synthetic
+//! generator invariants, and Algorithm 1 invariants hold for *randomised*
+//! configurations, not just the defaults.
+
+use omnimatch::core::AuxiliaryReviewGenerator;
+use omnimatch::data::types::TextField;
+use omnimatch::data::{SplitConfig, SynthConfig, SynthWorld};
+use omnimatch::tensor::seeded_rng;
+use proptest::prelude::*;
+
+fn small_world(seed: u64, n_users: usize) -> SynthWorld {
+    let cfg = SynthConfig {
+        n_users,
+        n_items: (n_users / 2).max(10),
+        seed,
+        ..SynthConfig::tiny()
+    };
+    SynthWorld::generate(cfg, &["Books", "Movies"])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn split_partitions_for_any_seed(seed in 0u64..1000, frac in 0.2f32..1.0) {
+        let world = small_world(7, 50);
+        let sc = world.scenario("Books", "Movies", SplitConfig {
+            seed,
+            train_fraction: frac,
+            ..SplitConfig::default()
+        });
+        // train/valid/test are pairwise disjoint subsets of the overlap
+        for u in &sc.train_users {
+            prop_assert!(sc.overlapping.contains(u));
+            prop_assert!(!sc.valid_users.contains(u));
+            prop_assert!(!sc.test_users.contains(u));
+        }
+        for u in &sc.valid_users {
+            prop_assert!(!sc.test_users.contains(u));
+        }
+        // no cold-start user leaks target reviews into training
+        for u in sc.cold_start_users() {
+            prop_assert!(!sc.target_train.contains_user(u));
+        }
+        // fraction only shrinks training
+        prop_assert!(sc.train_users.len() >= 1);
+    }
+
+    #[test]
+    fn generator_ratings_always_in_range(seed in 0u64..1000) {
+        let world = small_world(seed, 30);
+        for it in world.domain("Books").interactions() {
+            let s = it.rating.stars();
+            prop_assert!((1..=5).contains(&s));
+            prop_assert!(!it.summary.is_empty());
+            prop_assert!(it.full_text.len() >= it.summary.len());
+        }
+    }
+
+    #[test]
+    fn aux_documents_only_cite_training_donors(seed in 0u64..500) {
+        let world = small_world(11, 60);
+        let sc = world.scenario("Books", "Movies", SplitConfig {
+            seed,
+            ..SplitConfig::default()
+        });
+        let generator = AuxiliaryReviewGenerator::new(&sc);
+        let mut rng = seeded_rng(seed);
+        for &u in sc.test_users.iter().take(3) {
+            let doc = generator.generate(u, TextField::Summary, &mut rng);
+            prop_assert_eq!(doc.reviews.len(), doc.steps.len());
+            for step in &doc.steps {
+                prop_assert!(sc.train_users.contains(&step.chosen_user));
+                // the donated review really exists in the visible corpus
+                let exists = sc
+                    .target_train
+                    .user_records(step.chosen_user)
+                    .any(|it| it.summary == step.aux_review);
+                prop_assert!(exists, "donated review not found in corpus");
+                // like-mindedness: the donor gave the same source item the
+                // same rating
+                let matches = sc
+                    .source
+                    .user_records(step.chosen_user)
+                    .any(|it| it.item == step.source_item && it.rating == step.rating);
+                prop_assert!(matches, "donor is not actually like-minded");
+            }
+        }
+    }
+
+    #[test]
+    fn rmse_mae_relationship_on_random_predictions(
+        preds in proptest::collection::vec(1.0f32..5.0, 5..40),
+        seed in 0u64..100,
+    ) {
+        let mut rng = seeded_rng(seed);
+        use rand::RngExt as _;
+        let pairs: Vec<(f32, f32)> = preds
+            .iter()
+            .map(|&p| (p, rng.random_range(1.0f32..5.0)))
+            .collect();
+        let rmse = omnimatch::metrics::rmse(&pairs);
+        let mae = omnimatch::metrics::mae(&pairs);
+        prop_assert!(mae <= rmse + 1e-5);
+        prop_assert!(rmse <= 4.0 + 1e-5);
+    }
+}
