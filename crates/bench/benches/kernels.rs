@@ -1,0 +1,39 @@
+//! Raw kernel throughput: the blocked/parallel GEMM and the chunked
+//! reduction against problem size. Run with `OM_THREADS=1` and with the
+//! default pool to see the parallel layer's speedup in isolation; the
+//! outputs are bit-identical either way (see om-tensor `tests/parity.rs`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use om_tensor::kernels;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/gemm");
+    group.sample_size(20);
+    for &n in &[64usize, 128, 256] {
+        let a: Vec<f32> = (0..n * n).map(|i| ((i * 37) % 101) as f32 * 0.02 - 1.0).collect();
+        let b: Vec<f32> = (0..n * n).map(|i| ((i * 53) % 89) as f32 * 0.02 - 0.9).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            let mut out = vec![0.0f32; n * n];
+            bench.iter(|| {
+                kernels::gemm(&a, &b, &mut out, n, n, n);
+                std::hint::black_box(out[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/sum");
+    group.sample_size(20);
+    for &len in &[4096usize, 262_144, 1 << 21] {
+        let x: Vec<f32> = (0..len).map(|i| ((i * 13) % 97) as f32 * 0.01 - 0.5).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |bench, _| {
+            bench.iter(|| std::hint::black_box(kernels::sum(&x)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_reduce);
+criterion_main!(benches);

@@ -19,6 +19,7 @@ use om_data::types::{Interaction, ItemId, Rating, TextField, UserId};
 use om_data::Domain;
 use om_tensor::Rng;
 use rand::seq::IndexedRandom;
+use rand::RngExt as _;
 
 /// One iteration of Algorithm 1's inner loop, kept for the §5.10-style
 /// case-study trace.
@@ -141,16 +142,33 @@ impl<'a> AuxiliaryReviewGenerator<'a> {
     }
 
     /// Algorithm 1 over a user set (`U_AUX_DOC` of the pseudocode).
+    ///
+    /// Runs in two phases so the result is a pure function of `rng`'s state
+    /// at any thread count: one derived seed per user is drawn sequentially,
+    /// then the per-user generations — now independent — fan out over the
+    /// tensor runtime's worker pool.
     pub fn generate_all(
         &self,
         users: &[UserId],
         field: TextField,
         rng: &mut Rng,
     ) -> Vec<AuxiliaryDocument> {
-        users
+        let seeds: Vec<u64> = users.iter().map(|_| rng.random()).collect();
+        let mut docs: Vec<AuxiliaryDocument> = users
             .iter()
-            .map(|&u| self.generate(u, field, rng))
-            .collect()
+            .map(|&u| AuxiliaryDocument {
+                user: u,
+                reviews: Vec::new(),
+                steps: Vec::new(),
+            })
+            .collect();
+        om_tensor::runtime::parallel_rows_mut(&mut docs, 1, 2, |i0, block| {
+            for (d, slot) in block.iter_mut().enumerate() {
+                let mut local = om_tensor::seeded_rng(seeds[i0 + d]);
+                *slot = self.generate(users[i0 + d], field, &mut local);
+            }
+        });
+        docs
     }
 }
 

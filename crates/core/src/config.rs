@@ -190,7 +190,7 @@ impl OmniMatchConfig {
     pub fn with_full_review_text(mut self) -> Self {
         self.text_field = TextField::FullText;
         // full reviews are longer; give the extractor room
-        self.doc_len = self.doc_len * 2;
+        self.doc_len *= 2;
         self
     }
 
@@ -210,7 +210,7 @@ impl OmniMatchConfig {
         assert!((0.0..1.0).contains(&self.dropout), "dropout in [0,1)");
         assert!(self.epochs >= 1, "need at least one epoch");
         if self.extractor == ExtractorKind::Transformer {
-            assert!(self.emb_dim % 2 == 0, "transformer needs even emb_dim");
+            assert!(self.emb_dim.is_multiple_of(2), "transformer needs even emb_dim");
         }
     }
 }

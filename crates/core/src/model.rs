@@ -267,7 +267,7 @@ impl OmniMatchModel {
         training: bool,
         rng: &mut Rng,
     ) -> Tensor {
-        self.domain_clf_specific.forward(&specific, training, rng)
+        self.domain_clf_specific.forward(specific, training, rng)
     }
 
     /// Convert rating logits into expected star values

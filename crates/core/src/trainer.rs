@@ -105,13 +105,15 @@ impl Trainer {
         let start = Instant::now();
         for epoch in 0..cfg.epochs {
             samples.shuffle(&mut rng);
+            // All of the epoch's randomness that shapes the *data* (aux
+            // augmentation, cold-user alignment picks) is drawn here,
+            // sequentially; the per-batch document assembly then fans out
+            // over the tensor runtime's pool. See [`plan_epoch`].
+            let inputs = plan_epoch(&views, cfg, &samples, &cold_users, &mut rng);
             let mut sums = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
             let mut batches = 0usize;
-            for chunk in samples.chunks(cfg.batch_size) {
-                if chunk.len() < 2 {
-                    continue; // SupCon and batch statistics need ≥ 2
-                }
-                let stats = train_batch(&model, &views, cfg, chunk, &cold_users, &mut rng);
+            for input in &inputs {
+                let stats = train_batch(&model, &views, cfg, input, &mut rng);
                 opt.step();
                 opt.zero_grad();
                 sums.0 += stats.total;
@@ -185,44 +187,111 @@ fn validation_rmse(
     om_metrics::rmse(&scored)
 }
 
+/// One mini-batch's fully resolved training input: every document choice
+/// (including aux-consistency augmentation) and the cold-user alignment
+/// picks, decided ahead of the optimisation loop.
+#[derive(Default)]
+struct BatchInput<'a> {
+    src_docs: Vec<&'a [usize]>,
+    tgt_docs: Vec<&'a [usize]>,
+    item_docs: Vec<&'a [usize]>,
+    labels: Vec<usize>,
+    /// Cold-start users joining the alignment losses (empty when disabled).
+    align_users: Vec<UserId>,
+}
+
+/// Resolve every mini-batch of one epoch into a [`BatchInput`].
+///
+/// Runs in two phases so training stays bitwise identical at any thread
+/// count: (1) all data-shaping randomness — the per-sample aux-augmentation
+/// coin flips and the per-batch cold-user picks — is drawn sequentially from
+/// `rng`; (2) the document gathering itself, now pure, fans out over the
+/// tensor runtime's worker pool, one task per block of batches.
+fn plan_epoch<'a>(
+    views: &'a CorpusViews,
+    cfg: &OmniMatchConfig,
+    samples: &[(UserId, ItemId, usize)],
+    cold_users: &[UserId],
+    rng: &mut Rng,
+) -> Vec<BatchInput<'a>> {
+    /// One batch's sequential plan: its samples, the per-sample
+    /// aux-augmentation coin flips, and the cold users picked for alignment.
+    type BatchPlan<'a> = (&'a [(UserId, ItemId, usize)], Vec<bool>, Vec<UserId>);
+    let align = cfg.align_cold_users && (cfg.use_scl || cfg.use_da) && !cold_users.is_empty();
+    let mut plans: Vec<BatchPlan<'_>> = Vec::new();
+    for chunk in samples.chunks(cfg.batch_size) {
+        if chunk.len() < 2 {
+            continue; // SupCon and batch statistics need ≥ 2
+        }
+        // Aux-consistency augmentation: with probability `aux_augment_prob`
+        // a training user is represented by their Algorithm 1 auxiliary
+        // document instead of their real reviews, so the rating classifier
+        // trains on the exact document distribution cold-start serving
+        // produces.
+        let use_aux: Vec<bool> = chunk
+            .iter()
+            .map(|(u, _, _)| {
+                let aux = views.aux_doc(*u);
+                cfg.aux_augment_prob > 0.0
+                    && !aux.iter().all(|&t| t == 0)
+                    && rng.random::<f32>() < cfg.aux_augment_prob
+            })
+            .collect();
+        let picks = if align {
+            let k = (chunk.len() / 2).clamp(2, cold_users.len());
+            let mut picks: Vec<UserId> = cold_users.to_vec();
+            picks.shuffle(rng);
+            picks.truncate(k);
+            picks
+        } else {
+            Vec::new()
+        };
+        plans.push((chunk, use_aux, picks));
+    }
+
+    let mut inputs: Vec<BatchInput<'a>> = plans.iter().map(|_| BatchInput::default()).collect();
+    om_tensor::runtime::parallel_rows_mut(&mut inputs, 1, 4, |i0, block| {
+        for (d, slot) in block.iter_mut().enumerate() {
+            let (chunk, use_aux, picks) = &plans[i0 + d];
+            *slot = BatchInput {
+                src_docs: chunk.iter().map(|(u, _, _)| views.source_doc(*u)).collect(),
+                tgt_docs: chunk
+                    .iter()
+                    .zip(use_aux)
+                    .map(|((u, _, _), &aux)| {
+                        if aux {
+                            views.aux_doc(*u)
+                        } else {
+                            views.target_doc(*u)
+                        }
+                    })
+                    .collect(),
+                item_docs: chunk.iter().map(|(_, i, _)| views.item_doc(*i)).collect(),
+                labels: chunk.iter().map(|(_, _, l)| *l).collect(),
+                align_users: picks.clone(),
+            };
+        }
+    });
+    inputs
+}
+
 /// One optimisation step; returns the batch's loss components.
 fn train_batch(
     model: &OmniMatchModel,
     views: &CorpusViews,
     cfg: &OmniMatchConfig,
-    chunk: &[(UserId, ItemId, usize)],
-    cold_users: &[UserId],
+    input: &BatchInput<'_>,
     rng: &mut Rng,
 ) -> EpochStats {
-    let src_docs: Vec<&[usize]> = chunk.iter().map(|(u, _, _)| views.source_doc(*u)).collect();
-    // Aux-consistency augmentation: with probability `aux_augment_prob` a
-    // training user is represented by their Algorithm 1 auxiliary document
-    // instead of their real reviews, so the rating classifier trains on the
-    // exact document distribution cold-start serving produces.
-    let tgt_docs: Vec<&[usize]> = chunk
-        .iter()
-        .map(|(u, _, _)| {
-            let aux = views.aux_doc(*u);
-            if cfg.aux_augment_prob > 0.0
-                && !aux.iter().all(|&t| t == 0)
-                && rng.random::<f32>() < cfg.aux_augment_prob
-            {
-                aux
-            } else {
-                views.target_doc(*u)
-            }
-        })
-        .collect();
-    let item_docs: Vec<&[usize]> = chunk.iter().map(|(_, i, _)| views.item_doc(*i)).collect();
-    let labels: Vec<usize> = chunk.iter().map(|(_, _, l)| *l).collect();
+    let labels = &input.labels;
 
-    let f_src = model.user_features(&src_docs, DomainSide::Source, true, rng);
-    let f_tgt = model.user_features(&tgt_docs, DomainSide::Target, true, rng);
-    let items = model.item_features(&item_docs, true, rng);
+    let f_src = model.user_features(&input.src_docs, DomainSide::Source, true, rng);
+    let f_tgt = model.user_features(&input.tgt_docs, DomainSide::Target, true, rng);
+    let items = model.item_features(&input.item_docs, true, rng);
 
     // L_rating (Eq. 19)
     let logits = model.rating_logits(&f_tgt.combined, &items, true, rng);
-    let l_rating = logits.cross_entropy(&labels);
+    let l_rating = logits.cross_entropy(labels);
     let mut loss = l_rating.scale(1.0);
 
     // L_SCL (Eq. 13) over both projected views
@@ -231,8 +300,8 @@ fn train_batch(
         let x_src = model.project_pairs(&f_src.combined, &items, true, rng);
         let x_tgt = model.project_pairs(&f_tgt.combined, &items, true, rng);
         let mut batch = SupConBatch::new();
-        batch.push(x_src, &labels);
-        batch.push(x_tgt, &labels);
+        batch.push(x_src, labels);
+        batch.push(x_tgt, labels);
         let l_scl = batch.loss(cfg.temperature);
         scl_value = l_scl.item();
         loss = loss.add(&l_scl.scale(cfg.alpha));
@@ -241,7 +310,7 @@ fn train_batch(
     // L_domain (Eqs. 15 + 17)
     let mut domain_value = 0.0f32;
     if cfg.use_da {
-        let n = chunk.len();
+        let n = labels.len();
         let mut domain_labels = vec![DomainSide::Source.label(); n];
         domain_labels.extend(std::iter::repeat_n(DomainSide::Target.label(), n));
 
@@ -263,11 +332,9 @@ fn train_batch(
     // to align exactly the representations used at serving time. No rating
     // labels are involved — only the users' source-domain documents and
     // generated auxiliary documents.
-    if cfg.align_cold_users && (cfg.use_scl || cfg.use_da) && !cold_users.is_empty() {
-        let k = (chunk.len() / 2).clamp(2, cold_users.len());
-        let mut picks: Vec<UserId> = cold_users.to_vec();
-        picks.shuffle(rng);
-        picks.truncate(k);
+    if !input.align_users.is_empty() {
+        let picks = &input.align_users;
+        let k = picks.len();
         let src_docs: Vec<&[usize]> = picks.iter().map(|u| views.source_doc(*u)).collect();
         let aux_docs: Vec<&[usize]> = picks.iter().map(|u| views.aux_doc(*u)).collect();
         let f_src = model.user_features(&src_docs, DomainSide::Source, true, rng);

@@ -1,0 +1,91 @@
+//! Determinism regression: training is a pure function of `cfg.seed`,
+//! regardless of how many threads the tensor runtime uses. Two `Trainer::fit`
+//! runs with the same seed must produce bit-identical `EpochStats`,
+//! validation RMSE curves, and predictions — serially *and* on the worker
+//! pool, and the serial and parallel runs must match **each other** too.
+//! This is the end-to-end guarantee the kernel-level parity tests
+//! (om-tensor `tests/parity.rs`) build up to.
+
+use om_data::{SplitConfig, SynthConfig, SynthWorld};
+use om_data::split::CrossDomainScenario;
+use om_data::types::{ItemId, UserId};
+use om_tensor::runtime;
+use omnimatch_core::{OmniMatchConfig, Trainer};
+
+fn scenario() -> CrossDomainScenario {
+    let world = SynthWorld::generate(SynthConfig::tiny(), &["Books", "Movies"]);
+    world.scenario("Books", "Movies", SplitConfig::default())
+}
+
+/// Everything a training run observably produces, bit-exact.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    epoch_stats: Vec<[u32; 4]>,
+    valid_rmse: Vec<u32>,
+    best_epoch: usize,
+    predictions: Vec<u32>,
+}
+
+fn fingerprint(sc: &CrossDomainScenario, seed: u64) -> Fingerprint {
+    let trained = Trainer::new(OmniMatchConfig::fast().with_seed(seed)).fit(sc);
+    let report = trained.report();
+    let pairs: Vec<(UserId, ItemId)> = sc
+        .test_pairs()
+        .iter()
+        .map(|it| (it.user, it.item))
+        .collect();
+    Fingerprint {
+        epoch_stats: report
+            .epochs
+            .iter()
+            .map(|e| {
+                [
+                    e.total.to_bits(),
+                    e.rating.to_bits(),
+                    e.scl.to_bits(),
+                    e.domain.to_bits(),
+                ]
+            })
+            .collect(),
+        valid_rmse: report.valid_rmse.iter().map(|r| r.to_bits()).collect(),
+        best_epoch: report.best_epoch,
+        predictions: trained
+            .predict(&pairs)
+            .iter()
+            .map(|p| p.to_bits())
+            .collect(),
+    }
+}
+
+#[test]
+fn training_is_bitwise_deterministic_at_any_thread_count() {
+    let sc = scenario();
+
+    let prev = runtime::set_threads(1);
+    let serial_a = fingerprint(&sc, 42);
+    let serial_b = fingerprint(&sc, 42);
+    runtime::set_threads(0);
+    let parallel_a = fingerprint(&sc, 42);
+    let parallel_b = fingerprint(&sc, 42);
+    runtime::set_threads(prev);
+
+    assert!(!serial_a.epoch_stats.is_empty());
+    assert!(!serial_a.valid_rmse.is_empty(), "validation RMSE must be tracked");
+    // Same seed, same thread count → identical runs.
+    assert_eq!(serial_a, serial_b, "two serial runs with one seed diverged");
+    assert_eq!(parallel_a, parallel_b, "two pooled runs with one seed diverged");
+    // And the thread count itself must not matter.
+    assert_eq!(
+        serial_a, parallel_a,
+        "serial and parallel training with one seed diverged"
+    );
+}
+
+#[test]
+fn different_seeds_actually_differ() {
+    // Guards the fingerprint against being trivially constant.
+    let sc = scenario();
+    let a = fingerprint(&sc, 1);
+    let b = fingerprint(&sc, 2);
+    assert_ne!(a.predictions, b.predictions, "seed must influence training");
+}

@@ -66,14 +66,21 @@ impl Domain {
         self.interactions.is_empty()
     }
 
-    /// The set of users with at least one record.
+    /// The set of users with at least one record, in ascending id order.
+    /// Sorted so the iteration order is stable across runs — downstream
+    /// seeded sampling must not inherit `HashMap` iteration order.
     pub fn users(&self) -> impl Iterator<Item = UserId> + '_ {
-        self.user_records.keys().copied()
+        let mut ids: Vec<UserId> = self.user_records.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter()
     }
 
-    /// The set of items with at least one record.
+    /// The set of items with at least one record, in ascending id order
+    /// (stable across runs, like [`Domain::users`]).
     pub fn items(&self) -> impl Iterator<Item = ItemId> + '_ {
-        self.item_records.keys().copied()
+        let mut ids: Vec<ItemId> = self.item_records.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter()
     }
 
     /// Number of distinct users.

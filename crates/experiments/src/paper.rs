@@ -260,8 +260,7 @@ mod tests {
 
     #[test]
     fn table5_full_model_beats_ablations_on_rmse() {
-        for s in 0..3 {
-            let full = TABLE5_RMSE[3][s];
+        for (s, &full) in TABLE5_RMSE[3].iter().enumerate().take(3) {
             for v in [0, 1, 2, 4, 5] {
                 assert!(full <= TABLE5_RMSE[v][s], "variant {v} scenario {s}");
             }

@@ -60,16 +60,10 @@ impl SupConBatch {
         let stacked = if refs.len() == 1 {
             refs[0].clone()
         } else {
-            // All views share the projection width; stack over rows.
-            let rows: Vec<Tensor> = refs
-                .iter()
-                .flat_map(|t| {
-                    let (n, p) = t.shape().as_2d();
-                    (0..n).map(move |i| t.select_rows(&[i]).reshape(&[p]))
-                })
-                .collect();
-            let row_refs: Vec<&Tensor> = rows.iter().collect();
-            Tensor::stack_rows(&row_refs)
+            // All views share the projection width; a single row-concat
+            // replaces the old per-row select/stack (one graph node and one
+            // memcpy instead of O(rows) gather ops).
+            Tensor::concat_rows(&refs)
         };
         supcon_loss(&stacked, &self.labels, temperature)
     }

@@ -1,6 +1,11 @@
 //! The TextCNN feature extractor of §4.2: parallel 1-D convolutions with
 //! kernel widths (3, 4, 5) over embedded review documents, ReLU, and
 //! max-over-time pooling (Eqs. 4–7). Output width = `kernels × filters`.
+//!
+//! Each branch lowers to unfold (im2col) + GEMM + bias + ReLU + pooling;
+//! every one of those kernels is multithreaded inside `om_tensor` (see
+//! `om_tensor::runtime`), so the whole extractor scales with cores while
+//! staying bitwise deterministic.
 
 use om_tensor::{init, Rng, Tensor};
 

@@ -30,7 +30,7 @@ struct EncoderLayer {
 
 impl EncoderLayer {
     fn new(dim: usize, n_heads: usize, ff_dim: usize, rng: &mut Rng) -> EncoderLayer {
-        assert!(dim % n_heads == 0, "dim must divide by head count");
+        assert!(dim.is_multiple_of(n_heads), "dim must divide by head count");
         let head_dim = dim / n_heads;
         EncoderLayer {
             heads: (0..n_heads)

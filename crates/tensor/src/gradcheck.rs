@@ -47,11 +47,10 @@ where
         .unwrap_or_else(|| vec![0.0; param.numel()]);
 
     // Numeric pass, coordinate by coordinate.
-    let n = param.numel();
     let mut max_rel = 0.0f32;
     let mut worst = 0usize;
     let mut worst_pair = (0.0f32, 0.0f32);
-    for i in 0..n {
+    for (i, &a_i) in analytic.iter().enumerate() {
         let orig = param.at(i);
         param.data_mut()[i] = orig + eps;
         let plus = f(param).item();
@@ -59,12 +58,12 @@ where
         let minus = f(param).item();
         param.data_mut()[i] = orig;
         let numeric = (plus - minus) / (2.0 * eps);
-        let denom = analytic[i].abs().max(numeric.abs()).max(1e-3);
-        let rel = (analytic[i] - numeric).abs() / denom;
+        let denom = a_i.abs().max(numeric.abs()).max(1e-3);
+        let rel = (a_i - numeric).abs() / denom;
         if rel > max_rel {
             max_rel = rel;
             worst = i;
-            worst_pair = (analytic[i], numeric);
+            worst_pair = (a_i, numeric);
         }
     }
     GradCheckReport {

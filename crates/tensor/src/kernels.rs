@@ -1,0 +1,360 @@
+//! Compute kernels behind the tensor ops: a register-blocked parallel GEMM,
+//! deterministic chunked reductions and parallel map/zip primitives.
+//!
+//! Every kernel here is **bitwise deterministic across thread counts**: for
+//! a given input, the output is identical whether the runtime uses one
+//! thread or many. Two mechanisms guarantee this:
+//!
+//! * *Partition-independent outputs.* GEMM rows, softmax rows and
+//!   elementwise chunks each own a disjoint output region whose value
+//!   depends only on the inputs, never on which thread computed a
+//!   neighbouring region. Within one output element, floating-point
+//!   accumulation order is fixed (`k` increasing for GEMM, left-to-right
+//!   for row sums).
+//! * *Fixed-shape reductions.* Full reductions ([`sum`]) split the input
+//!   into fixed [`REDUCE_CHUNK`]-element chunks regardless of the thread
+//!   count, reduce each chunk left-to-right, and combine the partials in
+//!   chunk order on the calling thread.
+//!
+//! The serial reference kernels (`*_serial`) are kept callable so the
+//! parity test-suite can assert bit-identical results against the parallel
+//! paths.
+
+use crate::runtime;
+
+/// Elements per reduction chunk. Fixed so the combining tree of [`sum`]
+/// never depends on the thread count.
+pub const REDUCE_CHUNK: usize = 4096;
+
+/// Minimum elements before an elementwise loop is worth parallelising.
+const MAP_GRAIN: usize = 16 * 1024;
+
+/// Minimum multiply-adds before the GEMM goes parallel.
+const GEMM_PAR_FLOPS: usize = 64 * 1024;
+
+/// Rows per GEMM task; also the micro-panel height unit.
+const GEMM_ROW_GRAIN: usize = 8;
+
+// ---------------------------------------------------------------------------
+// GEMM
+// ---------------------------------------------------------------------------
+
+/// Reference row-major GEMM, `c[m,n] += a[m,k] · b[k,n]`, single thread.
+///
+/// The ikj loop order keeps the inner loop contiguous over `b` and `c`;
+/// rows of `a` that are exactly zero at position `p` are skipped, which is
+/// a real win for the zero-padded rows produced by `unfold_windows`.
+pub fn gemm_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_ip * b_v;
+            }
+        }
+    }
+}
+
+/// Compute rows `[row0, row0+rows)` of the product into `c_block` (which
+/// holds exactly those rows), processing four rows at a time so each
+/// streamed row of `b` is reused fourfold.
+///
+/// Per output element the accumulation order is `p = 0..k`, identical to
+/// [`gemm_serial`]; adding an exact-zero product is a bitwise no-op for
+/// finite inputs, so the relaxed skip condition (all four lanes zero)
+/// cannot change results.
+fn gemm_rows(a: &[f32], b: &[f32], c_block: &mut [f32], row0: usize, rows: usize, k: usize, n: usize) {
+    let mut i = 0;
+    while i + 4 <= rows {
+        let (r0, r1, r2, r3) = (row0 + i, row0 + i + 1, row0 + i + 2, row0 + i + 3);
+        // Four independent accumulator rows inside the block.
+        let (c01, c23) = c_block[i * n..(i + 4) * n].split_at_mut(2 * n);
+        let (c0, c1) = c01.split_at_mut(n);
+        let (c2, c3) = c23.split_at_mut(n);
+        for p in 0..k {
+            let a0 = a[r0 * k + p];
+            let a1 = a[r1 * k + p];
+            let a2 = a[r2 * k + p];
+            let a3 = a[r3 * k + p];
+            if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for j in 0..n {
+                let bv = b_row[j];
+                c0[j] += a0 * bv;
+                c1[j] += a1 * bv;
+                c2[j] += a2 * bv;
+                c3[j] += a3 * bv;
+            }
+        }
+        i += 4;
+    }
+    // Ragged tail: plain single-row kernel, same per-element order.
+    while i < rows {
+        let r = row0 + i;
+        let c_row = &mut c_block[i * n..(i + 1) * n];
+        for p in 0..k {
+            let a_ip = a[r * k + p];
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
+                *c_v += a_ip * b_v;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Row-major GEMM `c[m,n] += a[m,k] · b[k,n]`, parallel over row blocks.
+///
+/// Bitwise identical to [`gemm_serial`] for finite inputs at any thread
+/// count (see module docs).
+pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if n == 0 || m == 0 {
+        return;
+    }
+    if m * n * k < GEMM_PAR_FLOPS {
+        gemm_rows(a, b, c, 0, m, k, n);
+        return;
+    }
+    // Keep at least GEMM_ROW_GRAIN rows per task unless the matrix is wide
+    // enough that even single rows amortise the dispatch.
+    let grain = if n * k >= 64 * 1024 { 1 } else { GEMM_ROW_GRAIN };
+    runtime::parallel_rows_mut(c, n, grain, |row0, block| {
+        gemm_rows(a, b, block, row0, block.len() / n, k, n);
+    });
+}
+
+/// Transpose a row-major `[m,n]` matrix into `[n,m]`.
+pub fn transpose(a: &[f32], m: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    if m * n >= MAP_GRAIN {
+        // Each output row j gathers column j of `a`; rows are disjoint.
+        runtime::parallel_rows_mut(&mut out, m, 8, |j0, block| {
+            for (dj, orow) in block.chunks_mut(m).enumerate() {
+                let j = j0 + dj;
+                for (i, o) in orow.iter_mut().enumerate() {
+                    *o = a[i * n + j];
+                }
+            }
+        });
+    } else {
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = a[i * n + j];
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+/// Left-to-right sum of one chunk (the serial building block of [`sum`]).
+#[inline]
+fn chunk_sum(x: &[f32]) -> f32 {
+    x.iter().sum()
+}
+
+/// Deterministic chunked sum: identical bits at every thread count.
+///
+/// The input is cut into fixed [`REDUCE_CHUNK`]-element chunks; partials
+/// are computed (possibly in parallel) and combined left-to-right.
+pub fn sum(x: &[f32]) -> f32 {
+    if x.len() <= REDUCE_CHUNK {
+        return chunk_sum(x);
+    }
+    let chunks = x.len().div_ceil(REDUCE_CHUNK);
+    let mut partials = vec![0.0f32; chunks];
+    runtime::parallel_rows_mut(&mut partials, 1, 4, |c0, block| {
+        for (dc, slot) in block.iter_mut().enumerate() {
+            let c = c0 + dc;
+            let lo = c * REDUCE_CHUNK;
+            let hi = ((c + 1) * REDUCE_CHUNK).min(x.len());
+            *slot = chunk_sum(&x[lo..hi]);
+        }
+    });
+    chunk_sum(&partials)
+}
+
+/// Serial twin of [`sum`] — same chunking, same bits, never parallel.
+pub fn sum_serial(x: &[f32]) -> f32 {
+    if x.len() <= REDUCE_CHUNK {
+        return chunk_sum(x);
+    }
+    let partials: Vec<f32> = x.chunks(REDUCE_CHUNK).map(chunk_sum).collect();
+    chunk_sum(&partials)
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise maps
+// ---------------------------------------------------------------------------
+
+/// Parallel elementwise map: `out[i] = f(x[i])`.
+pub fn map(x: &[f32], f: impl Fn(f32) -> f32 + Sync) -> Vec<f32> {
+    let mut out = vec![0.0f32; x.len()];
+    runtime::parallel_rows_mut(&mut out, 1, MAP_GRAIN, |i0, block| {
+        for (d, o) in block.iter_mut().enumerate() {
+            *o = f(x[i0 + d]);
+        }
+    });
+    out
+}
+
+/// Parallel elementwise zip: `out[i] = f(a[i], b[i])`.
+pub fn zip_map(a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32 + Sync) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "zip_map: length mismatch");
+    let mut out = vec![0.0f32; a.len()];
+    runtime::parallel_rows_mut(&mut out, 1, MAP_GRAIN, |i0, block| {
+        for (d, o) in block.iter_mut().enumerate() {
+            *o = f(a[i0 + d], b[i0 + d]);
+        }
+    });
+    out
+}
+
+/// Parallel indexed map: `out[i] = f(i)`. For broadcast patterns that need
+/// the flat index (e.g. row-vector broadcast `x[i] + row[i % n]`).
+pub fn map_indexed(len: usize, f: impl Fn(usize) -> f32 + Sync) -> Vec<f32> {
+    let mut out = vec![0.0f32; len];
+    runtime::parallel_rows_mut(&mut out, 1, MAP_GRAIN, |i0, block| {
+        for (d, o) in block.iter_mut().enumerate() {
+            *o = f(i0 + d);
+        }
+    });
+    out
+}
+
+/// Minimum f32 cells per [`fill_rows`] task. Callers pass a row grain that
+/// reflects per-row compute, but narrow rows would otherwise ship tasks far
+/// below a few microseconds of work; the grain is floored so every task
+/// covers at least this many cells. Pure performance tuning — the fills are
+/// partition-independent, so the grain never affects results.
+const FILL_GRAIN_CELLS: usize = 4096;
+
+/// Parallel per-row fill of an `[rows, row_len]` buffer: `f(row_index,
+/// row_slice)` runs once per row, rows distributed over threads. The
+/// canonical primitive for softmax, normalisation and unfold kernels.
+pub fn fill_rows(rows: usize, row_len: usize, grain_rows: usize, f: impl Fn(usize, &mut [f32]) + Sync) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows * row_len];
+    let grain_rows = grain_rows.max(FILL_GRAIN_CELLS / row_len.max(1));
+    runtime::parallel_rows_mut(&mut out, row_len.max(1), grain_rows, |r0, block| {
+        for (dr, row) in block.chunks_mut(row_len.max(1)).enumerate() {
+            f(r0 + dr, row);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{init, runtime, seeded_rng};
+
+    fn random_vec(n: usize, seed: u64) -> Vec<f32> {
+        init::uniform(&[n], -1.0, 1.0, &mut seeded_rng(seed)).to_vec()
+    }
+
+    fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+        let prev = runtime::set_threads(n);
+        let out = f();
+        runtime::set_threads(prev);
+        out
+    }
+
+    #[test]
+    fn gemm_matches_serial_bitwise() {
+        for &(m, k, n) in &[(1, 1, 1), (5, 7, 3), (64, 64, 64), (130, 97, 61), (257, 33, 129)] {
+            let a = random_vec(m * k, 1000 + m as u64);
+            let b = random_vec(k * n, 2000 + n as u64);
+            let mut c_ref = vec![0.0f32; m * n];
+            gemm_serial(&a, &b, &mut c_ref, m, k, n);
+            for threads in [1, runtime::max_threads()] {
+                let c = with_threads(threads, || {
+                    let mut c = vec![0.0f32; m * n];
+                    gemm(&a, &b, &mut c, m, k, n);
+                    c
+                });
+                assert_eq!(c, c_ref, "gemm {m}x{k}x{n} differs at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_skips_zero_rows_like_serial() {
+        let (m, k, n) = (64, 48, 32);
+        let mut a = random_vec(m * k, 7);
+        // Zero whole stretches to exercise the skip path.
+        for v in a.iter_mut().take(m * k / 2) {
+            *v = 0.0;
+        }
+        let b = random_vec(k * n, 8);
+        let mut c_ref = vec![0.0f32; m * n];
+        gemm_serial(&a, &b, &mut c_ref, m, k, n);
+        let mut c = vec![0.0f32; m * n];
+        gemm(&a, &b, &mut c, m, k, n);
+        assert_eq!(c, c_ref);
+    }
+
+    #[test]
+    fn sum_is_thread_count_invariant() {
+        for n in [1, 100, REDUCE_CHUNK, REDUCE_CHUNK + 1, 5 * REDUCE_CHUNK + 13] {
+            let x = random_vec(n, n as u64);
+            let reference = sum_serial(&x);
+            for threads in [1, runtime::max_threads()] {
+                let s = with_threads(threads, || sum(&x));
+                assert_eq!(s.to_bits(), reference.to_bits(), "sum({n}) at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn map_and_zip_match_scalar_loops() {
+        let n = 3 * MAP_GRAIN + 17;
+        let a = random_vec(n, 21);
+        let b = random_vec(n, 22);
+        let mapped = map(&a, |x| x.exp());
+        let zipped = zip_map(&a, &b, |x, y| x * y);
+        for i in (0..n).step_by(997) {
+            assert_eq!(mapped[i].to_bits(), a[i].exp().to_bits());
+            assert_eq!(zipped[i].to_bits(), (a[i] * b[i]).to_bits());
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrips() {
+        let (m, n) = (173, 111);
+        let x = random_vec(m * n, 31);
+        let t = transpose(&x, m, n);
+        let back = transpose(&t, n, m);
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn fill_rows_indexes_correctly() {
+        let out = fill_rows(211, 7, 2, |r, row| {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = (r * 7 + j) as f32;
+            }
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as f32);
+        }
+    }
+}

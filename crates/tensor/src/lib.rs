@@ -17,6 +17,11 @@
 //! projections) and the gradient-reversal primitive used by domain
 //! adversarial training.
 //!
+//! Heavy kernels (GEMM, elementwise maps, row-wise softmax/normalisation,
+//! reductions, unfold) execute on a global thread pool — see [`runtime`]
+//! for configuration (`OM_THREADS`) and [`kernels`] for the determinism
+//! contract: results are bitwise identical at every thread count.
+//!
 //! ```
 //! use om_tensor::Tensor;
 //! let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).requires_grad();
@@ -28,7 +33,9 @@
 
 pub mod gradcheck;
 pub mod init;
+pub mod kernels;
 pub mod ops;
+pub mod runtime;
 pub mod shape;
 pub mod tensor;
 

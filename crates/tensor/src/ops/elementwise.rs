@@ -1,6 +1,7 @@
 //! Elementwise arithmetic and activations.
 
 use super::{acc, wants_grad};
+use crate::kernels;
 use crate::Tensor;
 
 impl Tensor {
@@ -17,11 +18,7 @@ impl Tensor {
     /// Elementwise addition of two same-shape tensors.
     pub fn add(&self, other: &Tensor) -> Tensor {
         self.assert_same_shape(other, "add");
-        let out: Vec<f32> = {
-            let a = self.data();
-            let b = other.data();
-            a.iter().zip(b.iter()).map(|(x, y)| x + y).collect()
-        };
+        let out = kernels::zip_map(&self.data(), &other.data(), |x, y| x + y);
         Tensor::from_op(
             out,
             self.dims(),
@@ -36,11 +33,7 @@ impl Tensor {
     /// Elementwise subtraction `self - other`.
     pub fn sub(&self, other: &Tensor) -> Tensor {
         self.assert_same_shape(other, "sub");
-        let out: Vec<f32> = {
-            let a = self.data();
-            let b = other.data();
-            a.iter().zip(b.iter()).map(|(x, y)| x - y).collect()
-        };
+        let out = kernels::zip_map(&self.data(), &other.data(), |x, y| x - y);
         Tensor::from_op(
             out,
             self.dims(),
@@ -48,7 +41,7 @@ impl Tensor {
             Box::new(move |g, parents| {
                 acc(&parents[0], g);
                 if wants_grad(&parents[1]) {
-                    let neg: Vec<f32> = g.iter().map(|x| -x).collect();
+                    let neg = kernels::map(g, |x| -x);
                     acc(&parents[1], &neg);
                 }
             }),
@@ -58,11 +51,7 @@ impl Tensor {
     /// Elementwise (Hadamard) product.
     pub fn mul(&self, other: &Tensor) -> Tensor {
         self.assert_same_shape(other, "mul");
-        let out: Vec<f32> = {
-            let a = self.data();
-            let b = other.data();
-            a.iter().zip(b.iter()).map(|(x, y)| x * y).collect()
-        };
+        let out = kernels::zip_map(&self.data(), &other.data(), |x, y| x * y);
         Tensor::from_op(
             out,
             self.dims(),
@@ -70,13 +59,11 @@ impl Tensor {
             Box::new(move |g, parents| {
                 let (pa, pb) = (&parents[0], &parents[1]);
                 if wants_grad(pa) {
-                    let b = pb.data();
-                    let ga: Vec<f32> = g.iter().zip(b.iter()).map(|(x, y)| x * y).collect();
+                    let ga = kernels::zip_map(g, &pb.data(), |x, y| x * y);
                     acc(pa, &ga);
                 }
                 if wants_grad(pb) {
-                    let a = pa.data();
-                    let gb: Vec<f32> = g.iter().zip(a.iter()).map(|(x, y)| x * y).collect();
+                    let gb = kernels::zip_map(g, &pa.data(), |x, y| x * y);
                     acc(pb, &gb);
                 }
             }),
@@ -85,14 +72,14 @@ impl Tensor {
 
     /// Multiply every element by a scalar.
     pub fn scale(&self, c: f32) -> Tensor {
-        let out: Vec<f32> = self.data().iter().map(|x| x * c).collect();
+        let out = kernels::map(&self.data(), |x| x * c);
         Tensor::from_op(
             out,
             self.dims(),
             vec![self.clone()],
             Box::new(move |g, parents| {
                 if wants_grad(&parents[0]) {
-                    let gp: Vec<f32> = g.iter().map(|x| x * c).collect();
+                    let gp = kernels::map(g, |x| x * c);
                     acc(&parents[0], &gp);
                 }
             }),
@@ -101,7 +88,7 @@ impl Tensor {
 
     /// Add a scalar to every element.
     pub fn add_scalar(&self, c: f32) -> Tensor {
-        let out: Vec<f32> = self.data().iter().map(|x| x + c).collect();
+        let out = kernels::map(&self.data(), |x| x + c);
         Tensor::from_op(
             out,
             self.dims(),
@@ -126,13 +113,10 @@ impl Tensor {
             row.numel(),
             n
         );
-        let out: Vec<f32> = {
-            let a = self.data();
-            let b = row.data();
-            a.iter()
-                .enumerate()
-                .map(|(i, x)| x + b[i % n])
-                .collect()
+        let out = {
+            let (a, b) = (self.data(), row.data());
+            let (a, b): (&[f32], &[f32]) = (&a, &b);
+            kernels::map_indexed(a.len(), |i| a[i] + b[i % n])
         };
         Tensor::from_op(
             out,
@@ -162,10 +146,10 @@ impl Tensor {
             row.numel(),
             n
         );
-        let out: Vec<f32> = {
-            let a = self.data();
-            let b = row.data();
-            a.iter().enumerate().map(|(i, x)| x * b[i % n]).collect()
+        let out = {
+            let (a, b) = (self.data(), row.data());
+            let (a, b): (&[f32], &[f32]) = (&a, &b);
+            kernels::map_indexed(a.len(), |i| a[i] * b[i % n])
         };
         Tensor::from_op(
             out,
@@ -175,7 +159,8 @@ impl Tensor {
                 let (pa, pb) = (&parents[0], &parents[1]);
                 if wants_grad(pa) {
                     let b = pb.data();
-                    let ga: Vec<f32> = g.iter().enumerate().map(|(i, x)| x * b[i % n]).collect();
+                    let b: &[f32] = &b;
+                    let ga = kernels::map_indexed(g.len(), |i| g[i] * b[i % n]);
                     acc(pa, &ga);
                 }
                 if wants_grad(pb) {
@@ -192,19 +177,15 @@ impl Tensor {
 
     /// Rectified linear unit, the paper's activation (Eq. 5).
     pub fn relu(&self) -> Tensor {
-        let out: Vec<f32> = self.data().iter().map(|&x| x.max(0.0)).collect();
-        let mask: Vec<bool> = self.data().iter().map(|&x| x > 0.0).collect();
+        let saved = self.to_vec();
+        let out = kernels::map(&saved, |x| x.max(0.0));
         Tensor::from_op(
             out,
             self.dims(),
             vec![self.clone()],
             Box::new(move |g, parents| {
                 if wants_grad(&parents[0]) {
-                    let gp: Vec<f32> = g
-                        .iter()
-                        .zip(mask.iter())
-                        .map(|(&x, &m)| if m { x } else { 0.0 })
-                        .collect();
+                    let gp = kernels::zip_map(g, &saved, |gy, x| if x > 0.0 { gy } else { 0.0 });
                     acc(&parents[0], &gp);
                 }
             }),
@@ -213,11 +194,7 @@ impl Tensor {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self) -> Tensor {
-        let out: Vec<f32> = self
-            .data()
-            .iter()
-            .map(|&x| 1.0 / (1.0 + (-x).exp()))
-            .collect();
+        let out = kernels::map(&self.data(), |x| 1.0 / (1.0 + (-x).exp()));
         let saved = out.clone();
         Tensor::from_op(
             out,
@@ -225,11 +202,7 @@ impl Tensor {
             vec![self.clone()],
             Box::new(move |g, parents| {
                 if wants_grad(&parents[0]) {
-                    let gp: Vec<f32> = g
-                        .iter()
-                        .zip(saved.iter())
-                        .map(|(&gy, &y)| gy * y * (1.0 - y))
-                        .collect();
+                    let gp = kernels::zip_map(g, &saved, |gy, y| gy * y * (1.0 - y));
                     acc(&parents[0], &gp);
                 }
             }),
@@ -238,7 +211,7 @@ impl Tensor {
 
     /// Hyperbolic tangent.
     pub fn tanh_act(&self) -> Tensor {
-        let out: Vec<f32> = self.data().iter().map(|&x| x.tanh()).collect();
+        let out = kernels::map(&self.data(), f32::tanh);
         let saved = out.clone();
         Tensor::from_op(
             out,
@@ -246,11 +219,7 @@ impl Tensor {
             vec![self.clone()],
             Box::new(move |g, parents| {
                 if wants_grad(&parents[0]) {
-                    let gp: Vec<f32> = g
-                        .iter()
-                        .zip(saved.iter())
-                        .map(|(&gy, &y)| gy * (1.0 - y * y))
-                        .collect();
+                    let gp = kernels::zip_map(g, &saved, |gy, y| gy * (1.0 - y * y));
                     acc(&parents[0], &gp);
                 }
             }),
@@ -259,7 +228,7 @@ impl Tensor {
 
     /// Elementwise exponential.
     pub fn exp(&self) -> Tensor {
-        let out: Vec<f32> = self.data().iter().map(|&x| x.exp()).collect();
+        let out = kernels::map(&self.data(), f32::exp);
         let saved = out.clone();
         Tensor::from_op(
             out,
@@ -267,11 +236,7 @@ impl Tensor {
             vec![self.clone()],
             Box::new(move |g, parents| {
                 if wants_grad(&parents[0]) {
-                    let gp: Vec<f32> = g
-                        .iter()
-                        .zip(saved.iter())
-                        .map(|(&gy, &y)| gy * y)
-                        .collect();
+                    let gp = kernels::zip_map(g, &saved, |gy, y| gy * y);
                     acc(&parents[0], &gp);
                 }
             }),
@@ -281,18 +246,14 @@ impl Tensor {
     /// Elementwise natural logarithm (inputs must be positive).
     pub fn log(&self) -> Tensor {
         let saved = self.to_vec();
-        let out: Vec<f32> = saved.iter().map(|&x| x.ln()).collect();
+        let out = kernels::map(&saved, f32::ln);
         Tensor::from_op(
             out,
             self.dims(),
             vec![self.clone()],
             Box::new(move |g, parents| {
                 if wants_grad(&parents[0]) {
-                    let gp: Vec<f32> = g
-                        .iter()
-                        .zip(saved.iter())
-                        .map(|(&gy, &x)| gy / x)
-                        .collect();
+                    let gp = kernels::zip_map(g, &saved, |gy, x| gy / x);
                     acc(&parents[0], &gp);
                 }
             }),

@@ -1,41 +1,8 @@
 //! Dense 2-D matrix multiplication and transposition.
 
 use super::{acc, wants_grad};
+use crate::kernels::{gemm, transpose as transpose_raw};
 use crate::Tensor;
-
-/// Raw row-major GEMM: `c[m,n] += a[m,k] * b[k,n]`.
-///
-/// A simple ikj loop order keeps the inner loop contiguous, which is the
-/// single most important cache optimisation for this access pattern.
-pub(crate) fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (c_v, &b_v) in c_row.iter_mut().zip(b_row) {
-                *c_v += a_ip * b_v;
-            }
-        }
-    }
-}
-
-/// Raw transpose of a row-major `[m,n]` matrix into `[n,m]`.
-pub(crate) fn transpose_raw(a: &[f32], m: usize, n: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        for j in 0..n {
-            out[j * m + i] = a[i * n + j];
-        }
-    }
-    out
-}
 
 impl Tensor {
     /// Matrix product of `self [m,k]` and `other [k,n]` → `[m,n]`.

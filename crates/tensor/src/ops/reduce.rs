@@ -1,12 +1,16 @@
 //! Reductions over all elements or single axes.
 
 use super::{acc, wants_grad};
+use crate::{kernels, runtime};
 use crate::Tensor;
 
 impl Tensor {
     /// Sum of all elements, as a scalar tensor.
+    ///
+    /// Uses the fixed-chunk deterministic reduction of [`kernels::sum`], so
+    /// the result is bitwise identical at every thread count.
     pub fn sum_all(&self) -> Tensor {
-        let s: f32 = self.data().iter().sum();
+        let s: f32 = kernels::sum(&self.data());
         let n = self.numel();
         Tensor::from_op(
             vec![s],
@@ -32,10 +36,18 @@ impl Tensor {
         let (m, n) = self.shape().as_2d();
         let d = self.data();
         let mut out = vec![0.0f32; n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j] += d[i * n + j];
-            }
+        {
+            // Parallel over column blocks; each out[j] still accumulates in
+            // row order, so results match the serial loop bit for bit.
+            let dref: &[f32] = &d;
+            runtime::parallel_rows_mut(&mut out, 1, 256, |j0, block| {
+                for i in 0..m {
+                    let row = &dref[i * n + j0..i * n + j0 + block.len()];
+                    for (o, &v) in block.iter_mut().zip(row) {
+                        *o += v;
+                    }
+                }
+            });
         }
         drop(d);
         Tensor::from_op(
@@ -44,10 +56,7 @@ impl Tensor {
             vec![self.clone()],
             Box::new(move |g, parents| {
                 if wants_grad(&parents[0]) {
-                    let mut gp = vec![0.0f32; m * n];
-                    for i in 0..m {
-                        gp[i * n..(i + 1) * n].copy_from_slice(g);
-                    }
+                    let gp = kernels::fill_rows(m, n, 8, |_, row| row.copy_from_slice(g));
                     acc(&parents[0], &gp);
                 }
             }),
@@ -58,7 +67,12 @@ impl Tensor {
     pub fn sum_cols(&self) -> Tensor {
         let (m, n) = self.shape().as_2d();
         let d = self.data();
-        let out: Vec<f32> = (0..m).map(|i| d[i * n..(i + 1) * n].iter().sum()).collect();
+        let out = {
+            let dref: &[f32] = &d;
+            kernels::fill_rows(m, 1, 64, |i, slot| {
+                slot[0] = dref[i * n..(i + 1) * n].iter().sum();
+            })
+        };
         drop(d);
         Tensor::from_op(
             out,
@@ -66,12 +80,7 @@ impl Tensor {
             vec![self.clone()],
             Box::new(move |g, parents| {
                 if wants_grad(&parents[0]) {
-                    let mut gp = vec![0.0f32; m * n];
-                    for i in 0..m {
-                        for j in 0..n {
-                            gp[i * n + j] = g[i];
-                        }
-                    }
+                    let gp = kernels::fill_rows(m, n, 8, |i, row| row.fill(g[i]));
                     acc(&parents[0], &gp);
                 }
             }),

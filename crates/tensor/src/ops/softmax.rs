@@ -2,6 +2,7 @@
 //! by classification losses.
 
 use super::{acc, wants_grad};
+use crate::kernels;
 use crate::Tensor;
 
 /// Numerically-stable log-softmax of one row, written into `out`.
@@ -23,10 +24,12 @@ impl Tensor {
     pub fn log_softmax_rows(&self) -> Tensor {
         let (m, n) = self.shape().as_2d();
         let d = self.data();
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            log_softmax_row(&d[i * n..(i + 1) * n], &mut out[i * n..(i + 1) * n]);
-        }
+        let out = {
+            let dref: &[f32] = &d;
+            kernels::fill_rows(m, n, 8, |i, row| {
+                log_softmax_row(&dref[i * n..(i + 1) * n], row);
+            })
+        };
         drop(d);
         let saved = out.clone();
         Tensor::from_op(
@@ -36,14 +39,14 @@ impl Tensor {
             Box::new(move |g, parents| {
                 if wants_grad(&parents[0]) {
                     // d log_softmax: dx = g - softmax(x) * sum(g) per row
-                    let mut gp = vec![0.0f32; m * n];
-                    for i in 0..m {
-                        let gs: f32 = g[i * n..(i + 1) * n].iter().sum();
-                        for j in 0..n {
+                    let gp = kernels::fill_rows(m, n, 8, |i, row| {
+                        let gi = &g[i * n..(i + 1) * n];
+                        let gs: f32 = gi.iter().sum();
+                        for (j, o) in row.iter_mut().enumerate() {
                             let sm = saved[i * n + j].exp();
-                            gp[i * n + j] = g[i * n + j] - sm * gs;
+                            *o = gi[j] - sm * gs;
                         }
-                    }
+                    });
                     acc(&parents[0], &gp);
                 }
             }),

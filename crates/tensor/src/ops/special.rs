@@ -2,6 +2,7 @@
 //! projection: gradient scaling/reversal and L2 row normalisation.
 
 use super::{acc, wants_grad};
+use crate::kernels;
 use crate::Tensor;
 
 impl Tensor {
@@ -20,7 +21,7 @@ impl Tensor {
             vec![self.clone()],
             Box::new(move |g, parents| {
                 if wants_grad(&parents[0]) {
-                    let gp: Vec<f32> = g.iter().map(|x| x * c).collect();
+                    let gp = kernels::map(g, |x| x * c);
                     acc(&parents[0], &gp);
                 }
             }),
@@ -41,16 +42,16 @@ impl Tensor {
         const EPS: f32 = 1e-8;
         let (m, n) = self.shape().as_2d();
         let x = self.to_vec();
-        let mut out = vec![0.0f32; m * n];
-        let mut norms = vec![0.0f32; m];
-        for i in 0..m {
+        let norms = kernels::fill_rows(m, 1, 32, |i, slot| {
             let row = &x[i * n..(i + 1) * n];
-            let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(EPS);
-            norms[i] = norm;
-            for j in 0..n {
-                out[i * n + j] = row[j] / norm;
+            slot[0] = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(EPS);
+        });
+        let out = kernels::fill_rows(m, n, 8, |i, orow| {
+            let row = &x[i * n..(i + 1) * n];
+            for (o, &v) in orow.iter_mut().zip(row) {
+                *o = v / norms[i];
             }
-        }
+        });
         let saved_y = out.clone();
         Tensor::from_op(
             out,
@@ -59,15 +60,14 @@ impl Tensor {
             Box::new(move |g, parents| {
                 if wants_grad(&parents[0]) {
                     // dx = (g - y (y·g)) / ‖x‖ per row
-                    let mut gp = vec![0.0f32; m * n];
-                    for i in 0..m {
+                    let gp = kernels::fill_rows(m, n, 8, |i, orow| {
                         let y = &saved_y[i * n..(i + 1) * n];
                         let gi = &g[i * n..(i + 1) * n];
                         let dot: f32 = y.iter().zip(gi).map(|(a, b)| a * b).sum();
-                        for j in 0..n {
-                            gp[i * n + j] = (gi[j] - y[j] * dot) / norms[i];
+                        for (j, o) in orow.iter_mut().enumerate() {
+                            *o = (gi[j] - y[j] * dot) / norms[i];
                         }
-                    }
+                    });
                     acc(&parents[0], &gp);
                 }
             }),
@@ -84,18 +84,22 @@ impl Tensor {
         const EPS: f32 = 1e-5;
         let (m, n) = self.shape().as_2d();
         let x = self.to_vec();
-        let mut out = vec![0.0f32; m * n];
-        let mut inv_std = vec![0.0f32; m];
-        for i in 0..m {
+        // Pass 1: per-row (mean, 1/std) pairs; pass 2: standardised rows.
+        let stats = kernels::fill_rows(m, 2, 32, |i, slot| {
             let row = &x[i * n..(i + 1) * n];
             let mean = row.iter().sum::<f32>() / n as f32;
             let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n as f32;
-            let is = 1.0 / (var + EPS).sqrt();
-            inv_std[i] = is;
-            for j in 0..n {
-                out[i * n + j] = (row[j] - mean) * is;
+            slot[0] = mean;
+            slot[1] = 1.0 / (var + EPS).sqrt();
+        });
+        let out = kernels::fill_rows(m, n, 8, |i, orow| {
+            let row = &x[i * n..(i + 1) * n];
+            let (mean, is) = (stats[2 * i], stats[2 * i + 1]);
+            for (o, &v) in orow.iter_mut().zip(row) {
+                *o = (v - mean) * is;
             }
-        }
+        });
+        let inv_std: Vec<f32> = (0..m).map(|i| stats[2 * i + 1]).collect();
         let saved_y = out.clone();
         Tensor::from_op(
             out,
@@ -104,16 +108,15 @@ impl Tensor {
             Box::new(move |g, parents| {
                 if wants_grad(&parents[0]) {
                     // dx = inv_std * (g - mean(g) - y * mean(g ∘ y)) per row
-                    let mut gp = vec![0.0f32; m * n];
-                    for i in 0..m {
+                    let gp = kernels::fill_rows(m, n, 8, |i, orow| {
                         let y = &saved_y[i * n..(i + 1) * n];
                         let gi = &g[i * n..(i + 1) * n];
                         let mg = gi.iter().sum::<f32>() / n as f32;
                         let mgy = gi.iter().zip(y).map(|(a, b)| a * b).sum::<f32>() / n as f32;
-                        for j in 0..n {
-                            gp[i * n + j] = inv_std[i] * (gi[j] - mg - y[j] * mgy);
+                        for (j, o) in orow.iter_mut().enumerate() {
+                            *o = inv_std[i] * (gi[j] - mg - y[j] * mgy);
                         }
-                    }
+                    });
                     acc(&parents[0], &gp);
                 }
             }),

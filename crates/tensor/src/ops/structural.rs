@@ -2,6 +2,7 @@
 //! unfold (im2col for the TextCNN), max-over-time pooling and row selection.
 
 use super::{acc, wants_grad};
+use crate::{kernels, runtime};
 use crate::Tensor;
 
 impl Tensor {
@@ -138,14 +139,17 @@ impl Tensor {
     /// standard sparse embedding gradient.
     pub fn embedding_lookup(&self, indices: &[usize]) -> Tensor {
         let (vocab, d) = self.shape().as_2d();
-        let mut out = Vec::with_capacity(indices.len() * d);
-        {
-            let data = self.data();
-            for &ix in indices {
-                assert!(ix < vocab, "embedding_lookup: index {ix} out of vocab {vocab}");
-                out.extend_from_slice(&data[ix * d..(ix + 1) * d]);
-            }
+        for &ix in indices {
+            assert!(ix < vocab, "embedding_lookup: index {ix} out of vocab {vocab}");
         }
+        let out = {
+            let data = self.data();
+            let dref: &[f32] = &data;
+            kernels::fill_rows(indices.len(), d, 64, |row, dst| {
+                let ix = indices[row];
+                dst.copy_from_slice(&dref[ix * d..(ix + 1) * d]);
+            })
+        };
         let idx = indices.to_vec();
         Tensor::from_op(
             out,
@@ -177,33 +181,36 @@ impl Tensor {
         let (b, l, d) = (dims[0], dims[1], dims[2]);
         assert!(k >= 1 && k <= l, "unfold_windows: window {k} out of range for len {l}");
         let t = l - k + 1;
-        let mut out = vec![0.0f32; b * t * k * d];
-        {
+        let out = {
             let data = self.data();
-            for bi in 0..b {
-                let doc = &data[bi * l * d..(bi + 1) * l * d];
-                for wi in 0..t {
-                    let dst = &mut out[(bi * t + wi) * k * d..(bi * t + wi + 1) * k * d];
-                    dst.copy_from_slice(&doc[wi * d..(wi + k) * d]);
-                }
-            }
-        }
+            let dref: &[f32] = &data;
+            kernels::fill_rows(b * t, k * d, 16, |row, dst| {
+                let (bi, wi) = (row / t, row % t);
+                let doc = &dref[bi * l * d..(bi + 1) * l * d];
+                dst.copy_from_slice(&doc[wi * d..(wi + k) * d]);
+            })
+        };
         Tensor::from_op(
             out,
             &[b * t, k * d],
             vec![self.clone()],
             Box::new(move |g, parents| {
                 if wants_grad(&parents[0]) {
+                    // Each document's gradient rows are disjoint; windows
+                    // within a document overlap and stay sequential.
                     let mut gp = vec![0.0f32; b * l * d];
-                    for bi in 0..b {
-                        for wi in 0..t {
-                            let src = &g[(bi * t + wi) * k * d..(bi * t + wi + 1) * k * d];
-                            let dst = &mut gp[bi * l * d + wi * d..bi * l * d + (wi + k) * d];
-                            for (o, &x) in dst.iter_mut().zip(src) {
-                                *o += x;
+                    runtime::parallel_rows_mut(&mut gp, l * d, 1, |bi0, block| {
+                        for (db, doc) in block.chunks_mut(l * d).enumerate() {
+                            let bi = bi0 + db;
+                            for wi in 0..t {
+                                let src = &g[(bi * t + wi) * k * d..(bi * t + wi + 1) * k * d];
+                                let dst = &mut doc[wi * d..(wi + k) * d];
+                                for (o, &x) in dst.iter_mut().zip(src) {
+                                    *o += x;
+                                }
                             }
                         }
-                    }
+                    });
                     acc(&parents[0], &gp);
                 }
             }),
@@ -218,22 +225,26 @@ impl Tensor {
         assert_eq!(dims.len(), 3, "max_over_time expects [batch, t, f]");
         let (b, t, f) = (dims[0], dims[1], dims[2]);
         assert!(t >= 1, "max_over_time: empty time axis");
-        let mut out = vec![f32::NEG_INFINITY; b * f];
-        let mut arg = vec![0usize; b * f];
+        let mut packed = vec![(f32::NEG_INFINITY, 0usize); b * f];
         {
             let data = self.data();
-            for bi in 0..b {
-                for ti in 0..t {
-                    for fi in 0..f {
-                        let v = data[(bi * t + ti) * f + fi];
-                        if v > out[bi * f + fi] {
-                            out[bi * f + fi] = v;
-                            arg[bi * f + fi] = ti;
+            let dref: &[f32] = &data;
+            runtime::parallel_rows_mut(&mut packed, f, 4, |bi0, block| {
+                for (db, brow) in block.chunks_mut(f).enumerate() {
+                    let bi = bi0 + db;
+                    for ti in 0..t {
+                        for (fi, slot) in brow.iter_mut().enumerate() {
+                            let v = dref[(bi * t + ti) * f + fi];
+                            if v > slot.0 {
+                                *slot = (v, ti);
+                            }
                         }
                     }
                 }
-            }
+            });
         }
+        let out: Vec<f32> = packed.iter().map(|&(v, _)| v).collect();
+        let arg: Vec<usize> = packed.iter().map(|&(_, ti)| ti).collect();
         Tensor::from_op(
             out,
             &[b, f],
@@ -258,14 +269,16 @@ impl Tensor {
     /// cached representation matrices.
     pub fn select_rows(&self, rows: &[usize]) -> Tensor {
         let (m, n) = self.shape().as_2d();
-        let mut out = Vec::with_capacity(rows.len() * n);
-        {
-            let d = self.data();
-            for &r in rows {
-                assert!(r < m, "select_rows: row {r} out of range {m}");
-                out.extend_from_slice(&d[r * n..(r + 1) * n]);
-            }
+        for &r in rows {
+            assert!(r < m, "select_rows: row {r} out of range {m}");
         }
+        let out = {
+            let d = self.data();
+            let dref: &[f32] = &d;
+            kernels::fill_rows(rows.len(), n, 64, |i, dst| {
+                dst.copy_from_slice(&dref[rows[i] * n..(rows[i] + 1) * n]);
+            })
+        };
         let rows_v = rows.to_vec();
         Tensor::from_op(
             out,

@@ -263,9 +263,11 @@ impl Tensor {
         let mut slot = self.0.grad.borrow_mut();
         match slot.as_mut() {
             Some(buf) => {
-                for (b, &x) in buf.iter_mut().zip(g) {
-                    *b += x;
-                }
+                crate::runtime::parallel_rows_mut(buf, 1, 16 * 1024, |i0, block| {
+                    for (d, b) in block.iter_mut().enumerate() {
+                        *b += g[i0 + d];
+                    }
+                });
             }
             None => *slot = Some(g.to_vec()),
         }

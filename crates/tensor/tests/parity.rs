@@ -1,0 +1,210 @@
+//! Serial/parallel parity: the parallel kernels must produce **bit-identical**
+//! output to the retained serial reference implementations — f32 addition is
+//! not associative, so this only holds because the kernels fix their
+//! accumulation order independently of the thread count (see
+//! `om_tensor::kernels`). Shapes deliberately include 1×1, 1×N, tall-skinny,
+//! wide-short, and odd/prime sizes to hit every ragged-tail branch of the
+//! blocked GEMM and the chunked reductions.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use om_tensor::{init, kernels, runtime, seeded_rng, Tensor};
+
+fn thread_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Evaluate `f` under every thread setting and assert all results are
+/// bit-identical to the first (serial) one.
+fn assert_parity(name: &str, f: impl Fn() -> Vec<f32>) {
+    let _guard = thread_lock();
+    let mut reference: Option<Vec<u32>> = None;
+    for threads in [1usize, 2, 3, 0] {
+        let prev = runtime::set_threads(threads);
+        let out = bits(&f());
+        runtime::set_threads(prev);
+        match &reference {
+            None => reference = Some(out),
+            Some(r) => assert_eq!(
+                r, &out,
+                "{name}: output at set_threads({threads}) differs bitwise from serial"
+            ),
+        }
+    }
+}
+
+/// The shape battery every parity test runs over: (m, k, n).
+const SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),       // degenerate
+    (1, 1, 64),      // 1×N row
+    (1, 97, 1),      // inner-product only
+    (257, 3, 2),     // tall-skinny
+    (2, 3, 257),     // wide-short
+    (5, 7, 3),       // all odd
+    (61, 53, 47),    // all prime, below/above row-block boundaries
+    (130, 97, 64),   // crosses the 4-row micro-kernel's ragged tail
+];
+
+#[test]
+fn gemm_parallel_matches_serial_reference_bitwise() {
+    for &(m, k, n) in SHAPES {
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 37) % 101) as f32 * 0.173 - 8.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 53) % 89) as f32 * 0.211 - 9.0).collect();
+        let mut serial = vec![0.0f32; m * n];
+        kernels::gemm_serial(&a, &b, &mut serial, m, k, n);
+        assert_parity(&format!("gemm {m}x{k}x{n}"), || {
+            let mut c = vec![0.0f32; m * n];
+            kernels::gemm(&a, &b, &mut c, m, k, n);
+            c
+        });
+        // The parallel entry point must also agree with the naive serial
+        // reference, not just with itself.
+        let mut c = vec![0.0f32; m * n];
+        kernels::gemm(&a, &b, &mut c, m, k, n);
+        assert_eq!(bits(&serial), bits(&c), "gemm {m}x{k}x{n} vs serial reference");
+    }
+}
+
+#[test]
+fn gemm_with_zero_rows_matches_serial_bitwise() {
+    // Zeros exercise the micro-kernel's zero-product skip; skipping an
+    // exact-zero contribution must not change any bit of the result.
+    for &(m, k, n) in SHAPES {
+        let mut a: Vec<f32> = (0..m * k).map(|i| (i % 7) as f32 - 3.0).collect();
+        for v in a.iter_mut().step_by(3) {
+            *v = 0.0;
+        }
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 29) % 31) as f32 * 0.37 - 5.0).collect();
+        let mut serial = vec![0.0f32; m * n];
+        kernels::gemm_serial(&a, &b, &mut serial, m, k, n);
+        let mut c = vec![0.0f32; m * n];
+        kernels::gemm(&a, &b, &mut c, m, k, n);
+        assert_eq!(bits(&serial), bits(&c), "sparse gemm {m}x{k}x{n}");
+    }
+}
+
+#[test]
+fn full_reduction_is_thread_count_invariant_bitwise() {
+    // Lengths straddling the fixed reduction chunk, including primes.
+    for len in [1usize, 2, 4095, 4096, 4097, 10_007, 3 * 4096 + 1] {
+        let x: Vec<f32> = (0..len).map(|i| ((i * 13) % 97) as f32 * 0.0137 - 0.61).collect();
+        let serial = kernels::sum_serial(&x);
+        assert_parity(&format!("sum len {len}"), || vec![kernels::sum(&x)]);
+        assert_eq!(
+            serial.to_bits(),
+            kernels::sum(&x).to_bits(),
+            "sum len {len} vs serial reference"
+        );
+    }
+}
+
+#[test]
+fn tensor_matmul_is_thread_count_invariant_bitwise() {
+    for &(m, k, n) in SHAPES {
+        let a = init::uniform(&[m, k], -1.0, 1.0, &mut seeded_rng(m as u64 * 7 + 1));
+        let b = init::uniform(&[k, n], -1.0, 1.0, &mut seeded_rng(n as u64 * 11 + 2));
+        assert_parity(&format!("tensor matmul {m}x{k}x{n}"), || {
+            a.matmul(&b).to_vec()
+        });
+    }
+}
+
+#[test]
+fn tensor_matmul_backward_is_thread_count_invariant_bitwise() {
+    // Both backward GEMMs (dA = g·Bᵀ, dB = Aᵀ·g) run through the same
+    // parallel kernel; the gradients must be bit-stable too.
+    for &(m, k, n) in &[(1usize, 1usize, 1usize), (257, 3, 2), (61, 53, 47)] {
+        assert_parity(&format!("matmul backward {m}x{k}x{n}"), || {
+            let a = init::uniform(&[m, k], -1.0, 1.0, &mut seeded_rng(3)).requires_grad();
+            let b = init::uniform(&[k, n], -1.0, 1.0, &mut seeded_rng(4)).requires_grad();
+            a.matmul(&b).sum_all().backward();
+            let mut out = a.grad_vec().unwrap();
+            out.extend(b.grad_vec().unwrap());
+            out
+        });
+    }
+}
+
+#[test]
+fn softmax_is_thread_count_invariant_bitwise() {
+    for &(rows, cols) in &[(1usize, 1usize), (1, 64), (257, 3), (2, 257), (61, 47)] {
+        let x = init::uniform(&[rows, cols], -4.0, 4.0, &mut seeded_rng(rows as u64 + 5));
+        assert_parity(&format!("log_softmax {rows}x{cols}"), || {
+            x.log_softmax_rows().to_vec()
+        });
+        assert_parity(&format!("softmax {rows}x{cols}"), || {
+            x.softmax_rows().to_vec()
+        });
+    }
+}
+
+#[test]
+fn tensor_reductions_are_thread_count_invariant_bitwise() {
+    for &(rows, cols) in &[(1usize, 1usize), (1, 300), (300, 1), (257, 3), (2, 257), (61, 47)] {
+        let x = init::uniform(&[rows, cols], -1.0, 1.0, &mut seeded_rng(rows as u64 * 3 + 7));
+        assert_parity(&format!("sum_all {rows}x{cols}"), || {
+            vec![x.sum_all().item()]
+        });
+        assert_parity(&format!("sum_rows {rows}x{cols}"), || x.sum_rows().to_vec());
+        assert_parity(&format!("sum_cols {rows}x{cols}"), || x.sum_cols().to_vec());
+    }
+}
+
+#[test]
+fn normalization_ops_are_thread_count_invariant_bitwise() {
+    for &(rows, cols) in &[(1usize, 4usize), (61, 17), (130, 6)] {
+        let x = init::uniform(&[rows, cols], -2.0, 2.0, &mut seeded_rng(rows as u64 + 9));
+        assert_parity(&format!("l2_normalize {rows}x{cols}"), || {
+            x.l2_normalize_rows().to_vec()
+        });
+        assert_parity(&format!("layer_norm {rows}x{cols}"), || {
+            x.layer_norm_rows().to_vec()
+        });
+    }
+}
+
+#[test]
+fn unfold_and_pool_are_thread_count_invariant_bitwise() {
+    let x = init::uniform(&[5, 19, 7], -1.0, 1.0, &mut seeded_rng(10));
+    assert_parity("unfold_windows", || x.unfold_windows(4).to_vec());
+    assert_parity("max_over_time", || x.max_over_time().to_vec());
+    assert_parity("unfold backward", || {
+        let w = init::uniform(&[5, 19, 7], -1.0, 1.0, &mut seeded_rng(11)).requires_grad();
+        w.unfold_windows(4).square().mean_all().backward();
+        w.grad_vec().unwrap()
+    });
+}
+
+#[test]
+fn whole_graph_loss_is_thread_count_invariant_bitwise() {
+    // A TextCNN-shaped forward+backward as one end-to-end chain: embedding
+    // lookup → unfold → GEMM → bias → relu → pooling → log-softmax loss.
+    let idx: Vec<usize> = (0..4 * 12).map(|i| (i * 17) % 50).collect();
+    assert_parity("textcnn-like graph", || {
+        let table = init::uniform(&[50, 6], -0.5, 0.5, &mut seeded_rng(12)).requires_grad();
+        let w = init::uniform(&[3 * 6, 8], -0.5, 0.5, &mut seeded_rng(13)).requires_grad();
+        let bias = Tensor::zeros(&[8]).requires_grad();
+        let emb = table.embedding_lookup(&idx).reshape(&[4, 12, 6]);
+        let pooled = emb
+            .unfold_windows(3)
+            .matmul(&w)
+            .add_row(&bias)
+            .relu()
+            .reshape(&[4, 10, 8])
+            .max_over_time();
+        let loss = pooled.cross_entropy(&[0, 3, 1, 2]);
+        loss.backward();
+        let mut out = vec![loss.item()];
+        out.extend(table.grad_vec().unwrap());
+        out.extend(w.grad_vec().unwrap());
+        out
+    });
+}

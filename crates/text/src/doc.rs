@@ -62,7 +62,7 @@ mod tests {
     use crate::vocab::UNK_TOKEN;
 
     fn vocab() -> Vocab {
-        let docs = vec![vec![
+        let docs = [vec![
             "vampire", "romance", "action", "great", "<sp>", "fun",
         ]];
         Vocab::build(docs.iter().map(|d| d.iter().copied()), 1, 100)

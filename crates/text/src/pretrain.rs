@@ -116,12 +116,8 @@ impl SkipGram {
                 }
                 let lo = center_pos.saturating_sub(self.window);
                 let hi = (center_pos + self.window + 1).min(doc.len());
-                for ctx_pos in lo..hi {
-                    if ctx_pos == center_pos {
-                        continue;
-                    }
-                    let context = doc[ctx_pos];
-                    if context == 0 {
+                for (ctx_pos, &context) in doc.iter().enumerate().take(hi).skip(lo) {
+                    if ctx_pos == center_pos || context == 0 {
                         continue;
                     }
                     // positive update + k negatives
@@ -186,7 +182,7 @@ mod tests {
     use super::*;
 
     fn vocab_of(words: &[&str]) -> Vocab {
-        let docs = vec![words.to_vec()];
+        let docs = [words.to_vec()];
         Vocab::build(docs.iter().map(|d| d.iter().copied()), 1, 1000)
     }
 

@@ -88,7 +88,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Vocab {
-        let docs = vec![
+        let docs = [
             vec!["vampire", "romance", "vampire"],
             vec!["vampire", "action"],
             vec!["romance"],
@@ -121,7 +121,7 @@ mod tests {
 
     #[test]
     fn min_count_prunes() {
-        let docs = vec![vec!["a", "a", "b"]];
+        let docs = [vec!["a", "a", "b"]];
         let v = Vocab::build(docs.iter().map(|d| d.iter().copied()), 2, 100);
         assert_eq!(v.id("a"), 2);
         assert_eq!(v.id("b"), UNK_TOKEN);
@@ -130,7 +130,7 @@ mod tests {
 
     #[test]
     fn max_size_caps() {
-        let docs = vec![vec!["a", "a", "a", "b", "b", "c"]];
+        let docs = [vec!["a", "a", "a", "b", "b", "c"]];
         let v = Vocab::build(docs.iter().map(|d| d.iter().copied()), 1, 4);
         assert_eq!(v.len(), 4); // pad, unk, a, b
         assert_eq!(v.id("c"), UNK_TOKEN);
@@ -138,7 +138,7 @@ mod tests {
 
     #[test]
     fn deterministic_tie_break() {
-        let docs = vec![vec!["zeta", "alpha"]];
+        let docs = [vec!["zeta", "alpha"]];
         let v1 = Vocab::build(docs.iter().map(|d| d.iter().copied()), 1, 10);
         let v2 = Vocab::build(docs.iter().map(|d| d.iter().copied()), 1, 10);
         assert_eq!(v1.id("alpha"), v2.id("alpha"));

@@ -43,7 +43,7 @@ proptest! {
             prop_assert!(!sc.target_train.contains_user(u));
         }
         // fraction only shrinks training
-        prop_assert!(sc.train_users.len() >= 1);
+        prop_assert!(!sc.train_users.is_empty());
     }
 
     #[test]

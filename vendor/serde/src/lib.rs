@@ -1,0 +1,8 @@
+//! Offline no-op subset of `serde`.
+//!
+//! Nothing in this workspace serialises through serde at runtime (the data
+//! loader hand-rolls its JSON field extraction), so the derives only need
+//! to *exist* for the annotated types to compile. The re-exported derive
+//! macros expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
