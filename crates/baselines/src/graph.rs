@@ -7,7 +7,7 @@
 //! `E_U^{(k+1)} = Â · E_I^{(k)}` with `Â_{ui} = 1/√(d_u d_i)`; NGCF layers
 //! add a learned linear transform and ReLU on top.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use om_data::types::{Interaction, ItemId, UserId};
 use om_nn::{HasParams, Linear};
@@ -16,9 +16,9 @@ use om_tensor::{init, Rng, Tensor};
 /// Dense bipartite graph over interned user/item indices.
 pub struct BipartiteGraph {
     /// user → dense row.
-    pub user_index: HashMap<UserId, usize>,
+    pub user_index: BTreeMap<UserId, usize>,
     /// item → dense column.
-    pub item_index: HashMap<ItemId, usize>,
+    pub item_index: BTreeMap<ItemId, usize>,
     /// `[n_users, n_items]` symmetric-normalised adjacency.
     pub norm_adj: Tensor,
     /// `[n_items, n_users]` transpose of the same.
@@ -35,8 +35,8 @@ impl BipartiteGraph {
     /// Build from interactions (each interaction is one edge).
     pub fn build(interactions: &[&Interaction]) -> BipartiteGraph {
         assert!(!interactions.is_empty(), "graph needs at least one edge");
-        let mut user_index = HashMap::new();
-        let mut item_index = HashMap::new();
+        let mut user_index = BTreeMap::new();
+        let mut item_index = BTreeMap::new();
         for it in interactions {
             let next = user_index.len();
             user_index.entry(it.user).or_insert(next);

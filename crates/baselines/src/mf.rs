@@ -1,7 +1,7 @@
 //! Matrix-factorisation substrate: biased MF trained by SGD, the building
 //! block of CMF, EMCDR and PTUPCDR.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use om_data::types::{Interaction, ItemId, UserId};
 use om_tensor::{init, Rng};
@@ -40,10 +40,10 @@ pub struct MatrixFactorization {
     cfg: MfConfig,
     /// Global rating mean.
     pub global_mean: f32,
-    user_factors: HashMap<UserId, Vec<f32>>,
-    item_factors: HashMap<ItemId, Vec<f32>>,
-    user_bias: HashMap<UserId, f32>,
-    item_bias: HashMap<ItemId, f32>,
+    user_factors: BTreeMap<UserId, Vec<f32>>,
+    item_factors: BTreeMap<ItemId, Vec<f32>>,
+    user_bias: BTreeMap<UserId, f32>,
+    item_bias: BTreeMap<ItemId, f32>,
 }
 
 impl MatrixFactorization {
@@ -58,10 +58,10 @@ impl MatrixFactorization {
         let mut mf = MatrixFactorization {
             cfg,
             global_mean: if cfg.biased { global_mean } else { 0.0 },
-            user_factors: HashMap::new(),
-            item_factors: HashMap::new(),
-            user_bias: HashMap::new(),
-            item_bias: HashMap::new(),
+            user_factors: BTreeMap::new(),
+            item_factors: BTreeMap::new(),
+            user_bias: BTreeMap::new(),
+            item_bias: BTreeMap::new(),
         };
         for it in interactions {
             mf.ensure_user(it.user, rng);

@@ -19,7 +19,7 @@ pub struct PTUPCDR {
     mf_target: MatrixFactorization,
     meta: Mlp,
     /// Cached characteristic vectors (`[user factor ⊕ pooled history]`).
-    characteristics: std::collections::HashMap<UserId, Vec<f32>>,
+    characteristics: std::collections::BTreeMap<UserId, Vec<f32>>,
     seed: u64,
 }
 
@@ -92,7 +92,7 @@ impl PTUPCDR {
         }
 
         // Cache characteristics for every scenario user with source data.
-        let mut characteristics = std::collections::HashMap::new();
+        let mut characteristics = std::collections::BTreeMap::new();
         for &u in scenario
             .train_users
             .iter()

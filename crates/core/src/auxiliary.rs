@@ -12,7 +12,7 @@
 //! §4.1 — the Criterion bench `algorithm1` in `om-bench` demonstrates this
 //! empirically.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use om_data::split::CrossDomainScenario;
 use om_data::types::{Interaction, ItemId, Rating, TextField, UserId};
@@ -67,7 +67,7 @@ impl AuxiliaryDocument {
 pub struct AuxiliaryReviewGenerator<'a> {
     source: &'a Domain,
     target_train: &'a Domain,
-    train_users: HashSet<UserId>,
+    train_users: BTreeSet<UserId>,
 }
 
 impl<'a> AuxiliaryReviewGenerator<'a> {

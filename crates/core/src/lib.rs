@@ -34,10 +34,12 @@ pub mod auxiliary;
 pub mod config;
 pub mod corpus;
 pub mod model;
+pub mod shapecheck;
 pub mod trainer;
 
 pub use auxiliary::{AuxiliaryDocument, AuxiliaryReviewGenerator, AuxiliaryStep};
 pub use config::{AuxMode, ExtractorKind, OmniMatchConfig};
 pub use corpus::CorpusViews;
 pub use model::OmniMatchModel;
+pub use shapecheck::shape_check;
 pub use trainer::{EpochStats, TrainReport, TrainedOmniMatch, Trainer};

@@ -1,0 +1,287 @@
+//! Static wiring check for the OmniMatch network.
+//!
+//! [`build_graph`] mirrors [`crate::model::OmniMatchModel`]'s construction
+//! as a symbolic [`ShapeGraph`] — every layer, both gradient-reversal
+//! branches, and the three loss heads of
+//! `L_total = L_rating + α·L_SCL + β·L_domain` (Eq. 21) — so that any
+//! [`OmniMatchConfig`] can be validated *before a single forward pass*:
+//! dimension mismatches are rejected with an error naming the offending
+//! layer, and parameters with no gradient path from the total loss are
+//! reported. Weight sharing is modelled by node name: the embedding table
+//! feeds all three backbones and the invariant head serves both domains,
+//! so those parameters stay live as long as *any* use is reachable.
+//!
+//! Ablation switches map onto the loss weights: `use_scl = false` zeroes
+//! α and `use_da = false` zeroes β, which is exactly how the trainer
+//! drops those terms — the reachability report then shows which heads the
+//! ablation orphans (e.g. `w/o SCL` leaves the projection head `proj`
+//! without gradient).
+
+use om_data::types::Rating;
+use om_nn::shapecheck::{Dim, NodeId, Op, Shape, ShapeError, ShapeGraph, ShapeReport};
+
+use crate::config::{ExtractorKind, OmniMatchConfig};
+
+fn backbone_op(cfg: &OmniMatchConfig) -> Op {
+    match cfg.extractor {
+        ExtractorKind::TextCnn => Op::TextCnn {
+            emb_dim: cfg.emb_dim,
+            widths: cfg.kernel_widths.clone(),
+            filters: cfg.filters,
+        },
+        // Mirrors `Backbone::build`: 2 heads, positions for `doc_len` tokens.
+        ExtractorKind::Transformer => Op::Transformer {
+            dim: cfg.emb_dim,
+            heads: 2,
+            max_len: cfg.doc_len,
+        },
+    }
+}
+
+fn feat_dim(cfg: &OmniMatchConfig) -> usize {
+    match cfg.extractor {
+        ExtractorKind::TextCnn => cfg.kernel_widths.len() * cfg.filters,
+        ExtractorKind::Transformer => cfg.emb_dim,
+    }
+}
+
+/// Build the symbolic OmniMatch graph for `cfg` over a vocabulary of
+/// `vocab_size` tokens. Returns the graph and the `L_total` node.
+pub fn build_graph(cfg: &OmniMatchConfig, vocab_size: usize) -> (ShapeGraph, NodeId) {
+    let mut g = ShapeGraph::new();
+    let feat = feat_dim(cfg);
+    let pair_dim = cfg.invariant_dim + cfg.specific_dim + cfg.item_dim;
+    let doc = Shape(vec![Dim::Sym("B"), Dim::Fixed(cfg.doc_len)]);
+    let emb_op = Op::Embedding {
+        vocab: vocab_size,
+        dim: cfg.emb_dim,
+    };
+
+    // Shared-private feature extraction (§4.2). One embedding table serves
+    // all three backbones — same node name, so it stays live if any path is.
+    let src_docs = g.input("src_docs", doc.clone());
+    let src_emb = g.add("embedding", emb_op.clone(), &[src_docs], true);
+    let src_pool = g.add("src_backbone", backbone_op(cfg), &[src_emb], true);
+    let tgt_docs = g.input("tgt_docs", doc.clone());
+    let tgt_emb = g.add("embedding", emb_op.clone(), &[tgt_docs], true);
+    let tgt_pool = g.add("tgt_backbone", backbone_op(cfg), &[tgt_emb], true);
+    let item_docs = g.input("item_docs", doc);
+    let item_emb = g.add("embedding", emb_op, &[item_docs], true);
+    let item_pool = g.add("item_backbone", backbone_op(cfg), &[item_emb], true);
+
+    let inv_op = Op::Linear {
+        input: feat,
+        output: cfg.invariant_dim,
+    };
+    let spec_op = Op::Linear {
+        input: feat,
+        output: cfg.specific_dim,
+    };
+    // The invariant head is *shared* between domains (same weights — the
+    // crux of §4.2), hence the same node name for both uses.
+    let src_inv = g.add("shared_invariant", inv_op.clone(), &[src_pool], true);
+    let tgt_inv = g.add("shared_invariant", inv_op, &[tgt_pool], true);
+    let src_spec = g.add("src_specific", spec_op.clone(), &[src_pool], true);
+    let tgt_spec = g.add("tgt_specific", spec_op, &[tgt_pool], true);
+    let item_feat = g.add(
+        "item_head",
+        Op::Linear {
+            input: feat,
+            output: cfg.item_dim,
+        },
+        &[item_pool],
+        true,
+    );
+    let src_user = g.add("src_combined", Op::ConcatLast, &[src_inv, src_spec], false);
+    let tgt_user = g.add("tgt_combined", Op::ConcatLast, &[tgt_inv, tgt_spec], false);
+
+    // L_rating: rating classifier over r_target ⊕ r_item (Eqs. 18–19).
+    let tgt_pair = g.add("tgt_pair", Op::ConcatLast, &[tgt_user, item_feat], false);
+    let rating_logits = g.add(
+        "rating_clf",
+        Op::Mlp {
+            dims: vec![pair_dim, pair_dim, Rating::CLASSES],
+        },
+        &[tgt_pair],
+        true,
+    );
+    let l_rating = g.add(
+        "L_rating",
+        Op::CrossEntropy {
+            classes: Rating::CLASSES,
+        },
+        &[rating_logits],
+        false,
+    );
+
+    // L_SCL: both domains' user⊕item pairs through the shared projection
+    // head, contrasted against each other (Eqs. 11–13).
+    let src_pair = g.add("src_pair", Op::ConcatLast, &[src_user, item_feat], false);
+    let proj_op = Op::Mlp {
+        dims: vec![pair_dim, pair_dim, cfg.proj_dim],
+    };
+    let src_proj = g.add("proj", proj_op.clone(), &[src_pair], true);
+    let tgt_proj = g.add("proj", proj_op, &[tgt_pair], true);
+    let l_scl = g.add("L_SCL", Op::SupCon, &[src_proj, tgt_proj], false);
+
+    // L_domain: invariant features behind the GRL (confuse the classifier,
+    // Eqs. 14–15), specific features classified normally (Eqs. 16–17).
+    let src_rev = g.add("grl(src_invariant)", Op::GradReversal, &[src_inv], false);
+    let tgt_rev = g.add("grl(tgt_invariant)", Op::GradReversal, &[tgt_inv], false);
+    let inv_clf = Op::Mlp {
+        dims: vec![cfg.invariant_dim, cfg.invariant_dim, 2],
+    };
+    let spec_clf = Op::Mlp {
+        dims: vec![cfg.specific_dim, cfg.specific_dim, 2],
+    };
+    let d_inv_src = g.add("domain_clf_invariant", inv_clf.clone(), &[src_rev], true);
+    let d_inv_tgt = g.add("domain_clf_invariant", inv_clf, &[tgt_rev], true);
+    let d_spec_src = g.add("domain_clf_specific", spec_clf.clone(), &[src_spec], true);
+    let d_spec_tgt = g.add("domain_clf_specific", spec_clf, &[tgt_spec], true);
+    let ce = Op::CrossEntropy { classes: 2 };
+    let l_inv_src = g.add("L_dom_inv_src", ce.clone(), &[d_inv_src], false);
+    let l_inv_tgt = g.add("L_dom_inv_tgt", ce.clone(), &[d_inv_tgt], false);
+    let l_spec_src = g.add("L_dom_spec_src", ce.clone(), &[d_spec_src], false);
+    let l_spec_tgt = g.add("L_dom_spec_tgt", ce, &[d_spec_tgt], false);
+    let l_domain = g.add(
+        "L_domain",
+        Op::WeightedSum {
+            weights: vec![1.0; 4],
+        },
+        &[l_inv_src, l_inv_tgt, l_spec_src, l_spec_tgt],
+        false,
+    );
+
+    // L_total = L_rating + α·L_SCL + β·L_domain (Eq. 21); ablation flags
+    // zero the corresponding weight, exactly as the trainer drops the term.
+    let alpha = if cfg.use_scl { cfg.alpha } else { 0.0 };
+    let beta = if cfg.use_da { cfg.beta } else { 0.0 };
+    let total = g.add(
+        "L_total",
+        Op::WeightedSum {
+            weights: vec![1.0, alpha, beta],
+        },
+        &[l_rating, l_scl, l_domain],
+        false,
+    );
+    (g, total)
+}
+
+/// Statically validate `cfg` against a vocabulary of `vocab_size` tokens.
+///
+/// `Err` means the configuration cannot produce a well-formed network and
+/// names the offending layer. `Ok` carries every node's resolved shape
+/// plus the parameters the configuration leaves without a gradient path
+/// from `L_total` (empty for the full objective; ablations legitimately
+/// orphan their heads).
+pub fn shape_check(cfg: &OmniMatchConfig, vocab_size: usize) -> Result<ShapeReport, ShapeError> {
+    let (g, total) = build_graph(cfg, vocab_size);
+    g.check(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn unreachable(cfg: &OmniMatchConfig) -> BTreeSet<String> {
+        shape_check(cfg, 500)
+            .expect("shape check must pass")
+            .unreachable_params
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn full_objective_reaches_every_parameter() {
+        for cfg in [
+            OmniMatchConfig::fast(),
+            OmniMatchConfig::default(),
+            OmniMatchConfig::fast().with_transformer(),
+        ] {
+            assert!(unreachable(&cfg).is_empty(), "orphans under {:?}", cfg.extractor);
+        }
+    }
+
+    #[test]
+    fn scl_ablation_orphans_projection_head() {
+        let dead = unreachable(&OmniMatchConfig::fast().without_scl());
+        assert_eq!(dead, BTreeSet::from(["proj".to_string()]));
+    }
+
+    #[test]
+    fn da_ablation_orphans_domain_classifiers() {
+        let dead = unreachable(&OmniMatchConfig::fast().without_da());
+        let want: BTreeSet<String> = ["domain_clf_invariant", "domain_clf_specific"]
+            .map(String::from)
+            .into_iter()
+            .collect();
+        assert_eq!(dead, want);
+    }
+
+    #[test]
+    fn dropping_both_aux_losses_cuts_off_the_source_path() {
+        // Without SCL and DA only L_rating remains, which never sees the
+        // source domain: its backbone and private head get no gradient.
+        let dead = unreachable(&OmniMatchConfig::fast().without_scl().without_da());
+        let want: BTreeSet<String> = [
+            "src_backbone",
+            "src_specific",
+            "proj",
+            "domain_clf_invariant",
+            "domain_clf_specific",
+        ]
+        .map(String::from)
+        .into_iter()
+        .collect();
+        assert_eq!(dead, want);
+        // …while the shared embedding/invariant head stay live via the
+        // target and item paths.
+        assert!(!dead.contains("embedding") && !dead.contains("shared_invariant"));
+    }
+
+    #[test]
+    fn oversized_kernel_is_rejected_naming_the_backbone() {
+        let cfg = OmniMatchConfig {
+            doc_len: 4,
+            kernel_widths: vec![3, 9],
+            ..OmniMatchConfig::fast()
+        };
+        let e = shape_check(&cfg, 500).unwrap_err();
+        assert_eq!(e.node, "src_backbone");
+        assert!(
+            e.msg.contains("kernel width 9 exceeds document length 4"),
+            "unhelpful error: {e}"
+        );
+    }
+
+    #[test]
+    fn odd_transformer_width_is_rejected_naming_the_backbone() {
+        let cfg = OmniMatchConfig {
+            emb_dim: 13,
+            ..OmniMatchConfig::fast().with_transformer()
+        };
+        let e = shape_check(&cfg, 500).unwrap_err();
+        assert_eq!(e.node, "src_backbone");
+        assert!(e.msg.contains("divide evenly"), "unhelpful error: {e}");
+    }
+
+    #[test]
+    fn report_resolves_concrete_widths() {
+        let cfg = OmniMatchConfig::fast();
+        let report = shape_check(&cfg, 500).unwrap();
+        let shape_of = |name: &str| {
+            report
+                .shapes
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, s)| format!("{s}"))
+                .expect("node present")
+        };
+        // fast(): 3 widths × 8 filters = 24-d features, 12-d heads.
+        assert_eq!(shape_of("src_backbone"), "[B, 24]");
+        assert_eq!(shape_of("tgt_pair"), "[B, 36]");
+        assert_eq!(shape_of("rating_clf"), "[B, 5]");
+        assert_eq!(shape_of("L_total"), "[]");
+    }
+}

@@ -77,6 +77,20 @@ impl Trainer {
         let mut rng = seeded_rng(cfg.seed);
         let views = CorpusViews::build(scenario, cfg, &mut rng);
 
+        // Static shape/graph check *before* any parameter is allocated:
+        // rejects inconsistent configurations with the offending layer's
+        // name, and guards against miswirings that would silently starve a
+        // head of gradient (ablations legitimately orphan their own heads).
+        let shape = crate::shapecheck::shape_check(cfg, views.vocab.len())
+            .unwrap_or_else(|e| panic!("{e}"));
+        if cfg.use_scl && cfg.alpha != 0.0 && cfg.use_da && cfg.beta != 0.0 {
+            assert!(
+                shape.unreachable_params.is_empty(),
+                "miswired model: no gradient path from L_total to {:?}",
+                shape.unreachable_params
+            );
+        }
+
         let embedding_init = if cfg.pretrain_embeddings {
             Some(subword_hash_init(&views.vocab, cfg.emb_dim))
         } else {

@@ -120,6 +120,11 @@ pub fn run_trials(
     let mut results: Vec<Option<(Eval, f64)>> = vec![None; trials];
     std::thread::scope(|scope| {
         for (t, slot) in results.iter_mut().enumerate() {
+            // om-lint: allow(thread-spawn) — trials must NOT run on the
+            // tensor pool: a trial calls `parallel_for` internally, and a
+            // pool worker blocking in `latch.wait()` on a nested dispatch
+            // (no work-stealing) would deadlock the pool. Scoped OS threads
+            // keep trial- and kernel-parallelism on separate executors.
             scope.spawn(move || {
                 *slot = Some(run_once(
                     world,

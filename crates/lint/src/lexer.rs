@@ -1,0 +1,322 @@
+//! A small line-aware Rust lexer — just enough structure for the lint
+//! passes: identifiers and punctuation with line numbers, plus a record of
+//! which lines carry comments (and their text, for `SAFETY:` /
+//! `om-lint:` markers).
+//!
+//! Crucially, the lexer *consumes* string literals, char literals,
+//! lifetimes and comments, so an identifier like `unsafe` or `HashMap`
+//! inside a string or a doc comment never reaches a pass. The full
+//! language is deliberately out of scope; anything that is not an
+//! identifier, a comment or a literal is emitted as single-character
+//! punctuation.
+
+/// One lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based line the token starts on.
+    pub line: usize,
+    /// What the token is.
+    pub kind: TokenKind,
+}
+
+/// Token payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A single punctuation character (also covers operator parts).
+    Punct(char),
+}
+
+/// A comment occurrence. Multi-line block comments produce one record per
+/// line they span, each carrying the full comment text, so "is there a
+/// comment on line L?" is a flat lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line this record refers to.
+    pub line: usize,
+    /// Full text of the comment (including delimiters).
+    pub text: String,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// Identifier/punctuation stream in source order.
+    pub tokens: Vec<Token>,
+    /// One record per commented line.
+    pub comments: Vec<Comment>,
+}
+
+impl LexedFile {
+    /// The text of every comment on `line` plus the contiguous run of
+    /// commented lines directly above it, concatenated. This is the
+    /// "comment block above" a code line that markers like `// SAFETY:`
+    /// must appear in.
+    pub fn comment_block_above(&self, line: usize) -> String {
+        let mut commented = std::collections::BTreeMap::new();
+        for c in &self.comments {
+            commented
+                .entry(c.line)
+                .or_insert_with(String::new)
+                .push_str(&c.text);
+        }
+        let mut block = commented.get(&line).cloned().unwrap_or_default();
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            match commented.get(&l) {
+                Some(text) => block.push_str(text),
+                None => break,
+            }
+        }
+        block
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens and comment records.
+pub fn lex(src: &str) -> LexedFile {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = LexedFile::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    let n = chars.len();
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also doc comments).
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: chars[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // Block comment, possibly nested, possibly multi-line.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start = i;
+            let first_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            let text: String = chars[start..i].iter().collect();
+            for l in first_line..=line {
+                out.comments.push(Comment {
+                    line: l,
+                    text: text.clone(),
+                });
+            }
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            i += 1;
+            while i < n {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            // Lifetime: 'ident not closed by another quote.
+            if i + 1 < n
+                && is_ident_start(chars[i + 1])
+                && !(i + 2 < n && chars[i + 2] == '\'')
+            {
+                i += 1;
+                while i < n && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                continue;
+            }
+            // Char literal: '\x', 'c'.
+            i += 1;
+            while i < n {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '\'' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            continue;
+        }
+        // Identifier / keyword — with raw/byte string prefixes peeled off.
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            // r"...", r#"..."#, b"...", br#"..."# — consume as strings.
+            if matches!(text.as_str(), "r" | "b" | "br") && i < n {
+                let mut j = i;
+                let mut hashes = 0usize;
+                while j < n && chars[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && chars[j] == '"' {
+                    j += 1;
+                    'scan: while j < n {
+                        if chars[j] == '\n' {
+                            line += 1;
+                            j += 1;
+                        } else if chars[j] == '\\' && text == "b" {
+                            j += 2; // escapes only in non-raw byte strings
+                        } else if chars[j] == '"' {
+                            j += 1;
+                            let mut k = 0usize;
+                            while k < hashes && j < n && chars[j] == '#' {
+                                k += 1;
+                                j += 1;
+                            }
+                            if k == hashes {
+                                break 'scan;
+                            }
+                        } else {
+                            j += 1;
+                        }
+                    }
+                    i = j;
+                    continue;
+                }
+            }
+            out.tokens.push(Token {
+                line,
+                kind: TokenKind::Ident(text),
+            });
+            continue;
+        }
+        // Number: digits/letters/underscores, dot only before another digit
+        // (so `0..n` and `0.max(x)` don't swallow what follows).
+        if c.is_ascii_digit() {
+            i += 1;
+            while i < n {
+                let d = chars[i];
+                let in_number = d.is_alphanumeric()
+                    || d == '_'
+                    || (d == '.' && i + 1 < n && chars[i + 1].is_ascii_digit());
+                if !in_number {
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        out.tokens.push(Token {
+            line,
+            kind: TokenKind::Punct(c),
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_comments_and_lifetimes_are_opaque() {
+        let src = r##"
+            // unsafe HashMap in a comment
+            /* unsafe in a /* nested */ block */
+            fn f<'a>(x: &'a str) -> &'a str {
+                let _c = 'u';
+                let _s = "unsafe HashMap";
+                let _r = r#"unsafe "quoted" HashMap"#;
+                x
+            }
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let lexed = lex("fn a() {}\nfn b() {}\n");
+        let b = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("b".into()))
+            .unwrap();
+        assert_eq!(b.line, 2);
+    }
+
+    #[test]
+    fn comment_block_above_spans_contiguous_lines() {
+        let src = "// one\n// SAFETY: two\nunsafe {}\n\n// far away\n";
+        let lexed = lex(src);
+        let block = lexed.comment_block_above(3);
+        assert!(block.contains("SAFETY:"));
+        assert!(block.contains("one"));
+        assert!(!block.contains("far away"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls() {
+        let ids = idents("let x = 0.max(1); let r = 0..10; let f = 1.5f32;");
+        assert!(ids.contains(&"max".to_string()));
+    }
+}

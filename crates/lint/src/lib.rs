@@ -1,0 +1,128 @@
+//! # om-lint
+//!
+//! Repo-invariant linter and concurrency model checker for the OmniMatch
+//! workspace. Run it as `cargo lint` (alias for `cargo run -p om-lint`),
+//! or in CI, where it is a required job.
+//!
+//! Four token-level passes over every first-party `.rs` file plus one
+//! manifest pass (see [`passes`]):
+//!
+//! | rule | guarantee |
+//! |---|---|
+//! | `unsafe-confinement` | `unsafe` only in `crates/tensor/src/runtime.rs` |
+//! | `safety-comment` | every runtime `unsafe` sits under `// SAFETY:` |
+//! | `hash-collections` | no `HashMap`/`HashSet` in model-path crates |
+//! | `thread-spawn` | threads spawned only by the runtime (or marked) |
+//! | `kernel-parity` | every kernel has a `_serial` twin in the parity suite |
+//! | `workspace-lints` | all crates opt into `[workspace.lints.rust]` |
+//!
+//! The companion [`interleave`] module is the explicit-state model checker
+//! used by `tests/pool_model.rs` to verify the worker pool's dispatch/join
+//! protocol over every interleaving.
+
+pub mod interleave;
+pub mod lexer;
+pub mod passes;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use passes::Violation;
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", ".github"];
+
+/// Outcome of linting a whole repository.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Number of `.rs` files checked.
+    pub files: usize,
+    /// All findings, sorted by file then line.
+    pub violations: Vec<Violation>,
+}
+
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if !SKIP_DIRS.contains(&name) {
+                rs_files(&path, out);
+            }
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn rel_of(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lint the workspace rooted at `root`.
+pub fn lint_repo(root: &Path) -> LintReport {
+    let mut files = Vec::new();
+    rs_files(root, &mut files);
+
+    let mut violations = Vec::new();
+    let mut kernels: Option<(String, lexer::LexedFile)> = None;
+    let mut parity: Option<lexer::LexedFile> = None;
+
+    for path in &files {
+        let rel = rel_of(root, path);
+        let Ok(src) = fs::read_to_string(path) else {
+            continue;
+        };
+        let lexed = lexer::lex(&src);
+        violations.extend(passes::check_unsafe(&rel, &lexed));
+        violations.extend(passes::check_hash_collections(&rel, &lexed));
+        violations.extend(passes::check_thread_spawn(&rel, &lexed));
+        if rel == "crates/tensor/src/kernels.rs" {
+            kernels = Some((rel, lexed));
+        } else if rel == "crates/tensor/tests/parity.rs" {
+            parity = Some(lexed);
+        }
+    }
+
+    match (&kernels, &parity) {
+        (Some((rel, k)), Some(p)) => {
+            violations.extend(passes::check_kernel_parity(rel, k, p));
+        }
+        _ => violations.push(Violation {
+            file: "crates/tensor".to_string(),
+            line: 1,
+            rule: "kernel-parity",
+            msg: "kernels.rs or tests/parity.rs missing — cannot verify kernel parity"
+                .to_string(),
+        }),
+    }
+
+    let root_manifest = fs::read_to_string(root.join("Cargo.toml")).unwrap_or_default();
+    let mut crate_manifests = Vec::new();
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for dir in dirs {
+            let manifest = dir.join("Cargo.toml");
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                crate_manifests.push((rel_of(root, &manifest), text));
+            }
+        }
+    }
+    violations.extend(passes::check_workspace_lints(&root_manifest, &crate_manifests));
+
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    LintReport {
+        files: files.len(),
+        violations,
+    }
+}

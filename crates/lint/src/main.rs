@@ -1,0 +1,32 @@
+//! `om-lint` binary: lint the workspace, exit non-zero on violations.
+//!
+//! Usage: `cargo lint` (alias), `cargo run -p om-lint -- [ROOT]`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(|| {
+        // crates/lint/ → workspace root.
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("om-lint manifest has a workspace root")
+            .to_path_buf()
+    });
+    let report = om_lint::lint_repo(&root);
+    if report.violations.is_empty() {
+        println!("om-lint: clean ({} files checked)", report.files);
+        ExitCode::SUCCESS
+    } else {
+        for v in &report.violations {
+            eprintln!("{v}");
+        }
+        eprintln!(
+            "om-lint: {} violation(s) in {} files checked",
+            report.violations.len(),
+            report.files
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,261 @@
+//! The lint passes. Each pass takes a workspace-relative path (with `/`
+//! separators) plus the lexed file and returns violations; [`crate::lint_repo`]
+//! drives them over the tree.
+//!
+//! Escape hatches are explicit comment markers, so every exception is
+//! greppable and reviewed:
+//!
+//! * `// SAFETY: …` — required above (or on) every `unsafe` in the runtime;
+//! * `// om-lint: allow(hash-collections)` — permits `HashMap`/`HashSet`
+//!   on that line in a model-path crate;
+//! * `// om-lint: allow(thread-spawn)` — permits a `spawn` call site
+//!   outside the tensor runtime (e.g. the experiment runner's scoped
+//!   trial threads, which must *not* run on the tensor pool);
+//! * `// om-lint: not-a-kernel` — exempts a `pub fn` in `kernels.rs`
+//!   from the serial-sibling requirement.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::lexer::{LexedFile, TokenKind};
+
+/// The only file allowed to contain `unsafe` (and unmarked `spawn`).
+pub const RUNTIME_PATH: &str = "crates/tensor/src/runtime.rs";
+
+/// Crates whose numeric results feed the paper's tables: any iteration
+/// order nondeterminism here changes published numbers.
+pub const MODEL_PATH_CRATES: &[&str] = &[
+    "crates/core/",
+    "crates/nn/",
+    "crates/baselines/",
+    "crates/experiments/",
+];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Stable rule name.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+fn idents_of(lexed: &LexedFile) -> impl Iterator<Item = (usize, &str)> {
+    lexed.tokens.iter().filter_map(|t| match &t.kind {
+        TokenKind::Ident(s) => Some((t.line, s.as_str())),
+        TokenKind::Punct(_) => None,
+    })
+}
+
+/// `unsafe` is confined to the tensor runtime, and every site there must
+/// sit under a `// SAFETY:` comment explaining why it is sound.
+pub fn check_unsafe(rel: &str, lexed: &LexedFile) -> Vec<Violation> {
+    let mut v = Vec::new();
+    for (line, id) in idents_of(lexed) {
+        if id != "unsafe" {
+            continue;
+        }
+        if rel != RUNTIME_PATH {
+            v.push(Violation {
+                file: rel.to_string(),
+                line,
+                rule: "unsafe-confinement",
+                msg: format!("`unsafe` is only permitted in {RUNTIME_PATH}"),
+            });
+        } else if !lexed.comment_block_above(line).contains("SAFETY:") {
+            v.push(Violation {
+                file: rel.to_string(),
+                line,
+                rule: "safety-comment",
+                msg: "`unsafe` without a `// SAFETY:` comment directly above".to_string(),
+            });
+        }
+    }
+    v
+}
+
+/// No `HashMap`/`HashSet` in model-path crates: hash iteration order is
+/// nondeterministic across runs, the exact bug class PR 1 removed by
+/// hand. Use `BTreeMap`/`BTreeSet` or sort before iterating; line-level
+/// escape: `// om-lint: allow(hash-collections)`.
+pub fn check_hash_collections(rel: &str, lexed: &LexedFile) -> Vec<Violation> {
+    if !MODEL_PATH_CRATES.iter().any(|c| rel.starts_with(c)) {
+        return Vec::new();
+    }
+    let mut v = Vec::new();
+    for (line, id) in idents_of(lexed) {
+        if id != "HashMap" && id != "HashSet" {
+            continue;
+        }
+        if lexed
+            .comment_block_above(line)
+            .contains("om-lint: allow(hash-collections)")
+        {
+            continue;
+        }
+        v.push(Violation {
+            file: rel.to_string(),
+            line,
+            rule: "hash-collections",
+            msg: format!(
+                "`{id}` in a model-path crate: iteration order is nondeterministic; \
+                 use BTreeMap/BTreeSet or mark the line \
+                 `// om-lint: allow(hash-collections)` with a rationale"
+            ),
+        });
+    }
+    v
+}
+
+/// Threads are spawned only by the tensor runtime's pool; any other call
+/// site needs an `// om-lint: allow(thread-spawn)` marker with a
+/// rationale (nested parallelism on the pool deadlocks — see DESIGN.md).
+pub fn check_thread_spawn(rel: &str, lexed: &LexedFile) -> Vec<Violation> {
+    if rel == RUNTIME_PATH {
+        return Vec::new();
+    }
+    let mut v = Vec::new();
+    for (line, id) in idents_of(lexed) {
+        if id != "spawn" {
+            continue;
+        }
+        if lexed
+            .comment_block_above(line)
+            .contains("om-lint: allow(thread-spawn)")
+        {
+            continue;
+        }
+        v.push(Violation {
+            file: rel.to_string(),
+            line,
+            rule: "thread-spawn",
+            msg: "thread spawn outside the tensor runtime: run work through \
+                  `om_tensor::runtime`, or mark the site \
+                  `// om-lint: allow(thread-spawn)` with a rationale"
+                .to_string(),
+        });
+    }
+    v
+}
+
+/// Top-level `pub fn` names of a lexed file, with their lines, in order.
+fn top_level_pub_fns(lexed: &LexedFile) -> Vec<(usize, String)> {
+    let mut fns = Vec::new();
+    let mut depth = 0i32;
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        match &t.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => depth -= 1,
+            TokenKind::Ident(s) if s == "fn" && depth == 0 => {
+                let is_pub = i > 0
+                    && matches!(&toks[i - 1].kind, TokenKind::Ident(p) if p == "pub");
+                if !is_pub {
+                    continue;
+                }
+                if let Some(TokenKind::Ident(name)) = toks.get(i + 1).map(|t| &t.kind) {
+                    fns.push((t.line, name.clone()));
+                }
+            }
+            _ => {}
+        }
+    }
+    fns
+}
+
+/// Every parallel kernel (top-level `pub fn` in `kernels.rs` not itself a
+/// `*_serial` function) must have a `{name}_serial` reference sibling, and
+/// both names must appear in the parity suite so the pair is actually
+/// compared. Exempt a non-kernel helper with `// om-lint: not-a-kernel`.
+pub fn check_kernel_parity(
+    kernels_rel: &str,
+    kernels: &LexedFile,
+    parity: &LexedFile,
+) -> Vec<Violation> {
+    let fns = top_level_pub_fns(kernels);
+    let names: BTreeSet<&str> = fns.iter().map(|(_, n)| n.as_str()).collect();
+    let parity_idents: BTreeSet<&str> = idents_of(parity).map(|(_, id)| id).collect();
+    let mut v = Vec::new();
+    for (line, name) in &fns {
+        if name.ends_with("_serial") {
+            continue;
+        }
+        if kernels
+            .comment_block_above(*line)
+            .contains("om-lint: not-a-kernel")
+        {
+            continue;
+        }
+        let sibling = format!("{name}_serial");
+        if !names.contains(sibling.as_str()) {
+            v.push(Violation {
+                file: kernels_rel.to_string(),
+                line: *line,
+                rule: "kernel-parity",
+                msg: format!(
+                    "parallel kernel `{name}` has no serial reference sibling `{sibling}`"
+                ),
+            });
+            continue;
+        }
+        if !parity_idents.contains(name.as_str()) || !parity_idents.contains(sibling.as_str()) {
+            v.push(Violation {
+                file: kernels_rel.to_string(),
+                line: *line,
+                rule: "kernel-parity",
+                msg: format!(
+                    "kernel pair `{name}`/`{sibling}` is not registered in the parity suite"
+                ),
+            });
+        }
+    }
+    v
+}
+
+/// The workspace manifest must carry the shared deny-list (at minimum
+/// `unsafe_op_in_unsafe_fn`) and every first-party crate must opt in with
+/// `[lints] workspace = true`.
+pub fn check_workspace_lints(
+    root_manifest: &str,
+    crate_manifests: &[(String, String)],
+) -> Vec<Violation> {
+    let mut v = Vec::new();
+    if !root_manifest.contains("[workspace.lints.rust]")
+        || !root_manifest.contains("unsafe_op_in_unsafe_fn")
+    {
+        v.push(Violation {
+            file: "Cargo.toml".to_string(),
+            line: 1,
+            rule: "workspace-lints",
+            msg: "workspace manifest must define [workspace.lints.rust] with \
+                  `unsafe_op_in_unsafe_fn = \"deny\"`"
+                .to_string(),
+        });
+    }
+    for (rel, text) in crate_manifests {
+        if !text.contains("[lints]") || !text.contains("workspace = true") {
+            v.push(Violation {
+                file: rel.clone(),
+                line: 1,
+                rule: "workspace-lints",
+                msg: "crate must opt into workspace lints with `[lints] workspace = true`"
+                    .to_string(),
+            });
+        }
+    }
+    v
+}

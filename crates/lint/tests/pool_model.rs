@@ -1,0 +1,288 @@
+//! Exhaustive model check of the tensor runtime's dispatch/join protocol
+//! (`crates/tensor/src/runtime.rs`), driven by `om_lint::interleave` — the
+//! repo's loom stand-in.
+//!
+//! The modelled protocol, step for step:
+//!
+//! * the **caller** (`parallel_for`) enqueues `jobs` closures one `send`
+//!   at a time, runs its own range inline, then joins via `Latch::wait`:
+//!   lock the latch mutex, and while `remaining > 0`
+//!   atomically-release-and-sleep on the condvar (`Condvar::wait` IS
+//!   atomic — modelled as one step), reacquiring and rechecking on wakeup;
+//! * each **worker** pulls one job at a time from the shared queue (the
+//!   `Mutex<Receiver>` serialises `recv`, so taking a job is one atomic
+//!   step), executes the range, then runs `Latch::count_down`: lock,
+//!   decrement, notify-if-zero, unlock — all under the mutex, hence fused
+//!   into one model step.
+//!
+//! Verified for every interleaving, across worker counts and backlog
+//! shapes (more jobs than workers): no deadlock, no lost wakeup, every
+//! range executed exactly once, the caller's join only completes when
+//! `remaining == 0`. The panic path (a job that fails but still counts
+//! down, as `catch_unwind` guarantees) is covered too.
+//!
+//! A deliberately broken variant — checking `remaining` *outside* the
+//! mutex before sleeping, the classic TOCTOU/lost-wakeup bug the real
+//! `Latch` avoids — must be caught by the explorer as a deadlock, which
+//! demonstrates the model is strong enough to see the bug class it
+//! guards against.
+
+use om_lint::interleave::{explore, Model};
+
+/// Thread id 0 is the caller; ids `1..=workers` are pool workers.
+const CALLER: usize = 0;
+
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum CallerPc {
+    /// Enqueued `k` of `jobs` so far; next step sends job `k`.
+    Send(usize),
+    /// Run the caller's own range (range index 0).
+    RunOwn,
+    /// `Latch::wait`: acquire the latch mutex.
+    WaitAcquire,
+    /// Holding the mutex: recheck `remaining`.
+    WaitCheck,
+    /// In the condvar waitset, mutex released.
+    Sleeping,
+    /// Join complete.
+    Done,
+    /// Broken variant: about to read `remaining` with NO mutex held.
+    BrokenCheck,
+    /// Broken variant: decided to sleep; registering is a separate step —
+    /// the race window.
+    BrokenRegister,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum WorkerPc {
+    /// Blocked on the job queue.
+    Idle,
+    /// Executed a range; now `Latch::count_down` — acquire the mutex.
+    CountAcquire,
+}
+
+/// Full system state. `Ord`-keyed so exploration is deterministic.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct PoolModel {
+    caller: CallerPc,
+    workers: Vec<WorkerPc>,
+    /// FIFO of enqueued-but-unclaimed range indices.
+    queue: Vec<usize>,
+    /// Execution count per range (index 0 = the caller's own range).
+    executed: Vec<u8>,
+    /// `Latch::remaining`.
+    remaining: usize,
+    /// Latch mutex holder (thread id), if any.
+    mutex: Option<usize>,
+    /// Caller registered in the condvar waitset.
+    waiting: bool,
+    /// Pending wakeup for the caller (a `notify_one` it has not consumed).
+    wake: bool,
+    /// Range index whose job "panics" (still counts down via
+    /// `catch_unwind`), if any.
+    panicking: Option<usize>,
+    /// Model the broken check-then-sleep join instead of the real one.
+    broken: bool,
+}
+
+impl PoolModel {
+    fn new(workers: usize, jobs: usize, panicking: Option<usize>, broken: bool) -> PoolModel {
+        PoolModel {
+            caller: CallerPc::Send(0),
+            workers: vec![WorkerPc::Idle; workers],
+            queue: Vec::new(),
+            executed: vec![0; jobs + 1],
+            remaining: jobs,
+            mutex: None,
+            waiting: false,
+            wake: false,
+            panicking,
+            broken,
+        }
+    }
+
+    fn jobs(&self) -> usize {
+        self.executed.len() - 1
+    }
+
+    /// Mark a range executed (panicking ranges count down but produce no
+    /// output — `catch_unwind` swallows the body).
+    fn execute(&mut self, range: usize) {
+        if self.panicking != Some(range) {
+            self.executed[range] += 1;
+        }
+    }
+}
+
+impl Model for PoolModel {
+    fn runnable(&self) -> Vec<usize> {
+        let mut r = Vec::new();
+        let caller_can = match self.caller {
+            CallerPc::Send(_) | CallerPc::RunOwn => true,
+            CallerPc::WaitAcquire => self.mutex.is_none(),
+            CallerPc::WaitCheck => true,
+            CallerPc::Sleeping => self.wake,
+            CallerPc::Done => false,
+            CallerPc::BrokenCheck | CallerPc::BrokenRegister => true,
+        };
+        if caller_can {
+            r.push(CALLER);
+        }
+        for (w, pc) in self.workers.iter().enumerate() {
+            let can = match pc {
+                WorkerPc::Idle => !self.queue.is_empty(),
+                WorkerPc::CountAcquire => self.mutex.is_none(),
+            };
+            if can {
+                r.push(w + 1);
+            }
+        }
+        r
+    }
+
+    fn step(&self, tid: usize) -> Self {
+        let mut s = self.clone();
+        if tid == CALLER {
+            match s.caller {
+                CallerPc::Send(k) => {
+                    s.queue.push(k + 1); // range indices 1..=jobs
+                    s.caller = if k + 1 == s.jobs() {
+                        CallerPc::RunOwn
+                    } else {
+                        CallerPc::Send(k + 1)
+                    };
+                }
+                CallerPc::RunOwn => {
+                    s.execute(0);
+                    s.caller = if s.broken {
+                        CallerPc::BrokenCheck
+                    } else {
+                        CallerPc::WaitAcquire
+                    };
+                }
+                CallerPc::WaitAcquire => {
+                    s.mutex = Some(CALLER);
+                    s.caller = CallerPc::WaitCheck;
+                }
+                CallerPc::WaitCheck => {
+                    if s.remaining == 0 {
+                        s.mutex = None;
+                        s.caller = CallerPc::Done;
+                    } else {
+                        // Condvar::wait: register + release in ONE atomic
+                        // step — this is exactly what makes the real
+                        // protocol lost-wakeup-free.
+                        s.waiting = true;
+                        s.mutex = None;
+                        s.caller = CallerPc::Sleeping;
+                    }
+                }
+                CallerPc::Sleeping => {
+                    s.wake = false;
+                    s.waiting = false;
+                    s.caller = CallerPc::WaitAcquire;
+                }
+                CallerPc::Done => unreachable!("Done is terminal"),
+                CallerPc::BrokenCheck => {
+                    // BUG under test: read `remaining` without the mutex…
+                    s.caller = if s.remaining == 0 {
+                        CallerPc::Done
+                    } else {
+                        CallerPc::BrokenRegister
+                    };
+                }
+                CallerPc::BrokenRegister => {
+                    // …then register as a SECOND step. A count_down landing
+                    // between the two notifies nobody: lost wakeup.
+                    s.waiting = true;
+                    s.caller = CallerPc::Sleeping;
+                }
+            }
+            return s;
+        }
+        let w = tid - 1;
+        match s.workers[w] {
+            WorkerPc::Idle => {
+                let range = s.queue.remove(0);
+                s.execute(range);
+                s.workers[w] = WorkerPc::CountAcquire;
+            }
+            WorkerPc::CountAcquire => {
+                // count_down() entirely under the latch mutex: decrement,
+                // notify if zero, unlock — fused into one atomic step.
+                s.mutex = Some(tid);
+                s.remaining -= 1;
+                if s.remaining == 0 && s.waiting {
+                    s.wake = true;
+                }
+                s.mutex = None;
+                s.workers[w] = WorkerPc::Idle;
+            }
+        }
+        s
+    }
+
+    fn is_terminal_ok(&self) -> bool {
+        self.caller == CallerPc::Done
+            && self.remaining == 0
+            && self.queue.is_empty()
+            && self.workers.iter().all(|w| *w == WorkerPc::Idle)
+            && self
+                .executed
+                .iter()
+                .enumerate()
+                .all(|(r, &n)| n == u8::from(self.panicking != Some(r)))
+    }
+
+    fn invariant(&self) -> Result<(), String> {
+        if self.executed.iter().any(|&n| n > 1) {
+            return Err("a range executed more than once".to_string());
+        }
+        if self.caller == CallerPc::Done && self.remaining != 0 {
+            return Err("caller joined before all jobs counted down".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn dispatch_join_protocol_verifies_across_pool_shapes() {
+    // (workers, jobs): includes backlog shapes where jobs > workers, the
+    // single-worker pool, and workers that never get a job.
+    for (workers, jobs) in [(1, 1), (1, 3), (2, 1), (2, 2), (2, 4), (3, 3)] {
+        let stats = explore(PoolModel::new(workers, jobs, None, false))
+            .unwrap_or_else(|e| panic!("{workers} workers / {jobs} jobs: {e}"));
+        assert!(
+            stats.states > jobs,
+            "{workers}w/{jobs}j explored suspiciously few states: {stats:?}"
+        );
+    }
+}
+
+#[test]
+fn panic_path_still_joins() {
+    // A panicking job must not deadlock the join: catch_unwind counts the
+    // latch down regardless. Panic in a worker job and in no job at all;
+    // also the last job, which is the one that wakes the caller.
+    for (workers, jobs, p) in [(2, 2, Some(1)), (2, 3, Some(3)), (1, 2, Some(2))] {
+        explore(PoolModel::new(workers, jobs, p, false))
+            .unwrap_or_else(|e| panic!("panicking range {p:?}: {e}"));
+    }
+}
+
+#[test]
+fn broken_check_then_sleep_join_is_caught_as_deadlock() {
+    // The TOCTOU variant MUST fail: this proves the explorer actually
+    // exercises the interleaving where the last count_down slips between
+    // the caller's unlocked check and its registration.
+    let err = explore(PoolModel::new(2, 2, None, true))
+        .expect_err("broken latch must deadlock under some interleaving");
+    assert!(err.contains("deadlock"), "unexpected failure mode: {err}");
+    assert!(err.contains("Sleeping"), "should die asleep: {err}");
+}
+
+#[test]
+fn single_worker_broken_variant_also_deadlocks() {
+    // Even one worker suffices for the lost wakeup.
+    assert!(explore(PoolModel::new(1, 1, None, true)).is_err());
+}

@@ -20,6 +20,7 @@ pub mod mlp;
 pub mod module;
 pub mod optim;
 pub mod serialize;
+pub mod shapecheck;
 pub mod textcnn;
 pub mod transformer;
 
@@ -30,5 +31,6 @@ pub use loss::{mse_loss, supcon_loss, SupConBatch};
 pub use mlp::Mlp;
 pub use module::HasParams;
 pub use optim::{Adadelta, Adam, Optimizer, Sgd};
+pub use shapecheck::{Dim, NodeId, Op, Shape, ShapeError, ShapeGraph, ShapeReport};
 pub use textcnn::TextCnn;
 pub use transformer::TransformerEncoder;

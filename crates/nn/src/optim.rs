@@ -2,7 +2,7 @@
 //! (lr = 0.02, ρ = 0.95, §5.4); SGD and Adam are provided for the baselines
 //! and ablations.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use om_tensor::Tensor;
 
@@ -38,7 +38,7 @@ pub struct Sgd {
     params: Vec<Tensor>,
     lr: f32,
     momentum: f32,
-    velocity: HashMap<u64, Vec<f32>>,
+    velocity: BTreeMap<u64, Vec<f32>>,
 }
 
 impl Sgd {
@@ -53,7 +53,7 @@ impl Sgd {
             params,
             lr,
             momentum,
-            velocity: HashMap::new(),
+            velocity: BTreeMap::new(),
         }
     }
 }
@@ -102,8 +102,8 @@ pub struct Adam {
     beta2: f32,
     eps: f32,
     t: u64,
-    m: HashMap<u64, Vec<f32>>,
-    v: HashMap<u64, Vec<f32>>,
+    m: BTreeMap<u64, Vec<f32>>,
+    v: BTreeMap<u64, Vec<f32>>,
 }
 
 impl Adam {
@@ -116,8 +116,8 @@ impl Adam {
             beta2: 0.999,
             eps: 1e-8,
             t: 0,
-            m: HashMap::new(),
-            v: HashMap::new(),
+            m: BTreeMap::new(),
+            v: BTreeMap::new(),
         }
     }
 }
@@ -165,8 +165,8 @@ pub struct Adadelta {
     lr: f32,
     rho: f32,
     eps: f32,
-    sq_avg: HashMap<u64, Vec<f32>>,
-    acc_delta: HashMap<u64, Vec<f32>>,
+    sq_avg: BTreeMap<u64, Vec<f32>>,
+    acc_delta: BTreeMap<u64, Vec<f32>>,
 }
 
 impl Adadelta {
@@ -177,8 +177,8 @@ impl Adadelta {
             lr,
             rho,
             eps: 1e-6,
-            sq_avg: HashMap::new(),
-            acc_delta: HashMap::new(),
+            sq_avg: BTreeMap::new(),
+            acc_delta: BTreeMap::new(),
         }
     }
 

@@ -1,0 +1,577 @@
+//! Static shape/graph checking: validate a model's wiring **before** a
+//! single forward pass runs.
+//!
+//! A [`ShapeGraph`] is a symbolic mirror of a network: nodes are layers
+//! (or inputs, or loss heads), edges are tensor flows. Calling
+//! [`ShapeGraph::check`] propagates symbolic shapes (a free batch
+//! dimension plus concrete widths) through every node, reporting the
+//! first inconsistency as a [`ShapeError`] that names the offending
+//! layer, and flags every parameter-bearing node that is *unreachable*
+//! from the total loss — the class of silent miswiring bug (a
+//! discriminator head that never receives gradient, a projection head
+//! orphaned by an ablation flag) that adversarial-plus-contrastive
+//! stacks like OmniMatch's GRL objective are notoriously sensitive to.
+//!
+//! The checker is deliberately conservative: it understands exactly the
+//! layer vocabulary this workspace uses (Linear / Embedding / TextCNN /
+//! Transformer / MLP / gradient reversal / concat / the three loss
+//! heads) and refuses shapes it cannot prove.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One symbolic dimension: either a named free variable (the batch axis)
+/// or a concrete width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Dim {
+    /// A free symbolic dimension, e.g. `B` for the batch axis.
+    Sym(&'static str),
+    /// A concrete, known extent.
+    Fixed(usize),
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dim::Sym(s) => write!(f, "{s}"),
+            Dim::Fixed(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A symbolic tensor shape (empty = scalar).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shape(pub Vec<Dim>);
+
+impl Shape {
+    /// The conventional scalar-loss shape.
+    pub fn scalar() -> Shape {
+        Shape(Vec::new())
+    }
+
+    fn last_fixed(&self) -> Option<usize> {
+        match self.0.last() {
+            Some(Dim::Fixed(n)) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Symbolic layer vocabulary — the shape transform of every module kind
+/// the workspace's models are assembled from.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// A graph input with a declared shape.
+    Input(Shape),
+    /// Token-id lookup `[.., L] → [.., L, dim]`.
+    Embedding {
+        /// Vocabulary size (rows of the table).
+        vocab: usize,
+        /// Embedding width.
+        dim: usize,
+    },
+    /// Multi-width convolution + max-over-time:
+    /// `[B, L, emb_dim] → [B, widths.len()·filters]`.
+    TextCnn {
+        /// Expected embedding width.
+        emb_dim: usize,
+        /// Kernel widths; every width must fit in the document length.
+        widths: Vec<usize>,
+        /// Filters per width.
+        filters: usize,
+    },
+    /// Pre-norm encoder + mean pooling: `[B, L, dim] → [B, dim]`.
+    Transformer {
+        /// Model width (must divide evenly by `heads`).
+        dim: usize,
+        /// Attention heads.
+        heads: usize,
+        /// Positional-embedding capacity; `L` must not exceed it.
+        max_len: usize,
+    },
+    /// Dense layer `[.., input] → [.., output]`.
+    Linear {
+        /// Expected input width.
+        input: usize,
+        /// Output width.
+        output: usize,
+    },
+    /// A stack of dense layers `dims[0] → … → dims.last()`.
+    Mlp {
+        /// Layer widths, length ≥ 2.
+        dims: Vec<usize>,
+    },
+    /// Shape-preserving elementwise module (ReLU, dropout, L2-normalise).
+    Activation,
+    /// Gradient reversal — identity on shapes, sign flip on gradients.
+    GradReversal,
+    /// Concatenate all inputs along the last axis.
+    ConcatLast,
+    /// Softmax cross-entropy `[B, classes] → scalar`.
+    CrossEntropy {
+        /// Number of target classes.
+        classes: usize,
+    },
+    /// Supervised contrastive loss over projected views `[B, D] → scalar`.
+    SupCon,
+    /// Weighted sum of scalar losses → scalar. An input with weight `0`
+    /// contributes no gradient and is treated as disconnected by the
+    /// reachability pass.
+    WeightedSum {
+        /// One weight per input, in input order.
+        weights: Vec<f32>,
+    },
+}
+
+/// Handle to a node inside a [`ShapeGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct NodeId(usize);
+
+struct Node {
+    name: String,
+    op: Op,
+    inputs: Vec<NodeId>,
+    trainable: bool,
+}
+
+/// A wiring inconsistency, anchored to the layer that rejects its input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Name of the offending node.
+    pub node: String,
+    /// What went wrong, with the expected and actual shapes.
+    pub msg: String,
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape check failed at `{}`: {}", self.node, self.msg)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// The result of a successful check.
+#[derive(Debug, Clone)]
+pub struct ShapeReport {
+    /// Every node's resolved output shape, in insertion order.
+    pub shapes: Vec<(String, Shape)>,
+    /// Parameter-bearing nodes with no gradient path from the total loss.
+    pub unreachable_params: Vec<String>,
+}
+
+/// A symbolic model graph under construction.
+#[derive(Default)]
+pub struct ShapeGraph {
+    nodes: Vec<Node>,
+}
+
+impl ShapeGraph {
+    /// An empty graph.
+    pub fn new() -> ShapeGraph {
+        ShapeGraph::default()
+    }
+
+    /// Add a node. `inputs` must already be part of the graph, which
+    /// keeps the node list topologically ordered by construction.
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        op: Op,
+        inputs: &[NodeId],
+        trainable: bool,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        for i in inputs {
+            assert!(i.0 < id.0, "ShapeGraph::add: input node not yet defined");
+        }
+        self.nodes.push(Node {
+            name: name.into(),
+            op,
+            inputs: inputs.to_vec(),
+            trainable,
+        });
+        id
+    }
+
+    /// Convenience: a non-trainable input node.
+    pub fn input(&mut self, name: impl Into<String>, shape: Shape) -> NodeId {
+        self.add(name, Op::Input(shape), &[], false)
+    }
+
+    fn err(node: &Node, msg: String) -> ShapeError {
+        ShapeError {
+            node: node.name.clone(),
+            msg,
+        }
+    }
+
+    fn infer(node: &Node, ins: &[&Shape]) -> Result<Shape, ShapeError> {
+        let one = |ins: &[&Shape]| -> Result<Shape, ShapeError> {
+            if ins.len() != 1 {
+                return Err(Self::err(node, format!("expected 1 input, got {}", ins.len())));
+            }
+            Ok(ins[0].clone())
+        };
+        match &node.op {
+            Op::Input(shape) => Ok(shape.clone()),
+            Op::Embedding { vocab, dim } => {
+                if *vocab == 0 || *dim == 0 {
+                    return Err(Self::err(node, "vocab and dim must be positive".into()));
+                }
+                let mut s = one(ins)?;
+                s.0.push(Dim::Fixed(*dim));
+                Ok(s)
+            }
+            Op::TextCnn {
+                emb_dim,
+                widths,
+                filters,
+            } => {
+                let s = one(ins)?;
+                if widths.is_empty() || *filters == 0 {
+                    return Err(Self::err(node, "needs ≥1 kernel width and ≥1 filter".into()));
+                }
+                if s.0.len() != 3 {
+                    return Err(Self::err(node, format!("expects [B, L, emb], got {s}")));
+                }
+                if s.last_fixed() != Some(*emb_dim) {
+                    return Err(Self::err(
+                        node,
+                        format!("embedding width mismatch: expects {emb_dim}, got {s}"),
+                    ));
+                }
+                if let Dim::Fixed(l) = s.0[1] {
+                    if let Some(&w) = widths.iter().find(|&&w| w > l) {
+                        return Err(Self::err(
+                            node,
+                            format!("kernel width {w} exceeds document length {l}"),
+                        ));
+                    }
+                }
+                Ok(Shape(vec![s.0[0].clone(), Dim::Fixed(widths.len() * filters)]))
+            }
+            Op::Transformer { dim, heads, max_len } => {
+                let s = one(ins)?;
+                if *heads == 0 || !dim.is_multiple_of(*heads) {
+                    return Err(Self::err(
+                        node,
+                        format!("width {dim} must divide evenly by {heads} heads"),
+                    ));
+                }
+                if s.0.len() != 3 || s.last_fixed() != Some(*dim) {
+                    return Err(Self::err(
+                        node,
+                        format!("expects [B, L, {dim}], got {s}"),
+                    ));
+                }
+                if let Dim::Fixed(l) = s.0[1] {
+                    if l > *max_len {
+                        return Err(Self::err(
+                            node,
+                            format!("sequence length {l} exceeds max_len {max_len}"),
+                        ));
+                    }
+                }
+                Ok(Shape(vec![s.0[0].clone(), Dim::Fixed(*dim)]))
+            }
+            Op::Linear { input, output } => {
+                let mut s = one(ins)?;
+                if s.last_fixed() != Some(*input) {
+                    return Err(Self::err(
+                        node,
+                        format!("expects input width {input}, got {s}"),
+                    ));
+                }
+                *s.0.last_mut().expect("non-scalar") = Dim::Fixed(*output);
+                Ok(s)
+            }
+            Op::Mlp { dims } => {
+                let mut s = one(ins)?;
+                if dims.len() < 2 {
+                    return Err(Self::err(node, "MLP needs at least two widths".into()));
+                }
+                if s.last_fixed() != Some(dims[0]) {
+                    return Err(Self::err(
+                        node,
+                        format!("expects input width {}, got {s}", dims[0]),
+                    ));
+                }
+                *s.0.last_mut().expect("non-scalar") = Dim::Fixed(*dims.last().expect("≥2"));
+                Ok(s)
+            }
+            Op::Activation | Op::GradReversal => one(ins),
+            Op::ConcatLast => {
+                if ins.is_empty() {
+                    return Err(Self::err(node, "concat of zero inputs".into()));
+                }
+                let lead = &ins[0].0[..ins[0].0.len().saturating_sub(1)];
+                let mut total = 0usize;
+                for s in ins {
+                    if s.0.is_empty() || &s.0[..s.0.len() - 1] != lead {
+                        return Err(Self::err(
+                            node,
+                            format!("inputs disagree on leading dims: {} vs {}", ins[0], s),
+                        ));
+                    }
+                    total += s.last_fixed().ok_or_else(|| {
+                        Self::err(node, format!("cannot concat symbolic last dim of {s}"))
+                    })?;
+                }
+                let mut out = lead.to_vec();
+                out.push(Dim::Fixed(total));
+                Ok(Shape(out))
+            }
+            Op::CrossEntropy { classes } => {
+                let s = one(ins)?;
+                if s.0.len() != 2 || s.last_fixed() != Some(*classes) {
+                    return Err(Self::err(
+                        node,
+                        format!("expects [B, {classes}] logits, got {s}"),
+                    ));
+                }
+                Ok(Shape::scalar())
+            }
+            Op::SupCon => {
+                for s in ins {
+                    if s.0.len() != 2 {
+                        return Err(Self::err(
+                            node,
+                            format!("expects projected views [B, D], got {s}"),
+                        ));
+                    }
+                    if s.last_fixed() != ins[0].last_fixed() {
+                        return Err(Self::err(
+                            node,
+                            format!("views disagree on width: {} vs {}", ins[0], s),
+                        ));
+                    }
+                }
+                Ok(Shape::scalar())
+            }
+            Op::WeightedSum { weights } => {
+                if weights.len() != ins.len() {
+                    return Err(Self::err(
+                        node,
+                        format!("{} weights for {} inputs", weights.len(), ins.len()),
+                    ));
+                }
+                for s in ins {
+                    if !s.0.is_empty() {
+                        return Err(Self::err(
+                            node,
+                            format!("expects scalar loss terms, got {s}"),
+                        ));
+                    }
+                }
+                Ok(Shape::scalar())
+            }
+        }
+    }
+
+    /// Propagate shapes through the whole graph and audit gradient
+    /// reachability from `total_loss`. Returns the first inconsistency as
+    /// an error naming the offending layer.
+    pub fn check(&self, total_loss: NodeId) -> Result<ShapeReport, ShapeError> {
+        assert!(total_loss.0 < self.nodes.len(), "unknown loss node");
+        let mut shapes: Vec<Shape> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let ins: Vec<&Shape> = node.inputs.iter().map(|i| &shapes[i.0]).collect();
+            shapes.push(Self::infer(node, &ins)?);
+        }
+        if !shapes[total_loss.0].0.is_empty() {
+            return Err(ShapeError {
+                node: self.nodes[total_loss.0].name.clone(),
+                msg: format!(
+                    "total loss must be scalar, got {}",
+                    shapes[total_loss.0]
+                ),
+            });
+        }
+
+        // Backward reachability: which nodes can receive gradient from the
+        // total loss? Zero-weighted loss terms are dead edges.
+        let mut reached: BTreeSet<usize> = BTreeSet::new();
+        let mut stack = vec![total_loss.0];
+        while let Some(i) = stack.pop() {
+            if !reached.insert(i) {
+                continue;
+            }
+            let node = &self.nodes[i];
+            for (k, input) in node.inputs.iter().enumerate() {
+                if let Op::WeightedSum { weights } = &node.op {
+                    if weights[k] == 0.0 {
+                        continue;
+                    }
+                }
+                stack.push(input.0);
+            }
+        }
+        // A name may label several nodes (weight sharing — e.g. a head
+        // applied to both domains, or one embedding table used by every
+        // backbone); the parameter is dead only if *every* use is cut off.
+        let reached_names: BTreeSet<&str> = reached
+            .iter()
+            .filter(|&&i| self.nodes[i].trainable)
+            .map(|&i| self.nodes[i].name.as_str())
+            .collect();
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut unreachable_params: Vec<String> = Vec::new();
+        for n in &self.nodes {
+            if n.trainable
+                && !reached_names.contains(n.name.as_str())
+                && seen.insert(n.name.as_str())
+            {
+                unreachable_params.push(n.name.clone());
+            }
+        }
+
+        Ok(ShapeReport {
+            shapes: self
+                .nodes
+                .iter()
+                .zip(&shapes)
+                .map(|(n, s)| (n.name.clone(), s.clone()))
+                .collect(),
+            unreachable_params,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(widths: &[usize]) -> Shape {
+        let mut v = vec![Dim::Sym("B")];
+        v.extend(widths.iter().map(|&w| Dim::Fixed(w)));
+        Shape(v)
+    }
+
+    #[test]
+    fn linear_chain_propagates() {
+        let mut g = ShapeGraph::new();
+        let x = g.input("x", batch(&[8]));
+        let l1 = g.add("l1", Op::Linear { input: 8, output: 4 }, &[x], true);
+        let l2 = g.add("l2", Op::Linear { input: 4, output: 3 }, &[l1], true);
+        let loss = g.add("loss", Op::CrossEntropy { classes: 3 }, &[l2], false);
+        let r = g.check(loss).unwrap();
+        assert_eq!(r.shapes[2].1, batch(&[3]));
+        assert!(r.unreachable_params.is_empty());
+    }
+
+    #[test]
+    fn mismatched_linear_names_offender() {
+        let mut g = ShapeGraph::new();
+        let x = g.input("x", batch(&[8]));
+        let l1 = g.add("l1", Op::Linear { input: 8, output: 4 }, &[x], true);
+        let bad = g.add("bad_head", Op::Linear { input: 5, output: 3 }, &[l1], true);
+        let loss = g.add("loss", Op::CrossEntropy { classes: 3 }, &[bad], false);
+        let e = g.check(loss).unwrap_err();
+        assert_eq!(e.node, "bad_head");
+        assert!(e.msg.contains("expects input width 5"), "{e}");
+    }
+
+    #[test]
+    fn embedding_then_textcnn() {
+        let mut g = ShapeGraph::new();
+        let ids = g.input("docs", batch(&[16]));
+        let emb = g.add("emb", Op::Embedding { vocab: 100, dim: 12 }, &[ids], true);
+        let cnn = g.add(
+            "cnn",
+            Op::TextCnn { emb_dim: 12, widths: vec![3, 4, 5], filters: 8 },
+            &[emb],
+            true,
+        );
+        let head = g.add("head", Op::Linear { input: 24, output: 5 }, &[cnn], true);
+        let loss = g.add("loss", Op::CrossEntropy { classes: 5 }, &[head], false);
+        let r = g.check(loss).unwrap();
+        assert_eq!(r.shapes[2].1, batch(&[24]));
+        assert!(r.unreachable_params.is_empty());
+    }
+
+    #[test]
+    fn oversized_kernel_is_rejected() {
+        let mut g = ShapeGraph::new();
+        let ids = g.input("docs", batch(&[4]));
+        let emb = g.add("emb", Op::Embedding { vocab: 100, dim: 12 }, &[ids], true);
+        let cnn = g.add(
+            "cnn",
+            Op::TextCnn { emb_dim: 12, widths: vec![3, 9], filters: 8 },
+            &[emb],
+            true,
+        );
+        let loss = g.add("loss", Op::CrossEntropy { classes: 16 }, &[cnn], false);
+        let e = g.check(loss).unwrap_err();
+        assert_eq!(e.node, "cnn");
+        assert!(e.msg.contains("kernel width 9 exceeds document length 4"), "{e}");
+    }
+
+    #[test]
+    fn zero_weighted_branch_is_unreachable() {
+        let mut g = ShapeGraph::new();
+        let x = g.input("x", batch(&[8]));
+        let main = g.add("main", Op::Linear { input: 8, output: 2 }, &[x], true);
+        let aux = g.add("aux_head", Op::Linear { input: 8, output: 2 }, &[x], true);
+        let l_main = g.add("l_main", Op::CrossEntropy { classes: 2 }, &[main], false);
+        let l_aux = g.add("l_aux", Op::CrossEntropy { classes: 2 }, &[aux], false);
+        let total = g.add(
+            "total",
+            Op::WeightedSum { weights: vec![1.0, 0.0] },
+            &[l_main, l_aux],
+            false,
+        );
+        let r = g.check(total).unwrap();
+        assert_eq!(r.unreachable_params, vec!["aux_head".to_string()]);
+    }
+
+    #[test]
+    fn concat_sums_widths_and_rejects_ragged() {
+        let mut g = ShapeGraph::new();
+        let a = g.input("a", batch(&[3]));
+        let b = g.input("b", batch(&[5]));
+        let cat = g.add("cat", Op::ConcatLast, &[a, b], false);
+        let head = g.add("head", Op::Linear { input: 8, output: 1 }, &[cat], true);
+        // Scalar-ify via a 1-class cross entropy to reuse check().
+        let loss = g.add("loss", Op::CrossEntropy { classes: 1 }, &[head], false);
+        assert!(g.check(loss).is_ok());
+
+        let mut g2 = ShapeGraph::new();
+        let a = g2.input("a", batch(&[3]));
+        let b = g2.input("b", Shape(vec![Dim::Sym("C"), Dim::Fixed(5)]));
+        let cat = g2.add("cat", Op::ConcatLast, &[a, b], false);
+        let loss = g2.add("loss", Op::CrossEntropy { classes: 8 }, &[cat], false);
+        let e = g2.check(loss).unwrap_err();
+        assert_eq!(e.node, "cat");
+    }
+
+    #[test]
+    fn transformer_head_divisibility() {
+        let mut g = ShapeGraph::new();
+        let ids = g.input("docs", batch(&[6]));
+        let emb = g.add("emb", Op::Embedding { vocab: 50, dim: 9 }, &[ids], true);
+        let tr = g.add(
+            "transformer",
+            Op::Transformer { dim: 9, heads: 2, max_len: 16 },
+            &[emb],
+            true,
+        );
+        let loss = g.add("loss", Op::CrossEntropy { classes: 9 }, &[tr], false);
+        let e = g.check(loss).unwrap_err();
+        assert_eq!(e.node, "transformer");
+        assert!(e.msg.contains("divide evenly"), "{e}");
+    }
+}

@@ -162,6 +162,17 @@ pub fn transpose(a: &[f32], m: usize, n: usize) -> Vec<f32> {
     out
 }
 
+/// Serial twin of [`transpose`] — plain nested loops, never parallel.
+pub fn transpose_serial(a: &[f32], m: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = a[i * n + j];
+        }
+    }
+    out
+}
+
 // ---------------------------------------------------------------------------
 // Reductions
 // ---------------------------------------------------------------------------
@@ -217,6 +228,11 @@ pub fn map(x: &[f32], f: impl Fn(f32) -> f32 + Sync) -> Vec<f32> {
     out
 }
 
+/// Serial twin of [`map`] — a plain scalar loop, never parallel.
+pub fn map_serial(x: &[f32], f: impl Fn(f32) -> f32) -> Vec<f32> {
+    x.iter().map(|&v| f(v)).collect()
+}
+
 /// Parallel elementwise zip: `out[i] = f(a[i], b[i])`.
 pub fn zip_map(a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32 + Sync) -> Vec<f32> {
     assert_eq!(a.len(), b.len(), "zip_map: length mismatch");
@@ -229,6 +245,12 @@ pub fn zip_map(a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32 + Sync) -> Vec<
     out
 }
 
+/// Serial twin of [`zip_map`] — a plain scalar loop, never parallel.
+pub fn zip_map_serial(a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "zip_map_serial: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect()
+}
+
 /// Parallel indexed map: `out[i] = f(i)`. For broadcast patterns that need
 /// the flat index (e.g. row-vector broadcast `x[i] + row[i % n]`).
 pub fn map_indexed(len: usize, f: impl Fn(usize) -> f32 + Sync) -> Vec<f32> {
@@ -239,6 +261,11 @@ pub fn map_indexed(len: usize, f: impl Fn(usize) -> f32 + Sync) -> Vec<f32> {
         }
     });
     out
+}
+
+/// Serial twin of [`map_indexed`] — a plain indexed loop, never parallel.
+pub fn map_indexed_serial(len: usize, f: impl Fn(usize) -> f32) -> Vec<f32> {
+    (0..len).map(f).collect()
 }
 
 /// Minimum f32 cells per [`fill_rows`] task. Callers pass a row grain that
@@ -259,6 +286,15 @@ pub fn fill_rows(rows: usize, row_len: usize, grain_rows: usize, f: impl Fn(usiz
             f(r0 + dr, row);
         }
     });
+    out
+}
+
+/// Serial twin of [`fill_rows`] — one row at a time, never parallel.
+pub fn fill_rows_serial(rows: usize, row_len: usize, f: impl Fn(usize, &mut [f32])) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows * row_len];
+    for (r, row) in out.chunks_mut(row_len.max(1)).enumerate() {
+        f(r, row);
+    }
     out
 }
 

@@ -174,12 +174,17 @@ where
     let chunk = n.div_ceil(tasks);
 
     let latch = Arc::new(Latch::new(tasks - 1));
-    // The borrowed closure outlives every job because we block on the latch
-    // below before returning (even on panic); 'static is a fiction the
-    // queue requires, not a lifetime the jobs actually rely on.
     let body_ref: &(dyn Fn(usize, usize) + Sync) = &body;
-    let body_static: &'static (dyn Fn(usize, usize) + Sync) =
-        unsafe { std::mem::transmute(body_ref) };
+    // SAFETY: the transmute only erases the lifetime of the borrow ('a →
+    // 'static); vtable and layout are unchanged. The 'static claim is never
+    // relied on: every job that captures `body_static` counts the latch
+    // down when it finishes (even on panic, via catch_unwind below), and
+    // this frame blocks on `latch.wait()` before returning on every path,
+    // so the borrow of `body` strictly outlives all uses of the erased
+    // reference. `F: Sync` makes the shared `&F` safe to call from workers.
+    let body_static: &'static (dyn Fn(usize, usize) + Sync) = unsafe {
+        std::mem::transmute(body_ref)
+    };
 
     for t in 1..tasks {
         let lo = t * chunk;
@@ -227,7 +232,13 @@ where
     let rows = out.len() / row_len;
     let base = SendPtr(out.as_mut_ptr());
     parallel_for(rows, grain_rows, |lo, hi| {
-        // Disjoint rows ⇒ disjoint subslices of `out`.
+        // SAFETY: `parallel_for` hands out disjoint `[lo, hi)` ranges that
+        // together cover `0..rows` exactly once, so `[lo*row_len,
+        // hi*row_len)` are non-overlapping in-bounds subranges of `out`
+        // (`out.len() == rows * row_len` is asserted above). Each closure
+        // invocation therefore materialises a `&mut` view no other thread
+        // can alias, and `out` itself is mutably borrowed for the whole
+        // call, so no access from outside the pool can race either.
         let block = unsafe {
             std::slice::from_raw_parts_mut(base.get().add(lo * row_len), (hi - lo) * row_len)
         };
@@ -239,7 +250,16 @@ where
 /// handed to each thread never overlap. Accessed through [`SendPtr::get`]
 /// so closures capture the whole (Sync) wrapper, not the bare pointer.
 struct SendPtr<T>(*mut T);
+// SAFETY: sending the wrapper to another thread moves only the pointer
+// value; the pointee is `T: Send`, and every dereference site (see
+// `parallel_rows_mut`) restricts itself to a range disjoint from all other
+// threads', so the exclusive-access rule `&mut T` normally enforces is
+// upheld manually per range.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: `&SendPtr<T>` only exposes the raw pointer via `get`; sharing it
+// between threads is sound for the same reason as `Send` above — concurrent
+// writes through the pointer are confined to disjoint index ranges by the
+// single caller (`parallel_rows_mut`), never overlapping.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {

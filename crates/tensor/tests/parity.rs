@@ -107,6 +107,47 @@ fn full_reduction_is_thread_count_invariant_bitwise() {
 }
 
 #[test]
+fn elementwise_kernels_match_serial_references_bitwise() {
+    // Lengths straddle the map-parallelisation grain so both the inline
+    // and the pooled code paths are exercised.
+    for len in [1usize, 257, 16 * 1024, 3 * 16 * 1024 + 17] {
+        let a: Vec<f32> = (0..len).map(|i| ((i * 41) % 113) as f32 * 0.073 - 4.0).collect();
+        let b: Vec<f32> = (0..len).map(|i| ((i * 59) % 127) as f32 * 0.057 - 3.5).collect();
+        let map_ref = kernels::map_serial(&a, |x| x.exp() - x);
+        assert_parity(&format!("map len {len}"), || kernels::map(&a, |x| x.exp() - x));
+        assert_eq!(bits(&map_ref), bits(&kernels::map(&a, |x| x.exp() - x)));
+        let zip_ref = kernels::zip_map_serial(&a, &b, |x, y| x * y + x);
+        assert_parity(&format!("zip_map len {len}"), || {
+            kernels::zip_map(&a, &b, |x, y| x * y + x)
+        });
+        assert_eq!(bits(&zip_ref), bits(&kernels::zip_map(&a, &b, |x, y| x * y + x)));
+        let idx_ref = kernels::map_indexed_serial(len, |i| (i % 97) as f32 * 0.31);
+        assert_parity(&format!("map_indexed len {len}"), || {
+            kernels::map_indexed(len, |i| (i % 97) as f32 * 0.31)
+        });
+        assert_eq!(bits(&idx_ref), bits(&kernels::map_indexed(len, |i| (i % 97) as f32 * 0.31)));
+    }
+}
+
+#[test]
+fn transpose_and_fill_rows_match_serial_references_bitwise() {
+    for &(m, n) in &[(1usize, 1usize), (7, 5), (173, 111), (257, 129)] {
+        let x: Vec<f32> = (0..m * n).map(|i| ((i * 31) % 101) as f32 * 0.019 - 0.9).collect();
+        let t_ref = kernels::transpose_serial(&x, m, n);
+        assert_parity(&format!("transpose {m}x{n}"), || kernels::transpose(&x, m, n));
+        assert_eq!(bits(&t_ref), bits(&kernels::transpose(&x, m, n)));
+        let fill = |r: usize, row: &mut [f32]| {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = (r * 13 + j) as f32 * 0.5;
+            }
+        };
+        let f_ref = kernels::fill_rows_serial(m, n, fill);
+        assert_parity(&format!("fill_rows {m}x{n}"), || kernels::fill_rows(m, n, 2, fill));
+        assert_eq!(bits(&f_ref), bits(&kernels::fill_rows(m, n, 2, fill)));
+    }
+}
+
+#[test]
 fn tensor_matmul_is_thread_count_invariant_bitwise() {
     for &(m, k, n) in SHAPES {
         let a = init::uniform(&[m, k], -1.0, 1.0, &mut seeded_rng(m as u64 * 7 + 1));
