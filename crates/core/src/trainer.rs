@@ -71,9 +71,31 @@ impl Trainer {
     }
 
     /// Train on a scenario and return the fitted model.
+    ///
+    /// When observability is enabled (`OM_OBS=1`) this opens a run scope
+    /// named `fit` (a no-op if an outer caller — e.g. a table binary —
+    /// already owns the run), records per-batch and per-epoch telemetry
+    /// events, and annotates the run manifest with the training
+    /// configuration. Telemetry only *reads* values the training loop
+    /// already computes; results are bitwise identical with it on or off.
     pub fn fit(&self, scenario: &CrossDomainScenario) -> TrainedOmniMatch {
+        let _run = om_obs::run_scope("fit");
+        let obs_on = om_obs::enabled();
+        let _fit_span = om_obs::trace::span_if(obs_on, "trainer.fit");
         let cold_users: Vec<UserId> = scenario.cold_start_users();
         let cfg = &self.cfg;
+        if obs_on {
+            om_obs::manifest_set("cfg.seed", cfg.seed.into());
+            om_obs::manifest_set("cfg.epochs", (cfg.epochs as u64).into());
+            om_obs::manifest_set("cfg.batch_size", (cfg.batch_size as u64).into());
+            om_obs::manifest_set("cfg.lr", (cfg.lr as f64).into());
+            om_obs::manifest_set("cfg.rho", (cfg.rho as f64).into());
+            om_obs::manifest_set("cfg.alpha", (cfg.alpha as f64).into());
+            om_obs::manifest_set("cfg.beta", (cfg.beta as f64).into());
+            om_obs::manifest_set("cfg.use_scl", cfg.use_scl.into());
+            om_obs::manifest_set("cfg.use_da", cfg.use_da.into());
+            om_obs::manifest_set("data.cold_users", (cold_users.len() as u64).into());
+        }
         let mut rng = seeded_rng(cfg.seed);
         let views = CorpusViews::build(scenario, cfg, &mut rng);
 
@@ -118,15 +140,25 @@ impl Trainer {
         let valid_pairs = scenario.validation_pairs();
         let start = Instant::now();
         for epoch in 0..cfg.epochs {
+            let _epoch_span = om_obs::trace::span_if(obs_on, "trainer.epoch");
             samples.shuffle(&mut rng);
             // All of the epoch's randomness that shapes the *data* (aux
             // augmentation, cold-user alignment picks) is drawn here,
             // sequentially; the per-batch document assembly then fans out
             // over the tensor runtime's pool. See [`plan_epoch`].
-            let inputs = plan_epoch(&views, cfg, &samples, &cold_users, &mut rng);
+            let inputs = {
+                let _plan_span = om_obs::trace::span_if(obs_on, "trainer.plan_epoch");
+                plan_epoch(&views, cfg, &samples, &cold_users, &mut rng)
+            };
             let mut sums = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
             let mut batches = 0usize;
+            // Running means of the per-step optimizer summaries, reported
+            // once per epoch (per-batch values also go to the event stream).
+            let mut grad_norm = 0.0f64;
+            let mut update_norm = 0.0f64;
+            let mut last_step: Option<om_nn::StepStats> = None;
             for input in &inputs {
+                let _batch_span = om_obs::trace::span_if(obs_on, "trainer.batch");
                 let stats = train_batch(&model, &views, cfg, input, &mut rng);
                 opt.step();
                 opt.zero_grad();
@@ -135,6 +167,27 @@ impl Trainer {
                 sums.2 += stats.scl;
                 sums.3 += stats.domain;
                 batches += 1;
+                if obs_on {
+                    let step = opt.step_stats();
+                    if let Some(s) = step {
+                        grad_norm += s.grad_norm;
+                        update_norm += s.update_norm;
+                        last_step = Some(s);
+                    }
+                    om_obs::emit(
+                        "batch",
+                        &[
+                            ("epoch", (epoch as u64).into()),
+                            ("batch", ((batches - 1) as u64).into()),
+                            ("total", stats.total.into()),
+                            ("rating", stats.rating.into()),
+                            ("scl", stats.scl.into()),
+                            ("domain", stats.domain.into()),
+                            ("grad_norm", step.map_or(0.0, |s| s.grad_norm).into()),
+                            ("update_norm", step.map_or(0.0, |s| s.update_norm).into()),
+                        ],
+                    );
+                }
             }
             let b = batches.max(1) as f32;
             epochs.push(EpochStats {
@@ -146,6 +199,7 @@ impl Trainer {
             // Model selection on the cold-start validation users (§5.2):
             // keep the parameters of the best validation epoch.
             if !valid_pairs.is_empty() {
+                let _valid_span = om_obs::trace::span_if(obs_on, "trainer.validate");
                 let r = validation_rmse(&model, &views, cfg, &valid_pairs);
                 valid_rmse.push(r);
                 if r < best.0 {
@@ -155,6 +209,37 @@ impl Trainer {
                         Some(om_nn::serialize::save_params(&model.params())),
                     );
                 }
+            }
+            if obs_on {
+                let e = epochs.last().expect("epoch stats just pushed");
+                let bd = batches.max(1) as f64;
+                om_obs::emit(
+                    "epoch",
+                    &[
+                        ("epoch", (epoch as u64).into()),
+                        ("total", e.total.into()),
+                        ("rating", e.rating.into()),
+                        ("scl", e.scl.into()),
+                        ("domain", e.domain.into()),
+                        ("valid_rmse", valid_rmse.last().copied().unwrap_or(f32::NAN).into()),
+                        ("grad_norm", (grad_norm / bd).into()),
+                        ("update_norm", (update_norm / bd).into()),
+                        ("param_norm", last_step.map_or(0.0, |s| s.param_norm).into()),
+                        ("sq_avg_mean", last_step.map_or(0.0, |s| s.sq_avg_mean).into()),
+                        (
+                            "acc_delta_mean",
+                            last_step.map_or(0.0, |s| s.acc_delta_mean).into(),
+                        ),
+                    ],
+                );
+                om_obs::info!(
+                    "epoch {epoch}: total {:.4} rating {:.4} scl {:.4} domain {:.4} valid_rmse {:.4}",
+                    e.total,
+                    e.rating,
+                    e.scl,
+                    e.domain,
+                    valid_rmse.last().copied().unwrap_or(f32::NAN)
+                );
             }
         }
         if let (_, best_epoch, Some(ckpt)) = &best {
@@ -169,6 +254,11 @@ impl Trainer {
             valid_rmse,
             best_epoch: best.1,
         };
+        if obs_on {
+            om_obs::manifest_set("train.seconds", report.train_seconds.into());
+            om_obs::manifest_set("train.samples", (report.samples as u64).into());
+            om_obs::manifest_set("train.best_epoch", (report.best_epoch as u64).into());
+        }
         TrainedOmniMatch {
             cfg: cfg.clone(),
             model,

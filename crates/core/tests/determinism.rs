@@ -89,3 +89,27 @@ fn different_seeds_actually_differ() {
     let b = fingerprint(&sc, 2);
     assert_ne!(a.predictions, b.predictions, "seed must influence training");
 }
+
+#[test]
+fn observability_does_not_perturb_training() {
+    // The om-obs instrumentation contract: telemetry only reads clocks and
+    // bumps atomics, so enabling it must leave every training result
+    // bit-identical. Run artifacts are routed to a scratch dir so the test
+    // never writes into results/obs/.
+    let sc = scenario();
+    let tmp = std::env::temp_dir().join(format!("om-obs-determinism-{}", std::process::id()));
+
+    om_obs::set_enabled(false);
+    let off = fingerprint(&sc, 7);
+
+    om_obs::set_out_root(&tmp);
+    om_obs::set_enabled(true);
+    let on = fingerprint(&sc, 7);
+    om_obs::set_enabled(false);
+
+    let _ = std::fs::remove_dir_all(&tmp);
+    assert_eq!(
+        off, on,
+        "enabling OM_OBS telemetry changed training results"
+    );
+}

@@ -10,8 +10,10 @@ use om_experiments::runner::{cli_trials, run_trials, Method};
 use omnimatch_core::OmniMatchConfig;
 
 fn main() {
+    let _run = om_obs::run_scope("ablation_extra");
     let trials = cli_trials(2);
-    eprintln!("generating world ({trials} trial(s) per cell)…");
+    om_obs::manifest_set("experiment.trials", (trials as u64).into());
+    om_obs::info!("generating world ({trials} trial(s) per cell)…");
     let world = SynthWorld::generate(SynthConfig::amazon(), &["Books", "Movies"]);
 
     let variants: Vec<(&str, OmniMatchConfig)> = vec![
@@ -51,7 +53,7 @@ fn main() {
         &["Variant", "RMSE", "MAE"],
     );
     for (name, cfg) in variants {
-        eprintln!("{name}…");
+        om_obs::info!("{name}…");
         let r = run_trials(&world, "Books", "Movies", &Method::Ours(cfg), trials, 1.0);
         table.row(vec![
             name.to_string(),

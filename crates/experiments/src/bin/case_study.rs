@@ -10,6 +10,7 @@ use om_tensor::seeded_rng;
 use omnimatch_core::AuxiliaryReviewGenerator;
 
 fn main() {
+    let _run = om_obs::run_scope("case_study");
     let world = SynthWorld::generate(SynthConfig::amazon(), &["Books", "Movies"]);
     let scenario = world.scenario("Books", "Movies", SplitConfig::default());
     let generator = AuxiliaryReviewGenerator::new(&scenario);

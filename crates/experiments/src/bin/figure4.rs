@@ -20,7 +20,7 @@ fn sweep(
         &[label, "RMSE", "MAE"],
     );
     for &v in &paper::FIGURE4_VALUES {
-        eprintln!("{label} = {v}…");
+        om_obs::info!("{label} = {v}…");
         let r = run_trials(world, "Movies", "Music", &Method::Ours(make(v)), trials, 1.0);
         table.row(vec![
             format!("{v:.1}"),
@@ -32,7 +32,9 @@ fn sweep(
 }
 
 fn main() {
+    let _run = om_obs::run_scope("figure4");
     let trials = cli_trials(1);
+    om_obs::manifest_set("experiment.trials", (trials as u64).into());
     let world = SynthWorld::generate(SynthConfig::amazon(), &["Books", "Movies", "Music"]);
 
     // (a) sweep α with β fixed at 0.1 (§5.8)

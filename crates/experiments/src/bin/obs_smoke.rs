@@ -1,0 +1,30 @@
+//! CI smoke test for the observability pipeline: force-enable om-obs,
+//! train a tiny model, and print the run's artifact directory on stdout.
+//! The CI job then validates `events.jsonl` with `cargo obs-report` (which
+//! exits non-zero on a schema violation).
+
+use om_data::{SplitConfig, SynthConfig, SynthWorld};
+use omnimatch_core::{OmniMatchConfig, Trainer};
+
+fn main() {
+    // Force-on regardless of the environment: this binary exists to
+    // exercise the sink end-to-end.
+    om_obs::set_enabled(true);
+    assert!(
+        om_obs::run_begin("obs_smoke"),
+        "obs_smoke must own the run"
+    );
+    om_obs::info!("observability smoke: tiny Books->Movies training");
+
+    let world = SynthWorld::generate(SynthConfig::tiny(), &["Books", "Movies"]);
+    let scenario = world.scenario("Books", "Movies", SplitConfig::default());
+    let trained = Trainer::new(OmniMatchConfig::fast().with_seed(7)).fit(&scenario);
+    let eval = trained.evaluate(&scenario.test_pairs());
+    assert!(eval.rmse.is_finite(), "smoke training produced NaN RMSE");
+    om_obs::manifest_set("smoke.rmse", (eval.rmse as f64).into());
+    om_obs::manifest_set("smoke.mae", (eval.mae as f64).into());
+
+    let dir = om_obs::run_finish().expect("run artifacts written");
+    // Machine-readable: CI captures this line to locate the artifact.
+    println!("{}", dir.display());
+}

@@ -9,8 +9,10 @@ use om_experiments::runner::{cli_trials, run_trials, Method};
 use omnimatch_core::OmniMatchConfig;
 
 fn main() {
+    let _run = om_obs::run_scope("table4");
     let trials = cli_trials(2);
-    eprintln!("generating world ({trials} trial(s) per cell)…");
+    om_obs::manifest_set("experiment.trials", (trials as u64).into());
+    om_obs::info!("generating world ({trials} trial(s) per cell)…");
     let world = SynthWorld::generate(SynthConfig::amazon(), &["Books", "Movies", "Music"]);
     let methods = [
         Method::Emcdr,
@@ -32,7 +34,7 @@ fn main() {
         let mut mae_paper = vec![String::new(), "MAE(paper)".to_string()];
         for (si, (src, tgt)) in paper::TABLE4_SCENARIOS.iter().enumerate() {
             for (fi, &frac) in paper::TABLE4_FRACTIONS.iter().enumerate() {
-                eprintln!("{} {src}->{tgt} {}%…", method.label(), (frac * 100.0) as u32);
+                om_obs::info!("{} {src}->{tgt} {}%…", method.label(), (frac * 100.0) as u32);
                 let r = run_trials(&world, src, tgt, method, trials, frac);
                 rmse_row.push(format!("{:.3}", r.rmse.mean));
                 mae_row.push(format!("{:.3}", r.mae.mean));

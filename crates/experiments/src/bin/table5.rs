@@ -30,8 +30,10 @@ fn variants() -> Vec<(&'static str, OmniMatchConfig)> {
 }
 
 fn main() {
+    let _run = om_obs::run_scope("table5");
     let trials = cli_trials(2);
-    eprintln!("generating world ({trials} trial(s) per cell)…");
+    om_obs::manifest_set("experiment.trials", (trials as u64).into());
+    om_obs::info!("generating world ({trials} trial(s) per cell)…");
     let world = SynthWorld::generate(SynthConfig::amazon(), &["Books", "Movies", "Music"]);
 
     let mut header = vec!["Variant".to_string(), "Metric".to_string()];
@@ -49,7 +51,7 @@ fn main() {
         let mut rmse_row = vec![name.to_string(), "RMSE".to_string()];
         let mut mae_row = vec![String::new(), "MAE".to_string()];
         for (si, (src, tgt)) in paper::TABLE5_SCENARIOS.iter().enumerate() {
-            eprintln!("{name} on {src}->{tgt}…");
+            om_obs::info!("{name} on {src}->{tgt}…");
             let r = run_trials(
                 &world,
                 src,

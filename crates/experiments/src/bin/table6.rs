@@ -11,6 +11,7 @@ use om_experiments::report::Table;
 use omnimatch_core::{OmniMatchConfig, Trainer};
 
 fn main() {
+    let _run = om_obs::run_scope("table6");
     let world = SynthWorld::generate(SynthConfig::amazon(), &["Books", "Movies", "Music"]);
     let mut table = Table::new(
         "Table 6 — training time with modules removed",
@@ -27,7 +28,7 @@ fn main() {
     );
 
     for &(src, tgt, p_full, p_woda, p_woscl) in &paper::TABLE6_MINUTES {
-        eprintln!("timing {src}->{tgt}…");
+        om_obs::info!("timing {src}->{tgt}…");
         let scenario = world.scenario(src, tgt, SplitConfig::default());
         let time_of = |cfg: OmniMatchConfig| -> f64 {
             Trainer::new(cfg).fit(&scenario).report().train_seconds

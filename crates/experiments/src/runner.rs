@@ -142,6 +142,24 @@ pub fn run_trials(
         .into_iter()
         .map(|r| r.expect("trial thread completed"))
         .collect();
+    if om_obs::enabled() {
+        // Emitted after the join, in trial order, so the event stream is
+        // deterministic even though the trials themselves raced.
+        for (t, (eval, secs)) in results.iter().enumerate() {
+            om_obs::emit(
+                "trial",
+                &[
+                    ("method", method.label().into()),
+                    ("source", source.into()),
+                    ("target", target.into()),
+                    ("trial", (t as u64).into()),
+                    ("rmse", eval.rmse.into()),
+                    ("mae", eval.mae.into()),
+                    ("seconds", (*secs).into()),
+                ],
+            );
+        }
+    }
     let rmses: Vec<f32> = results.iter().map(|(e, _)| e.rmse).collect();
     let maes: Vec<f32> = results.iter().map(|(e, _)| e.mae).collect();
     let secs: f64 = results.iter().map(|(_, s)| s).sum();

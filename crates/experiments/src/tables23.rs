@@ -15,8 +15,12 @@ pub fn run_table(
     paper_rows: &[paper::PaperRow; 6],
     tsv: &str,
 ) {
+    let run_name = tsv.trim_end_matches(".tsv");
+    let _run = om_obs::run_scope(run_name);
+    om_obs::manifest_set("experiment.title", title.into());
     let trials = cli_trials(3);
-    eprintln!("generating world ({trials} trial(s) per cell)…");
+    om_obs::manifest_set("experiment.trials", (trials as u64).into());
+    om_obs::info!("generating world ({trials} trial(s) per cell)…");
     let world = SynthWorld::generate(preset, &["Books", "Movies", "Music"]);
     let methods = Method::paper_lineup();
 
@@ -27,7 +31,7 @@ pub fn run_table(
     let mut table = Table::new(title, &header);
 
     for (si, (src, tgt)) in paper::SCENARIOS.iter().enumerate() {
-        eprintln!("scenario {src} -> {tgt}…");
+        om_obs::info!("scenario {src} -> {tgt}…");
         let results: Vec<_> = methods
             .iter()
             .map(|m| run_trials(&world, src, tgt, m, trials, 1.0))
@@ -62,6 +66,7 @@ pub fn run_table(
         table.row(row);
     }
 
+    // Final table rendering stays on stdout — it *is* the program's output.
     println!("{}", table.render());
     table.write_tsv(tsv).expect("write results TSV");
     println!("TSV written to results/{tsv}");

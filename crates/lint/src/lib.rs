@@ -13,6 +13,7 @@
 //! | `safety-comment` | every runtime `unsafe` sits under `// SAFETY:` |
 //! | `hash-collections` | no `HashMap`/`HashSet` in model-path crates |
 //! | `thread-spawn` | threads spawned only by the runtime (or marked) |
+//! | `print` | no raw `println!`/`eprintln!` in tensor/nn/core/metrics — use om-obs |
 //! | `kernel-parity` | every kernel has a `_serial` twin in the parity suite |
 //! | `workspace-lints` | all crates opt into `[workspace.lints.rust]` |
 //!
@@ -86,6 +87,7 @@ pub fn lint_repo(root: &Path) -> LintReport {
         violations.extend(passes::check_unsafe(&rel, &lexed));
         violations.extend(passes::check_hash_collections(&rel, &lexed));
         violations.extend(passes::check_thread_spawn(&rel, &lexed));
+        violations.extend(passes::check_print(&rel, &lexed));
         if rel == "crates/tensor/src/kernels.rs" {
             kernels = Some((rel, lexed));
         } else if rel == "crates/tensor/tests/parity.rs" {

@@ -31,6 +31,17 @@ pub const MODEL_PATH_CRATES: &[&str] = &[
     "crates/experiments/",
 ];
 
+/// Crates whose diagnostics must go through the om-obs logging facade
+/// (`om_obs::info!` et al., gated by `OM_LOG`) instead of raw prints:
+/// silent-by-default library code must stay silent, and everything it does
+/// say must land in the run's event stream.
+pub const PRINT_BANNED_CRATES: &[&str] = &[
+    "crates/tensor/",
+    "crates/nn/",
+    "crates/core/",
+    "crates/metrics/",
+];
+
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
@@ -147,6 +158,40 @@ pub fn check_thread_spawn(rel: &str, lexed: &LexedFile) -> Vec<Violation> {
                   `om_tensor::runtime`, or mark the site \
                   `// om-lint: allow(thread-spawn)` with a rationale"
                 .to_string(),
+        });
+    }
+    v
+}
+
+/// No raw `println!`/`eprintln!` (or `print!`/`eprint!`) in the crates of
+/// [`PRINT_BANNED_CRATES`]: route diagnostics through the om-obs logging
+/// facade so `OM_LOG` controls them and enabled runs capture them in the
+/// event stream. Line-level escape: `// om-lint: allow(print)` — e.g. for
+/// a binary's final table rendering, which *is* the program's output.
+pub fn check_print(rel: &str, lexed: &LexedFile) -> Vec<Violation> {
+    if !PRINT_BANNED_CRATES.iter().any(|c| rel.starts_with(c)) {
+        return Vec::new();
+    }
+    let mut v = Vec::new();
+    for (line, id) in idents_of(lexed) {
+        if id != "println" && id != "eprintln" && id != "print" && id != "eprint" {
+            continue;
+        }
+        if lexed
+            .comment_block_above(line)
+            .contains("om-lint: allow(print)")
+        {
+            continue;
+        }
+        v.push(Violation {
+            file: rel.to_string(),
+            line,
+            rule: "print",
+            msg: format!(
+                "raw `{id}!` in a model-path crate: use the om-obs logging \
+                 facade (`om_obs::info!` …) so OM_LOG gates it, or mark the \
+                 line `// om-lint: allow(print)` with a rationale"
+            ),
         });
     }
     v

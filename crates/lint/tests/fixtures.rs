@@ -5,7 +5,7 @@
 
 use om_lint::lexer::lex;
 use om_lint::passes::{
-    check_hash_collections, check_kernel_parity, check_thread_spawn, check_unsafe,
+    check_hash_collections, check_kernel_parity, check_print, check_thread_spawn, check_unsafe,
     check_workspace_lints,
 };
 
@@ -81,6 +81,31 @@ fn thread_spawn_outside_the_runtime_is_flagged() {
     // A marked site with a rationale passes.
     let marked = "pub fn go() {\n    // om-lint: allow(thread-spawn) — trials must not run on the pool\n    std::thread::spawn(|| {});\n}\n";
     assert!(check_thread_spawn("crates/experiments/src/x.rs", &lex(marked)).is_empty());
+}
+
+#[test]
+fn raw_prints_in_model_path_crates_are_flagged() {
+    let src = "pub fn f() { println!(\"hi\"); eprintln!(\"progress…\"); }\n";
+    let v = check_print(MODEL_FILE, &lex(src));
+    assert_eq!(v.len(), 2, "both macros flagged: {v:?}");
+    assert!(v.iter().all(|v| v.rule == "print"));
+    assert_eq!(check_print("crates/tensor/src/x.rs", &lex(src)).len(), 2);
+
+    // Outside the banned crates (e.g. experiments binaries render tables
+    // on stdout by design) prints are fine…
+    assert!(check_print("crates/experiments/src/bin/table2.rs", &lex(src)).is_empty());
+    assert!(check_print("crates/obs/src/logger.rs", &lex(src)).is_empty());
+
+    // …and a marked line with a rationale passes.
+    let marked =
+        "pub fn f() {\n    // om-lint: allow(print) — this *is* the program's output\n    println!(\"table\");\n}\n";
+    assert!(check_print(MODEL_FILE, &lex(marked)).is_empty());
+}
+
+#[test]
+fn prints_in_comments_and_strings_are_ignored() {
+    let src = "// println! would be wrong here\npub fn f() -> &'static str { \"println!\" }\n";
+    assert!(check_print(MODEL_FILE, &lex(src)).is_empty());
 }
 
 const KERNELS_REL: &str = "crates/tensor/src/kernels.rs";

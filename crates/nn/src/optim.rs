@@ -158,6 +158,26 @@ impl Optimizer for Adam {
 
 // ---------------------------------------------------------------- Adadelta
 
+/// Summary of one optimizer step, collected only when observability is
+/// enabled (`OM_OBS=1`). All values are L2 norms / means over every managed
+/// parameter element, accumulated in f64 so the summary itself is stable.
+/// Collection reads values the update loop already computes — it never
+/// changes the f32 arithmetic of the update, so training results are
+/// bitwise identical with stats on or off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepStats {
+    /// L2 norm of the full gradient vector.
+    pub grad_norm: f64,
+    /// L2 norm of the applied update (lr · delta).
+    pub update_norm: f64,
+    /// L2 norm of the parameters after the update.
+    pub param_norm: f64,
+    /// Mean of the running squared-gradient average (optimizer state).
+    pub sq_avg_mean: f64,
+    /// Mean of the running squared-delta accumulator (optimizer state).
+    pub acc_delta_mean: f64,
+}
+
 /// Adadelta (Zeiler 2012) — the optimizer the paper uses, with
 /// lr = 0.02 and ρ = 0.95 (§5.4).
 pub struct Adadelta {
@@ -167,6 +187,7 @@ pub struct Adadelta {
     eps: f32,
     sq_avg: BTreeMap<u64, Vec<f32>>,
     acc_delta: BTreeMap<u64, Vec<f32>>,
+    last_stats: Option<StepStats>,
 }
 
 impl Adadelta {
@@ -179,6 +200,7 @@ impl Adadelta {
             eps: 1e-6,
             sq_avg: BTreeMap::new(),
             acc_delta: BTreeMap::new(),
+            last_stats: None,
         }
     }
 
@@ -186,10 +208,24 @@ impl Adadelta {
     pub fn paper(params: Vec<Tensor>) -> Adadelta {
         Adadelta::new(params, 0.02, 0.95)
     }
+
+    /// Stats from the most recent [`Optimizer::step`], or `None` when
+    /// observability was disabled at the time (stats are skipped entirely
+    /// to keep the hot path free of extra work).
+    pub fn step_stats(&self) -> Option<StepStats> {
+        self.last_stats
+    }
 }
 
 impl Optimizer for Adadelta {
     fn step(&mut self) {
+        let collect = om_obs::enabled();
+        let mut grad_sq = 0.0f64;
+        let mut upd_sq = 0.0f64;
+        let mut param_sq = 0.0f64;
+        let mut sq_sum = 0.0f64;
+        let mut acc_sum = 0.0f64;
+        let mut n_elems = 0u64;
         for p in &self.params {
             let grad = match p.grad_vec() {
                 Some(g) => g,
@@ -210,8 +246,31 @@ impl Optimizer for Adadelta {
                 let delta = ((acc[i] + self.eps).sqrt() / (sq[i] + self.eps).sqrt()) * g;
                 acc[i] = self.rho * acc[i] + (1.0 - self.rho) * delta * delta;
                 data[i] -= self.lr * delta;
+                if collect {
+                    let upd = (self.lr * delta) as f64;
+                    grad_sq += (g as f64) * (g as f64);
+                    upd_sq += upd * upd;
+                    param_sq += (data[i] as f64) * (data[i] as f64);
+                    sq_sum += sq[i] as f64;
+                    acc_sum += acc[i] as f64;
+                }
+            }
+            if collect {
+                n_elems += grad.len() as u64;
             }
         }
+        self.last_stats = if collect && n_elems > 0 {
+            let n = n_elems as f64;
+            Some(StepStats {
+                grad_norm: grad_sq.sqrt(),
+                update_norm: upd_sq.sqrt(),
+                param_norm: param_sq.sqrt(),
+                sq_avg_mean: sq_sum / n,
+                acc_delta_mean: acc_sum / n,
+            })
+        } else {
+            None
+        };
     }
 
     fn zero_grad(&mut self) {
@@ -294,5 +353,30 @@ mod tests {
         let opt = Adadelta::paper(vec![]);
         assert_eq!(opt.lr, 0.02);
         assert_eq!(opt.rho, 0.95);
+    }
+
+    #[test]
+    fn adadelta_step_stats_follow_obs_flag() {
+        let run = |obs: bool| {
+            om_obs::set_enabled(obs);
+            let x = Tensor::from_vec(vec![3.0, -4.0], &[2]).requires_grad();
+            let mut opt = Adadelta::new(vec![x.clone()], 1.0, 0.9);
+            x.square().sum_all().backward();
+            opt.step();
+            let out = (x.to_vec(), opt.step_stats());
+            om_obs::set_enabled(false);
+            out
+        };
+        let (x_off, stats_off) = run(false);
+        let (x_on, stats_on) = run(true);
+        // Stats only exist when enabled, and collecting them never changes
+        // the actual parameter update.
+        assert!(stats_off.is_none());
+        let s = stats_on.expect("stats collected when obs is enabled");
+        assert_eq!(x_off, x_on);
+        // grad = 2x = (6, -8) → ‖g‖ = 10.
+        assert!((s.grad_norm - 10.0).abs() < 1e-9, "{}", s.grad_norm);
+        assert!(s.update_norm > 0.0 && s.param_norm > 0.0);
+        assert!(s.sq_avg_mean > 0.0 && s.acc_delta_mean > 0.0);
     }
 }

@@ -1,0 +1,148 @@
+//! Leveled logging facade — the structured replacement for the scattered
+//! `eprintln!` progress output (om-lint bans raw prints in model-path
+//! crates; this module is the sanctioned route).
+//!
+//! Two independent destinations:
+//!
+//! * **stderr**, gated by `OM_LOG` (`error|warn|info|debug|trace`, default
+//!   `info`) or [`set_level`]. Always available, even with observability
+//!   off, so progress output behaves exactly like the `eprintln!` it
+//!   replaces.
+//! * **the event stream**, one `{"kind":"log",...}` record per call, only
+//!   while [`crate::enabled`] — so a run's artifact carries its own log.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Once;
+
+use crate::sink::{self, Value};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or wrong-result conditions.
+    Error = 0,
+    /// Suspicious but tolerated conditions.
+    Warn = 1,
+    /// Progress output (the default visibility).
+    Info = 2,
+    /// Per-step details, hidden by default.
+    Debug = 3,
+    /// Firehose.
+    Trace = 4,
+}
+
+impl Level {
+    /// Lower-case name as written in `OM_LOG` and the event stream.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    fn from_env(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" | "e" | "0" => Some(Level::Error),
+            "warn" | "warning" | "w" | "1" => Some(Level::Warn),
+            "info" | "i" | "2" => Some(Level::Info),
+            "debug" | "d" | "3" => Some(Level::Debug),
+            "trace" | "t" | "4" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+static ENV_INIT: Once = Once::new();
+
+fn ensure_env() {
+    ENV_INIT.call_once(|| {
+        if let Some(l) = std::env::var("OM_LOG").ok().as_deref().and_then(Level::from_env) {
+            LEVEL.store(l as u8, Ordering::Relaxed);
+        }
+    });
+}
+
+/// The current stderr verbosity.
+pub fn level() -> Level {
+    ensure_env();
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        3 => Level::Debug,
+        _ => Level::Trace,
+    }
+}
+
+/// Override the stderr verbosity (wins over `OM_LOG`). Returns the
+/// previous level.
+pub fn set_level(l: Level) -> Level {
+    ensure_env();
+    let prev = level();
+    LEVEL.store(l as u8, Ordering::Relaxed);
+    prev
+}
+
+/// Backend of the `error!`/`warn!`/`info!`/`debug!` macros. Formats once,
+/// then fans out to stderr (if `l` is visible at the current [`level`])
+/// and, when observability is enabled, into the event stream.
+pub fn log(l: Level, module: &'static str, args: std::fmt::Arguments<'_>) {
+    let to_stderr = l <= level();
+    let to_stream = crate::enabled();
+    if !to_stderr && !to_stream {
+        return;
+    }
+    let msg = args.to_string();
+    if to_stderr {
+        eprintln!("[{} {module}] {msg}", name_padded(l));
+    }
+    if to_stream {
+        sink::emit(
+            "log",
+            &[
+                ("level", Value::from(l.name())),
+                ("module", Value::from(module)),
+                ("msg", Value::Str(msg)),
+            ],
+        );
+    }
+}
+
+fn name_padded(l: Level) -> &'static str {
+    match l {
+        Level::Error => "ERROR",
+        Level::Warn => "WARN ",
+        Level::Info => "INFO ",
+        Level::Debug => "DEBUG",
+        Level::Trace => "TRACE",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_most_severe_first() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Info < Level::Trace);
+    }
+
+    #[test]
+    fn env_names_parse() {
+        assert_eq!(Level::from_env("DEBUG"), Some(Level::Debug));
+        assert_eq!(Level::from_env(" warn "), Some(Level::Warn));
+        assert_eq!(Level::from_env("nope"), None);
+    }
+
+    #[test]
+    fn set_level_roundtrip() {
+        let prev = set_level(Level::Error);
+        assert_eq!(level(), Level::Error);
+        set_level(prev);
+    }
+}

@@ -1,0 +1,352 @@
+//! Metrics registry: named counters, gauges and fixed-bucket histograms.
+//!
+//! Handles are `Arc`-backed atomics: look one up once (the hot kernels
+//! cache handles in `OnceLock` statics) and every update is a single
+//! relaxed atomic op — no lock on the update path. [`snapshot`] reads and
+//! *resets* all values in place, so successive runs in one process report
+//! independent windows while cached handles stay valid.
+//!
+//! Histograms use 64 power-of-two buckets (bucket 0 holds exact zeros,
+//! bucket *i* holds `[2^(i-1), 2^i)`), which makes `record` branch-free
+//! (`leading_zeros`) and thread-count independent, and gives quantile
+//! *estimates* with a guaranteed ≤ 2× relative error — ample for timing
+//! distributions.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of histogram buckets (zero bucket + 63 power-of-two ranges).
+pub const HIST_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `v`.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins f64 value.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Fixed-bucket histogram over `u64` samples (typically nanoseconds).
+#[derive(Clone)]
+pub struct Histogram(Arc<Histo>);
+
+pub(crate) struct Histo {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// Bucket index of a sample: 0 for 0, else `64 - leading_zeros`, capped.
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Inclusive value range covered by bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 0)
+    } else if i >= HIST_BUCKETS - 1 {
+        (1u64 << (HIST_BUCKETS - 2), u64::MAX)
+    } else {
+        (1u64 << (i - 1), (1u64 << i) - 1)
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let h = &self.0;
+        h.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) by nearest rank over the
+    /// bucket counts; the returned value is the midpoint of the bucket
+    /// holding that rank (≤ 2× relative error). `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let counts: Vec<u64> = self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        quantile_of(&counts, q)
+    }
+}
+
+/// Nearest-rank quantile estimate over raw bucket counts (shared by live
+/// histograms and the report's re-parse of serialized snapshots).
+pub fn quantile_of(bucket_counts: &[u64], q: f64) -> Option<u64> {
+    let total: u64 = bucket_counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    // Nearest rank, 1-based: ceil(q * total), at least 1.
+    let rank = ((q * total as f64).ceil() as u64).max(1);
+    let mut cum = 0u64;
+    for (i, &c) in bucket_counts.iter().enumerate() {
+        cum += c;
+        if cum >= rank {
+            let (lo, hi) = bucket_bounds(i);
+            return Some(lo + (hi - lo) / 2);
+        }
+    }
+    let (lo, hi) = bucket_bounds(bucket_counts.len() - 1);
+    Some(lo + (hi - lo) / 2)
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+static REGISTRY: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+
+fn registry() -> &'static Mutex<BTreeMap<String, Metric>> {
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Look up (or create) the counter `name`. Cache the handle at hot sites.
+pub fn counter(name: &str) -> Counter {
+    let mut reg = registry().lock().unwrap();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+    {
+        Metric::Counter(c) => c.clone(),
+        _ => panic!("metric `{name}` already registered with a different kind"),
+    }
+}
+
+/// Look up (or create) the gauge `name`.
+pub fn gauge(name: &str) -> Gauge {
+    let mut reg = registry().lock().unwrap();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0.0f64.to_bits())))))
+    {
+        Metric::Gauge(g) => g.clone(),
+        _ => panic!("metric `{name}` already registered with a different kind"),
+    }
+}
+
+/// Look up (or create) the histogram `name`.
+pub fn histogram(name: &str) -> Histogram {
+    let mut reg = registry().lock().unwrap();
+    match reg.entry(name.to_string()).or_insert_with(|| {
+        Metric::Histogram(Histogram(Arc::new(Histo {
+            buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        })))
+    }) {
+        Metric::Histogram(h) => h.clone(),
+        _ => panic!("metric `{name}` already registered with a different kind"),
+    }
+}
+
+/// One metric's state at snapshot time.
+#[derive(Debug, Clone)]
+pub enum MetricSnapshot {
+    /// Counter value.
+    Counter {
+        /// Registered name.
+        name: String,
+        /// Accumulated value since the previous snapshot.
+        value: u64,
+    },
+    /// Gauge value.
+    Gauge {
+        /// Registered name.
+        name: String,
+        /// Last written value.
+        value: f64,
+    },
+    /// Histogram state: sparse `(bucket, count)` pairs plus summary.
+    Histogram {
+        /// Registered name.
+        name: String,
+        /// Samples since the previous snapshot.
+        count: u64,
+        /// Sum of samples.
+        sum: u64,
+        /// Non-empty `(bucket_index, count)` pairs.
+        buckets: Vec<(usize, u64)>,
+    },
+}
+
+/// Read **and reset** every registered metric. Empty metrics (zero
+/// counters, zero gauges, unsampled histograms) are omitted.
+pub fn snapshot() -> Vec<MetricSnapshot> {
+    let reg = registry().lock().unwrap();
+    let mut out = Vec::new();
+    for (name, metric) in reg.iter() {
+        match metric {
+            Metric::Counter(c) => {
+                let value = c.0.swap(0, Ordering::Relaxed);
+                if value > 0 {
+                    out.push(MetricSnapshot::Counter {
+                        name: name.clone(),
+                        value,
+                    });
+                }
+            }
+            Metric::Gauge(g) => {
+                let value = f64::from_bits(g.0.swap(0.0f64.to_bits(), Ordering::Relaxed));
+                if value != 0.0 {
+                    out.push(MetricSnapshot::Gauge {
+                        name: name.clone(),
+                        value,
+                    });
+                }
+            }
+            Metric::Histogram(h) => {
+                let count = h.0.count.swap(0, Ordering::Relaxed);
+                let sum = h.0.sum.swap(0, Ordering::Relaxed);
+                let mut buckets = Vec::new();
+                for (i, b) in h.0.buckets.iter().enumerate() {
+                    let c = b.swap(0, Ordering::Relaxed);
+                    if c > 0 {
+                        buckets.push((i, c));
+                    }
+                }
+                if count > 0 {
+                    out.push(MetricSnapshot::Histogram {
+                        name: name.clone(),
+                        count,
+                        sum,
+                        buckets,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_bounds_agree() {
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v <= hi, "v={v} bucket={i} bounds=({lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bucket_accurate() {
+        let _g = crate::test_lock();
+        let h = histogram("test.quantiles");
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p0 = h.quantile(0.0).unwrap();
+        let p50 = h.quantile(0.5).unwrap();
+        let p95 = h.quantile(0.95).unwrap();
+        let p100 = h.quantile(1.0).unwrap();
+        assert!(p0 <= p50 && p50 <= p95 && p95 <= p100);
+        // True p50 = 500 lives in bucket [256, 511]; the estimate must too.
+        assert!((256..=511).contains(&p50), "p50 estimate {p50}");
+        // True p95 = 950 lives in bucket [512, 1023].
+        assert!((512..=1023).contains(&p95), "p95 estimate {p95}");
+        let _ = snapshot(); // reset for other tests
+    }
+
+    #[test]
+    fn constant_samples_pin_every_quantile() {
+        let _g = crate::test_lock();
+        let h = histogram("test.constant");
+        for _ in 0..32 {
+            h.record(7);
+        }
+        let (lo, hi) = bucket_bounds(super::bucket_index(7));
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            let est = h.quantile(q).unwrap();
+            assert!((lo..=hi).contains(&est), "q={q} est={est}");
+        }
+        let _ = snapshot();
+    }
+
+    #[test]
+    fn zero_only_histogram_reports_zero() {
+        let _g = crate::test_lock();
+        let h = histogram("test.zeros");
+        h.record(0);
+        assert_eq!(h.quantile(0.5), Some(0));
+        assert_eq!(h.quantile(1.0), Some(0));
+        let _ = snapshot();
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantile() {
+        let _g = crate::test_lock();
+        let h = histogram("test.empty");
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn snapshot_resets_but_handles_survive() {
+        let _g = crate::test_lock();
+        let c = counter("test.reset");
+        c.add(5);
+        let snap = snapshot();
+        let mine = snap.iter().find_map(|m| match m {
+            MetricSnapshot::Counter { name, value } if name == "test.reset" => Some(*value),
+            _ => None,
+        });
+        assert_eq!(mine, Some(5));
+        assert_eq!(c.get(), 0, "snapshot must reset in place");
+        c.add(2);
+        assert_eq!(counter("test.reset").get(), 2, "same underlying atomic");
+        let _ = snapshot();
+    }
+
+    #[test]
+    fn quantile_of_matches_live_histogram() {
+        let counts = vec![0u64; HIST_BUCKETS];
+        assert_eq!(quantile_of(&counts, 0.5), None);
+        let mut counts = vec![0u64; HIST_BUCKETS];
+        counts[3] = 10; // values in [4,7]
+        let est = quantile_of(&counts, 0.5).unwrap();
+        assert!((4..=7).contains(&est));
+    }
+}

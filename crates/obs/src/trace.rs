@@ -1,0 +1,212 @@
+//! Span tracer with per-thread buffers.
+//!
+//! Each thread that records a span registers one buffer (an
+//! `Arc<Mutex<Vec<SpanRec>>>`) in a global registry; span pushes lock only
+//! the recording thread's own buffer, so the mutex is uncontended except
+//! during a flush — "lock-free enough" that a span costs two clock reads
+//! and one uncontended lock, and *nothing* synchronises with other worker
+//! threads' hot paths. Per-thread busy time (the worker-pool utilisation
+//! counter) is a plain thread-local `Cell` mirrored into the registry slot.
+//!
+//! Thread ids (`tid`) are dense registration indices — stable within a
+//! process, meaningful across the whole trace, and joined with the OS
+//! thread name (`om-worker-3`, `main`, …) in the sink output.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::clock;
+
+/// One completed span: a named interval on one thread.
+#[derive(Debug, Clone)]
+pub struct SpanRec {
+    /// Static span name (e.g. `"runtime.parallel_for"`).
+    pub name: &'static str,
+    /// Start, ns since the process anchor.
+    pub t0_ns: u64,
+    /// Duration in ns.
+    pub dur_ns: u64,
+}
+
+/// A drained thread's spans plus its accumulated busy time.
+#[derive(Debug)]
+pub struct ThreadSpans {
+    /// Dense registration index.
+    pub tid: usize,
+    /// OS thread name at registration ("?" when unnamed).
+    pub label: String,
+    /// Spans recorded since the last drain, in completion order.
+    pub spans: Vec<SpanRec>,
+    /// Busy nanoseconds accumulated via [`busy_add`] since the last drain.
+    pub busy_ns: u64,
+}
+
+struct ThreadBuf {
+    tid: usize,
+    label: String,
+    spans: Mutex<Vec<SpanRec>>,
+    busy_ns: AtomicU64,
+}
+
+static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: Cell<Option<&'static Arc<ThreadBuf>>> = const { Cell::new(None) };
+}
+
+/// This thread's buffer, registering it on first use. The `&'static Arc`
+/// is leaked intentionally: one small allocation per thread, alive for the
+/// process lifetime, keeps the hot path free of `Arc` refcount traffic.
+fn local() -> &'static Arc<ThreadBuf> {
+    LOCAL.with(|slot| {
+        if let Some(buf) = slot.get() {
+            return buf;
+        }
+        let label = std::thread::current()
+            .name()
+            .unwrap_or("?")
+            .to_string();
+        let mut reg = registry().lock().unwrap();
+        let buf = Arc::new(ThreadBuf {
+            tid: reg.len(),
+            label,
+            spans: Mutex::new(Vec::new()),
+            busy_ns: AtomicU64::new(0),
+        });
+        reg.push(Arc::clone(&buf));
+        drop(reg);
+        let leaked: &'static Arc<ThreadBuf> = Box::leak(Box::new(buf));
+        slot.set(Some(leaked));
+        leaked
+    })
+}
+
+/// RAII span guard: records the interval from construction to drop into
+/// the current thread's buffer. Inert (no clock read, no record) when
+/// observability is disabled at construction time.
+pub struct Span {
+    name: &'static str,
+    t0_ns: u64,
+    active: bool,
+}
+
+impl Span {
+    /// An inert span that records nothing — for call sites that gate on
+    /// their own condition (e.g. "only trace large GEMMs").
+    pub const fn none() -> Span {
+        Span {
+            name: "",
+            t0_ns: 0,
+            active: false,
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let dur_ns = clock::now_ns().saturating_sub(self.t0_ns);
+        let mut spans = local().spans.lock().unwrap();
+        spans.push(SpanRec {
+            name: self.name,
+            t0_ns: self.t0_ns,
+            dur_ns,
+        });
+    }
+}
+
+/// Open a span; it closes (and records) when the returned guard drops.
+/// Costs one relaxed atomic load when observability is disabled.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span::none();
+    }
+    Span {
+        name,
+        t0_ns: clock::now_ns(),
+        active: true,
+    }
+}
+
+/// Open a span only when `cond` also holds (e.g. size thresholds on hot
+/// kernels); otherwise an inert guard.
+#[inline]
+pub fn span_if(cond: bool, name: &'static str) -> Span {
+    if cond {
+        span(name)
+    } else {
+        Span::none()
+    }
+}
+
+/// Accumulate busy nanoseconds for the calling thread (the worker-pool
+/// utilisation metric). No-op when disabled.
+#[inline]
+pub fn busy_add(ns: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    local().busy_ns.fetch_add(ns, Ordering::Relaxed);
+}
+
+/// Drain every thread's spans and busy counters. Buffers stay registered
+/// (worker threads are persistent); their contents are moved out so the
+/// next run starts clean. Threads with nothing recorded are skipped.
+pub fn drain() -> Vec<ThreadSpans> {
+    let reg = registry().lock().unwrap();
+    let mut out = Vec::new();
+    for buf in reg.iter() {
+        let spans = std::mem::take(&mut *buf.spans.lock().unwrap());
+        let busy_ns = buf.busy_ns.swap(0, Ordering::Relaxed);
+        if spans.is_empty() && busy_ns == 0 {
+            continue;
+        }
+        out.push(ThreadSpans {
+            tid: buf.tid,
+            label: buf.label.clone(),
+            spans,
+            busy_ns,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_when_enabled_only() {
+        let _g = crate::test_lock();
+        let prev = crate::set_enabled(false);
+        drop(span("off"));
+        crate::set_enabled(true);
+        {
+            let _s = span("on");
+        }
+        busy_add(42);
+        crate::set_enabled(prev);
+        let drained = drain();
+        let mine: Vec<_> = drained
+            .iter()
+            .flat_map(|t| &t.spans)
+            .filter(|s| s.name == "on" || s.name == "off")
+            .collect();
+        assert_eq!(mine.len(), 1, "{mine:?}");
+        assert_eq!(mine[0].name, "on");
+    }
+
+    #[test]
+    fn none_span_is_inert() {
+        let s = Span::none();
+        drop(s); // must not touch the registry
+    }
+}

@@ -20,11 +20,36 @@
 //! parity test-suite can assert bit-identical results against the parallel
 //! paths.
 
+use std::sync::OnceLock;
+
 use crate::runtime;
 
 /// Elements per reduction chunk. Fixed so the combining tree of [`sum`]
 /// never depends on the thread count.
 pub const REDUCE_CHUNK: usize = 4096;
+
+/// Cached GEMM counters: calls, multiply-add flops (2·m·n·k) and bytes
+/// touched (a + b streamed once, c read+written). Only bumped when
+/// observability is enabled; gives `obs-report` the arithmetic-intensity
+/// side of every run.
+struct GemmObs {
+    calls: om_obs::metrics::Counter,
+    flops: om_obs::metrics::Counter,
+    bytes: om_obs::metrics::Counter,
+}
+
+#[cold]
+fn gemm_obs(m: usize, k: usize, n: usize) {
+    static H: OnceLock<GemmObs> = OnceLock::new();
+    let h = H.get_or_init(|| GemmObs {
+        calls: om_obs::metrics::counter("gemm.calls"),
+        flops: om_obs::metrics::counter("gemm.flops"),
+        bytes: om_obs::metrics::counter("gemm.bytes"),
+    });
+    h.calls.add(1);
+    h.flops.add(2 * (m * n * k) as u64);
+    h.bytes.add(4 * (m * k + k * n + 2 * m * n) as u64);
+}
 
 /// Minimum elements before an elementwise loop is worth parallelising.
 const MAP_GRAIN: usize = 16 * 1024;
@@ -127,10 +152,17 @@ pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     if n == 0 || m == 0 {
         return;
     }
+    let obs_on = om_obs::enabled();
+    if obs_on {
+        gemm_obs(m, k, n);
+    }
     if m * n * k < GEMM_PAR_FLOPS {
         gemm_rows(a, b, c, 0, m, k, n);
         return;
     }
+    // Only above-threshold GEMMs get a span: one record per dispatch-sized
+    // multiply, nothing on the small-matrix fast path.
+    let _span = om_obs::trace::span_if(obs_on, "kernels.gemm");
     // Keep at least GEMM_ROW_GRAIN rows per task unless the matrix is wide
     // enough that even single rows amortise the dispatch.
     let grain = if n * k >= 64 * 1024 { 1 } else { GEMM_ROW_GRAIN };

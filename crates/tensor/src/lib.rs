@@ -43,6 +43,15 @@ pub use gradcheck::{gradcheck, GradCheckReport};
 pub use shape::Shape;
 pub use tensor::{no_grad, NoGradGuard, Tensor};
 
+/// Open an observability span for a hot op, or a no-op handle when
+/// observability is disabled (the common case: one relaxed atomic load).
+/// Timing never influences results — see the determinism contract in
+/// [`kernels`].
+#[inline]
+pub(crate) fn obs_span(name: &'static str) -> om_obs::Span {
+    om_obs::trace::span_if(om_obs::enabled(), name)
+}
+
 /// Convenience alias used across the workspace for seeded randomness.
 pub type Rng = rand::rngs::StdRng;
 

@@ -22,6 +22,7 @@ impl Tensor {
     /// Log-softmax over the last axis of a 2-D view: each row becomes a
     /// log-probability distribution.
     pub fn log_softmax_rows(&self) -> Tensor {
+        let _span = crate::obs_span("ops.softmax");
         let (m, n) = self.shape().as_2d();
         let d = self.data();
         let out = {

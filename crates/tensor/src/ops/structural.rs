@@ -176,6 +176,7 @@ impl Tensor {
     /// matmul with a `[k*d, f]` weight, which is how the TextCNN of §4.2 is
     /// implemented.
     pub fn unfold_windows(&self, k: usize) -> Tensor {
+        let _span = crate::obs_span("ops.unfold");
         let dims = self.dims();
         assert_eq!(dims.len(), 3, "unfold_windows expects [batch, len, d]");
         let (b, l, d) = (dims[0], dims[1], dims[2]);

@@ -17,6 +17,14 @@
 //!    shared injector queue; scoped lifetimes are handled with a completion
 //!    latch so borrowed closures stay valid until every worker is done.
 //!
+//! Observability: with `OM_OBS=1` the dispatch path records spans
+//! (`runtime.parallel_for`, per-worker `runtime.task`, `runtime.join`),
+//! per-thread busy time and grain/task-count metrics through `om-obs`.
+//! Collection only reads clocks and bumps atomics — partitioning is
+//! computed before any instrumentation, so results remain bitwise
+//! identical with observability on or off, and the disabled path costs a
+//! single relaxed atomic load.
+//!
 //! The pool size is decided once, at first use: the `OM_THREADS`
 //! environment variable if set (a value of `1` disables the pool), else
 //! [`std::thread::available_parallelism`]. Tests that must compare serial
@@ -28,6 +36,29 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::thread;
+
+/// Cached `om-obs` metric handles for the dispatch path. Touched only when
+/// observability is enabled; the disabled path costs one relaxed load.
+struct ObsHandles {
+    /// `parallel_for` calls that actually dispatched to the pool.
+    dispatches: om_obs::metrics::Counter,
+    /// `parallel_for` calls that ran inline (below threshold / 1 thread).
+    inline_runs: om_obs::metrics::Counter,
+    /// Tasks shipped (including the caller's own range).
+    tasks: om_obs::metrics::Counter,
+    /// Indices per task — the realised work grain.
+    grain: om_obs::metrics::Histogram,
+}
+
+fn obs() -> &'static ObsHandles {
+    static H: OnceLock<ObsHandles> = OnceLock::new();
+    H.get_or_init(|| ObsHandles {
+        dispatches: om_obs::metrics::counter("runtime.dispatches"),
+        inline_runs: om_obs::metrics::counter("runtime.inline_runs"),
+        tasks: om_obs::metrics::counter("runtime.tasks"),
+        grain: om_obs::metrics::histogram("runtime.task_indices"),
+    })
+}
 
 /// A unit of work shipped to the pool.
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -156,7 +187,11 @@ where
     if n == 0 {
         return;
     }
+    let obs_on = om_obs::enabled();
     if want <= 1 || n <= grain {
+        if obs_on {
+            obs().inline_runs.add(1);
+        }
         body(0, n);
         return;
     }
@@ -168,10 +203,24 @@ where
     // At most one range per thread, but never shorter than the grain.
     let tasks = (n / grain).clamp(1, want);
     if tasks <= 1 {
+        if obs_on {
+            obs().inline_runs.add(1);
+        }
         body(0, n);
         return;
     }
     let chunk = n.div_ceil(tasks);
+
+    // Observability (spans, counters, busy time) reads clocks and bumps
+    // atomics only — it never influences `chunk`/`tasks`, so results stay
+    // bitwise identical with collection on or off.
+    let _dispatch_span = om_obs::trace::span_if(obs_on, "runtime.parallel_for");
+    if obs_on {
+        let h = obs();
+        h.dispatches.add(1);
+        h.tasks.add(tasks as u64);
+        h.grain.record(chunk as u64);
+    }
 
     let latch = Arc::new(Latch::new(tasks - 1));
     let body_ref: &(dyn Fn(usize, usize) + Sync) = &body;
@@ -195,7 +244,13 @@ where
         }
         let latch = Arc::clone(&latch);
         let job: Job = Box::new(move || {
+            let task_span = om_obs::trace::span_if(obs_on, "runtime.task");
+            let t0 = if obs_on { om_obs::clock::now_ns() } else { 0 };
             let result = panic::catch_unwind(AssertUnwindSafe(|| body_static(lo, hi)));
+            if obs_on {
+                om_obs::trace::busy_add(om_obs::clock::now_ns().saturating_sub(t0));
+            }
+            drop(task_span);
             if result.is_err() {
                 latch.panicked.store(true, Ordering::Relaxed);
             }
@@ -206,8 +261,15 @@ where
 
     // The caller works on the first range, then waits for the rest so the
     // borrow of `body` cannot escape this frame.
+    let t0 = if obs_on { om_obs::clock::now_ns() } else { 0 };
     let own = panic::catch_unwind(AssertUnwindSafe(|| body(0, chunk.min(n))));
-    latch.wait();
+    if obs_on {
+        om_obs::trace::busy_add(om_obs::clock::now_ns().saturating_sub(t0));
+    }
+    {
+        let _join_span = om_obs::trace::span_if(obs_on, "runtime.join");
+        latch.wait();
+    }
     if let Err(payload) = own {
         panic::resume_unwind(payload);
     }
