@@ -31,6 +31,7 @@
 //! ```
 
 pub mod auxiliary;
+pub mod ckpt;
 pub mod config;
 pub mod corpus;
 pub mod model;
@@ -38,6 +39,7 @@ pub mod shapecheck;
 pub mod trainer;
 
 pub use auxiliary::{AuxiliaryDocument, AuxiliaryReviewGenerator, AuxiliaryStep};
+pub use ckpt::CkptConfig;
 pub use config::{AuxMode, ExtractorKind, OmniMatchConfig};
 pub use corpus::CorpusViews;
 pub use model::OmniMatchModel;

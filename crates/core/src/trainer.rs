@@ -26,6 +26,7 @@ use om_text::pretrain::subword_hash_init;
 use rand::seq::SliceRandom;
 use rand::RngExt as _;
 
+use crate::ckpt::{self, CkptConfig};
 use crate::config::OmniMatchConfig;
 use crate::corpus::CorpusViews;
 use crate::model::{DomainSide, OmniMatchModel};
@@ -61,13 +62,23 @@ pub struct TrainReport {
 /// Configured-but-unfitted OmniMatch.
 pub struct Trainer {
     cfg: OmniMatchConfig,
+    ckpt: Option<CkptConfig>,
 }
 
 impl Trainer {
-    /// Wrap a configuration.
+    /// Wrap a configuration. Checkpointing follows the environment
+    /// (`OM_CKPT` / `OM_CKPT_DIR` / `OM_CKPT_EVERY`) unless
+    /// [`Trainer::with_ckpt`] sets it explicitly.
     pub fn new(cfg: OmniMatchConfig) -> Trainer {
         cfg.validate();
-        Trainer { cfg }
+        Trainer { cfg, ckpt: None }
+    }
+
+    /// Enable durable checkpointing into an explicit directory,
+    /// independent of the `OM_CKPT` environment gate.
+    pub fn with_ckpt(mut self, ckpt: CkptConfig) -> Trainer {
+        self.ckpt = Some(ckpt);
+        self
     }
 
     /// Train on a scenario and return the fitted model.
@@ -122,7 +133,7 @@ impl Trainer {
 
         // Training samples: the target-domain interactions of the training
         // users (target_train contains exactly those, §5.2).
-        let mut samples: Vec<(UserId, ItemId, usize)> = scenario
+        let samples: Vec<(UserId, ItemId, usize)> = scenario
             .target_train
             .interactions()
             .iter()
@@ -138,17 +149,53 @@ impl Trainer {
         let mut valid_rmse = Vec::with_capacity(cfg.epochs);
         let mut best = (f32::INFINITY, 0usize, None::<bytes::Bytes>);
         let valid_pairs = scenario.validation_pairs();
+
+        // Durable checkpointing: explicit config wins, else the OM_CKPT
+        // environment gate. Resume restores parameters, optimizer state,
+        // RNG and the loss/validation history, so the continued run is
+        // bitwise identical to an uninterrupted one (wall-clock
+        // `train_seconds` is the single documented exception).
+        let ckpt_cfg = self
+            .ckpt
+            .clone()
+            .or_else(|| CkptConfig::from_env(&format!("seed{}", cfg.seed)));
+        let digest = ckpt::config_digest(cfg, samples.len(), views.vocab.len(), &model.params());
+        let mut start_epoch = 0usize;
+        if let Some(ck) = &ckpt_cfg {
+            match ckpt::load_latest(&ck.dir, digest, &model.params(), &mut opt) {
+                Some(snap) => {
+                    start_epoch = snap.next_epoch;
+                    epochs = snap.stats;
+                    valid_rmse = snap.valid_rmse;
+                    best = (snap.best_rmse, snap.best_epoch, snap.best_params);
+                    rng = om_tensor::Rng::from_state(snap.rng);
+                }
+                None => {
+                    // A failed restore may have imported optimizer state
+                    // before detecting corruption; rebuild so a fresh run
+                    // truly starts fresh.
+                    opt = Adadelta::new(model.params(), cfg.lr, cfg.rho);
+                }
+            }
+        }
+
         let start = Instant::now();
-        for epoch in 0..cfg.epochs {
+        for epoch in start_epoch..cfg.epochs {
             let _epoch_span = om_obs::trace::span_if(obs_on, "trainer.epoch");
-            samples.shuffle(&mut rng);
+            // Shuffle a fresh copy of the canonical sample order, so each
+            // epoch's batch composition is a pure function of the RNG state
+            // at the epoch boundary — an in-place shuffle would make it
+            // depend on every previous epoch's ordering, which a resumed
+            // run cannot replay.
+            let mut epoch_samples = samples.clone();
+            epoch_samples.shuffle(&mut rng);
             // All of the epoch's randomness that shapes the *data* (aux
             // augmentation, cold-user alignment picks) is drawn here,
             // sequentially; the per-batch document assembly then fans out
             // over the tensor runtime's pool. See [`plan_epoch`].
             let inputs = {
                 let _plan_span = om_obs::trace::span_if(obs_on, "trainer.plan_epoch");
-                plan_epoch(&views, cfg, &samples, &cold_users, &mut rng)
+                plan_epoch(&views, cfg, &epoch_samples, &cold_users, &mut rng)
             };
             let mut sums = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
             let mut batches = 0usize;
@@ -241,11 +288,33 @@ impl Trainer {
                     valid_rmse.last().copied().unwrap_or(f32::NAN)
                 );
             }
+            if let Some(ck) = &ckpt_cfg {
+                if (epoch + 1) % ck.every == 0 || epoch + 1 == cfg.epochs {
+                    let snap = ckpt::Snapshot {
+                        next_epoch: epoch + 1,
+                        stats: epochs.clone(),
+                        valid_rmse: valid_rmse.clone(),
+                        best_rmse: best.0,
+                        best_epoch: best.1,
+                        best_params: best.2.clone(),
+                        rng: rng.state(),
+                    };
+                    if let Err(e) = ckpt::save(ck, digest, epoch, &model.params(), &opt, &snap) {
+                        om_obs::warn!("checkpoint save failed at epoch {epoch}: {e}");
+                    }
+                }
+            }
         }
-        if let (_, best_epoch, Some(ckpt)) = &best {
-            om_nn::serialize::load_params(&model.params(), ckpt)
-                .expect("checkpoint restores over identical parameters");
-            let _ = best_epoch;
+        // Restore the best validation epoch's parameters. A failed restore
+        // degrades gracefully (keep the final epoch) instead of aborting a
+        // finished training run.
+        if let (_, _, Some(ckpt_blob)) = &best {
+            if let Err(e) = om_nn::serialize::load_params(&model.params(), ckpt_blob) {
+                om_obs::error!(
+                    "best-epoch (epoch {}) restore failed: {e}; keeping final-epoch parameters",
+                    best.1
+                );
+            }
         }
         let report = TrainReport {
             epochs,
@@ -556,7 +625,8 @@ impl TrainedOmniMatch {
         let pairs: Vec<(UserId, ItemId)> = candidates.iter().map(|&i| (user, i)).collect();
         let scores = self.predict(&pairs);
         let mut ranked: Vec<(ItemId, f32)> = candidates.iter().copied().zip(scores).collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN scores"));
+        // NaN scores (diverged model) rank last instead of panicking.
+        ranked.sort_by(|a, b| om_metrics::cmp_nan_last_desc(a.1, b.1));
         ranked
     }
 

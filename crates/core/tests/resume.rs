@@ -1,0 +1,156 @@
+//! Resume determinism: a training run interrupted at an epoch boundary and
+//! resumed from its on-disk checkpoint must be **bitwise identical** to an
+//! uninterrupted run with the same seed — same `EpochStats`, validation
+//! RMSE trajectory, best epoch, predictions, and final parameter bytes.
+//! An interruption is simulated as a run with a smaller epoch budget
+//! writing checkpoints into the same directory (the checkpoint digest
+//! deliberately excludes the epoch budget, so the longer run adopts the
+//! shorter run's state). The chaos test (`crates/experiments/tests/`)
+//! covers the literal kill-mid-save path via `OM_FAULT`.
+
+use std::path::PathBuf;
+
+use om_data::split::CrossDomainScenario;
+use om_data::types::{ItemId, UserId};
+use om_data::{SplitConfig, SynthConfig, SynthWorld};
+use om_nn::HasParams;
+use omnimatch_core::{CkptConfig, OmniMatchConfig, Trainer};
+
+fn scenario() -> CrossDomainScenario {
+    let world = SynthWorld::generate(SynthConfig::tiny(), &["Books", "Movies"]);
+    world.scenario("Books", "Movies", SplitConfig::default())
+}
+
+/// Everything a run observably produces, bit-exact — including the final
+/// parameter bytes (wall-clock `train_seconds` is the one excluded field).
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    epoch_stats: Vec<[u32; 4]>,
+    valid_rmse: Vec<u32>,
+    best_epoch: usize,
+    predictions: Vec<u32>,
+    param_bytes: Vec<u8>,
+}
+
+fn run(sc: &CrossDomainScenario, epochs: usize, ckpt: Option<CkptConfig>) -> Fingerprint {
+    let cfg = OmniMatchConfig {
+        epochs,
+        ..OmniMatchConfig::fast().with_seed(77)
+    };
+    let mut trainer = Trainer::new(cfg);
+    if let Some(ck) = ckpt {
+        trainer = trainer.with_ckpt(ck);
+    }
+    let trained = trainer.fit(sc);
+    let report = trained.report();
+    let pairs: Vec<(UserId, ItemId)> = sc
+        .test_pairs()
+        .iter()
+        .take(8)
+        .map(|it| (it.user, it.item))
+        .collect();
+    Fingerprint {
+        epoch_stats: report
+            .epochs
+            .iter()
+            .map(|e| {
+                [
+                    e.total.to_bits(),
+                    e.rating.to_bits(),
+                    e.scl.to_bits(),
+                    e.domain.to_bits(),
+                ]
+            })
+            .collect(),
+        valid_rmse: report.valid_rmse.iter().map(|r| r.to_bits()).collect(),
+        best_epoch: report.best_epoch,
+        predictions: trained.predict(&pairs).iter().map(|p| p.to_bits()).collect(),
+        param_bytes: om_nn::serialize::save_params(&trained.model().params()).to_vec(),
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("om-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn resumed_run_is_bitwise_identical_to_uninterrupted() {
+    let sc = scenario();
+    let clean = run(&sc, 3, None);
+    assert_eq!(clean.epoch_stats.len(), 3);
+
+    for interrupt_after in [1usize, 2] {
+        let dir = tmp_dir(&format!("at{interrupt_after}"));
+        // "Interrupted" run: stops after `interrupt_after` epochs, leaving
+        // checkpoints behind.
+        let partial = run(&sc, interrupt_after, Some(CkptConfig::at(&dir)));
+        assert_eq!(partial.epoch_stats.len(), interrupt_after);
+        assert!(
+            dir.join(format!("ep-{:04}.omck", interrupt_after - 1)).is_file(),
+            "checkpoint must exist on disk"
+        );
+        // Prefix property: the partial run *is* the clean run, truncated.
+        assert_eq!(
+            partial.epoch_stats[..],
+            clean.epoch_stats[..interrupt_after],
+            "interrupted prefix diverged from the clean run"
+        );
+
+        // Resumed run: same directory, full epoch budget.
+        let resumed = run(&sc, 3, Some(CkptConfig::at(&dir)));
+        assert_eq!(
+            resumed, clean,
+            "run resumed after epoch {interrupt_after} diverged from the uninterrupted run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn resume_with_sparse_cadence_checkpoints() {
+    let sc = scenario();
+    let clean = run(&sc, 3, None);
+    let dir = tmp_dir("cadence");
+    // Cadence 2 over 2 epochs: only epoch 1 (the 2nd) is checkpointed.
+    let _partial = run(&sc, 2, Some(CkptConfig::at(&dir).every(2)));
+    assert!(!dir.join("ep-0000.omck").exists(), "cadence 2 skips epoch 0");
+    assert!(dir.join("ep-0001.omck").is_file(), "final epoch always saves");
+    let resumed = run(&sc, 3, Some(CkptConfig::at(&dir).every(2)));
+    assert_eq!(resumed, clean, "sparse-cadence resume diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn finished_checkpoint_resumes_to_a_noop() {
+    let sc = scenario();
+    let dir = tmp_dir("noop");
+    let full = run(&sc, 3, Some(CkptConfig::at(&dir)));
+    // Same budget again: everything restores, zero epochs run, identical
+    // observable results.
+    let again = run(&sc, 3, Some(CkptConfig::at(&dir)));
+    assert_eq!(again, full, "no-op resume changed results");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_checkpoint_directory_falls_back_to_fresh_training() {
+    let sc = scenario();
+    let clean = run(&sc, 2, None);
+    let dir = tmp_dir("corrupt");
+    std::fs::create_dir_all(&dir).unwrap();
+    // Garbage that matches the checkpoint naming scheme, plus a stray tmp.
+    std::fs::write(dir.join("ep-0000.omck"), b"OMCKgarbage").unwrap();
+    std::fs::write(dir.join("ep-0001.omck.tmp"), b"torn write").unwrap();
+    let trained = run(&sc, 2, Some(CkptConfig::at(&dir)));
+    assert_eq!(
+        trained, clean,
+        "unusable checkpoints must yield a bitwise-fresh run"
+    );
+    assert!(
+        !dir.join("ep-0001.omck.tmp").exists(),
+        "stray tmp files are cleaned during the resume scan"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,36 @@
+//! Chaos smoke target: one small, fixed-seed OmniMatch training run whose
+//! final parameter bytes are written to a file for bitwise comparison.
+//!
+//! The binary itself is deliberately oblivious to checkpointing and fault
+//! injection — both are driven entirely through the environment (`OM_CKPT*`
+//! and `OM_FAULT`), exactly as a real training job would be. The chaos test
+//! (`tests/chaos.rs`) and the CI `chaos-smoke` job run it three ways:
+//!
+//! 1. clean (no checkpointing) — the reference parameter bytes;
+//! 2. `OM_FAULT=ckpt-save:2` + `OM_CKPT=1` — killed mid-checkpoint with
+//!    exit code [`om_obs::fault::EXIT_CODE`], leaving a torn `.tmp` behind;
+//! 3. resumed (`OM_CKPT=1`, same directory) — must finish and produce
+//!    bytes **bitwise identical** to the clean run.
+
+use om_data::{SplitConfig, SynthConfig, SynthWorld};
+use om_nn::HasParams;
+use omnimatch_core::{OmniMatchConfig, Trainer};
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .expect("usage: chaos_smoke <out-params-file>");
+    let world = SynthWorld::generate(SynthConfig::tiny(), &["Books", "Movies"]);
+    let scenario = world.scenario("Books", "Movies", SplitConfig::default());
+    let cfg = OmniMatchConfig::fast().with_seed(1234);
+    let trained = Trainer::new(cfg).fit(&scenario);
+    let eval = trained.evaluate(&scenario.test_pairs());
+    let blob = om_nn::serialize::save_params(&trained.model().params());
+    std::fs::write(&out, &blob).expect("write params blob");
+    println!(
+        "chaos_smoke: rmse {:.4} mae {:.4}, {} param bytes -> {out}",
+        eval.rmse,
+        eval.mae,
+        blob.len()
+    );
+}

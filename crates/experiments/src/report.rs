@@ -88,13 +88,18 @@ pub fn vs_paper(measured: f32, paper: f32) -> String {
 
 /// Mark the best value with `*…*` and the runner-up with `_…_` across a
 /// row of error metrics, as the paper does with bold/underline.
+///
+/// A NaN value is a missing cell (every trial of that method failed); it
+/// renders as `n/a` and is never marked best or second-best.
 pub fn mark_best(values: &[f32]) -> Vec<String> {
     let (best, second) = best_and_second(values);
     values
         .iter()
         .enumerate()
         .map(|(i, v)| {
-            if i == best {
+            if v.is_nan() {
+                "n/a".to_string()
+            } else if i == best {
                 format!("*{v:.3}*")
             } else if i == second {
                 format!("_{v:.3}_")
@@ -130,6 +135,14 @@ mod tests {
     fn mark_best_formats() {
         let marked = mark_best(&[1.5, 1.0, 1.2]);
         assert_eq!(marked, vec!["1.500", "*1.000*", "_1.200_"]);
+    }
+
+    #[test]
+    fn mark_best_skips_missing_cells() {
+        let marked = mark_best(&[f32::NAN, 1.0, 1.2]);
+        assert_eq!(marked, vec!["n/a", "*1.000*", "_1.200_"]);
+        // Even an all-missing row renders without panicking or marking.
+        assert_eq!(mark_best(&[f32::NAN, f32::NAN]), vec!["n/a", "n/a"]);
     }
 
     #[test]

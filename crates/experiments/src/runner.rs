@@ -57,13 +57,21 @@ impl Method {
 /// Aggregated metrics of one method on one scenario.
 #[derive(Debug, Clone, Copy)]
 pub struct TrialResult {
-    /// RMSE over trials.
+    /// RMSE over the trials that completed.
     pub rmse: Aggregate,
-    /// MAE over trials.
+    /// MAE over the trials that completed.
     pub mae: Aggregate,
-    /// Mean training seconds per trial.
+    /// Mean training seconds per completed trial.
     pub train_seconds: f64,
+    /// Trials that failed both attempts and were dropped from the
+    /// aggregate. When every trial fails, `rmse`/`mae` are
+    /// [`Aggregate::missing`] and the table renders `n/a`.
+    pub failed: usize,
 }
+
+/// How many times a panicking trial is attempted before its slot is
+/// reported missing instead of aborting the whole table run.
+const TRIAL_ATTEMPTS: usize = 2;
 
 /// Train + evaluate one method on one concrete scenario split.
 pub fn run_once(
@@ -117,56 +125,97 @@ pub fn run_trials(
     train_fraction: f32,
 ) -> TrialResult {
     assert!(trials >= 1, "need at least one trial");
-    let mut results: Vec<Option<(Eval, f64)>> = vec![None; trials];
+    // Each slot records the trial outcome plus how many attempts it took;
+    // `None` after the join means both attempts panicked.
+    let mut results: Vec<(Option<(Eval, f64)>, usize)> = vec![(None, 0); trials];
     std::thread::scope(|scope| {
         for (t, slot) in results.iter_mut().enumerate() {
+            // Deterministic kill site at the trial boundary: fires on the
+            // spawning thread, before the t-th trial starts.
+            // om-fault: kill-point
+            om_obs::fault::kill_point("trial");
             // om-lint: allow(thread-spawn) — trials must NOT run on the
             // tensor pool: a trial calls `parallel_for` internally, and a
             // pool worker blocking in `latch.wait()` on a nested dispatch
             // (no work-stealing) would deadlock the pool. Scoped OS threads
             // keep trial- and kernel-parallelism on separate executors.
             scope.spawn(move || {
-                *slot = Some(run_once(
-                    world,
-                    source,
-                    target,
-                    method,
-                    100 + t as u64,
-                    1000 + t as u64 * 17,
-                    train_fraction,
-                ));
+                for attempt in 0..TRIAL_ATTEMPTS {
+                    slot.1 = attempt + 1;
+                    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_once(
+                            world,
+                            source,
+                            target,
+                            method,
+                            100 + t as u64,
+                            1000 + t as u64 * 17,
+                            train_fraction,
+                        )
+                    }));
+                    if let Ok(r) = run {
+                        slot.0 = Some(r);
+                        return;
+                    }
+                }
             });
         }
     });
-    let results: Vec<(Eval, f64)> = results
-        .into_iter()
-        .map(|r| r.expect("trial thread completed"))
-        .collect();
+    let failed = results.iter().filter(|(r, _)| r.is_none()).count();
     if om_obs::enabled() {
         // Emitted after the join, in trial order, so the event stream is
         // deterministic even though the trials themselves raced.
-        for (t, (eval, secs)) in results.iter().enumerate() {
-            om_obs::emit(
-                "trial",
-                &[
-                    ("method", method.label().into()),
-                    ("source", source.into()),
-                    ("target", target.into()),
-                    ("trial", (t as u64).into()),
-                    ("rmse", eval.rmse.into()),
-                    ("mae", eval.mae.into()),
-                    ("seconds", (*secs).into()),
-                ],
-            );
+        for (t, (outcome, attempts)) in results.iter().enumerate() {
+            match outcome {
+                Some((eval, secs)) => om_obs::emit(
+                    "trial",
+                    &[
+                        ("method", method.label().into()),
+                        ("source", source.into()),
+                        ("target", target.into()),
+                        ("trial", (t as u64).into()),
+                        ("rmse", eval.rmse.into()),
+                        ("mae", eval.mae.into()),
+                        ("seconds", (*secs).into()),
+                    ],
+                ),
+                None => {
+                    om_obs::warn!(
+                        "trial {t} of {} on {source}->{target} failed {attempts} attempts; \
+                         reporting the slot as missing",
+                        method.label()
+                    );
+                    om_obs::emit(
+                        "trial_failed",
+                        &[
+                            ("method", method.label().into()),
+                            ("source", source.into()),
+                            ("target", target.into()),
+                            ("trial", (t as u64).into()),
+                            ("attempts", (*attempts as u64).into()),
+                        ],
+                    );
+                }
+            }
         }
     }
-    let rmses: Vec<f32> = results.iter().map(|(e, _)| e.rmse).collect();
-    let maes: Vec<f32> = results.iter().map(|(e, _)| e.mae).collect();
-    let secs: f64 = results.iter().map(|(_, s)| s).sum();
+    let ok: Vec<&(Eval, f64)> = results.iter().filter_map(|(r, _)| r.as_ref()).collect();
+    let rmses: Vec<f32> = ok.iter().map(|(e, _)| e.rmse).collect();
+    let maes: Vec<f32> = ok.iter().map(|(e, _)| e.mae).collect();
+    let secs: f64 = ok.iter().map(|(_, s)| s).sum();
+    if ok.is_empty() {
+        return TrialResult {
+            rmse: Aggregate::missing(),
+            mae: Aggregate::missing(),
+            train_seconds: 0.0,
+            failed,
+        };
+    }
     TrialResult {
         rmse: aggregate(&rmses),
         mae: aggregate(&maes),
-        train_seconds: secs / trials as f64,
+        train_seconds: secs / ok.len() as f64,
+        failed,
     }
 }
 
@@ -197,6 +246,23 @@ mod tests {
         assert_eq!(r.rmse.n, 2);
         assert!(r.rmse.mean.is_finite());
         assert!(r.mae.mean > 0.0);
+        assert_eq!(r.failed, 0);
+    }
+
+    #[test]
+    fn panicking_trials_degrade_to_missing() {
+        let world = SynthWorld::generate(SynthConfig::tiny(), &["Books", "Movies"]);
+        // epochs = 0 fails config validation inside the trial thread, so
+        // every attempt panics; the run must degrade, not abort.
+        let bad = Method::Ours(OmniMatchConfig {
+            epochs: 0,
+            ..OmniMatchConfig::fast()
+        });
+        let r = run_trials(&world, "Books", "Movies", &bad, 2, 1.0);
+        assert_eq!(r.failed, 2);
+        assert!(r.rmse.is_missing(), "all-failed rmse must be missing");
+        assert!(r.mae.is_missing(), "all-failed mae must be missing");
+        assert_eq!(r.train_seconds, 0.0);
     }
 
     #[test]

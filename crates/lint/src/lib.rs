@@ -14,6 +14,7 @@
 //! | `hash-collections` | no `HashMap`/`HashSet` in model-path crates |
 //! | `thread-spawn` | threads spawned only by the runtime (or marked) |
 //! | `print` | no raw `println!`/`eprintln!` in tensor/nn/core/metrics — use om-obs |
+//! | `kill-point-marker` | every `kill_point` site outside `crates/obs/` carries `// om-fault: kill-point` |
 //! | `kernel-parity` | every kernel has a `_serial` twin in the parity suite |
 //! | `workspace-lints` | all crates opt into `[workspace.lints.rust]` |
 //!
@@ -88,6 +89,7 @@ pub fn lint_repo(root: &Path) -> LintReport {
         violations.extend(passes::check_hash_collections(&rel, &lexed));
         violations.extend(passes::check_thread_spawn(&rel, &lexed));
         violations.extend(passes::check_print(&rel, &lexed));
+        violations.extend(passes::check_kill_points(&rel, &lexed));
         if rel == "crates/tensor/src/kernels.rs" {
             kernels = Some((rel, lexed));
         } else if rel == "crates/tensor/tests/parity.rs" {

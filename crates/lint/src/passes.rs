@@ -12,7 +12,10 @@
 //!   outside the tensor runtime (e.g. the experiment runner's scoped
 //!   trial threads, which must *not* run on the tensor pool);
 //! * `// om-lint: not-a-kernel` — exempts a `pub fn` in `kernels.rs`
-//!   from the serial-sibling requirement.
+//!   from the serial-sibling requirement;
+//! * `// om-fault: kill-point` — required above every
+//!   `om_obs::fault::kill_point` call site outside `crates/obs/`, so the
+//!   full set of fault-injection sites stays greppable.
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -192,6 +195,39 @@ pub fn check_print(rel: &str, lexed: &LexedFile) -> Vec<Violation> {
                  facade (`om_obs::info!` …) so OM_LOG gates it, or mark the \
                  line `// om-lint: allow(print)` with a rationale"
             ),
+        });
+    }
+    v
+}
+
+/// Every fault-injection site must be visibly marked: a `kill_point` call
+/// outside `crates/obs/` (where the primitive lives) needs an
+/// `// om-fault: kill-point` comment directly above, so `grep` over the
+/// marker enumerates the complete kill-site inventory and a reviewer can
+/// tell a deliberate chaos hook from a stray call.
+pub fn check_kill_points(rel: &str, lexed: &LexedFile) -> Vec<Violation> {
+    if rel.starts_with("crates/obs/") {
+        return Vec::new();
+    }
+    let mut v = Vec::new();
+    for (line, id) in idents_of(lexed) {
+        if id != "kill_point" {
+            continue;
+        }
+        if lexed
+            .comment_block_above(line)
+            .contains("om-fault: kill-point")
+        {
+            continue;
+        }
+        v.push(Violation {
+            file: rel.to_string(),
+            line,
+            rule: "kill-point-marker",
+            msg: "`kill_point` call without an `// om-fault: kill-point` \
+                  marker comment above: fault-injection sites must be \
+                  greppable"
+                .to_string(),
         });
     }
     v

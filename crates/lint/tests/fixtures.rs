@@ -5,8 +5,8 @@
 
 use om_lint::lexer::lex;
 use om_lint::passes::{
-    check_hash_collections, check_kernel_parity, check_print, check_thread_spawn, check_unsafe,
-    check_workspace_lints,
+    check_hash_collections, check_kernel_parity, check_kill_points, check_print,
+    check_thread_spawn, check_unsafe, check_workspace_lints,
 };
 
 const MODEL_FILE: &str = "crates/core/src/somewhere.rs";
@@ -160,6 +160,26 @@ fn workspace_lints_must_be_defined_and_opted_into() {
     let v = check_workspace_lints(good_root, &[good_crate, bad_crate]);
     assert_eq!(v.len(), 1);
     assert_eq!(v[0].file, "crates/y/Cargo.toml");
+}
+
+#[test]
+fn unmarked_kill_points_are_flagged() {
+    let src = "pub fn save() {\n    om_obs::fault::kill_point(\"ckpt-save\");\n}\n";
+    let v = check_kill_points(MODEL_FILE, &lex(src));
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].rule, "kill-point-marker");
+    assert_eq!(v[0].line, 2);
+
+    // A marker comment directly above the call site silences it.
+    let marked = "pub fn save() {\n    // om-fault: kill-point\n    om_obs::fault::kill_point(\"ckpt-save\");\n}\n";
+    assert!(check_kill_points(MODEL_FILE, &lex(marked)).is_empty());
+
+    // The obs crate owns the primitive; it needs no marker.
+    assert!(check_kill_points("crates/obs/src/fault.rs", &lex(src)).is_empty());
+
+    // Mentions in comments/strings don't count as call sites.
+    let prose = "// the fault module's kill_point is documented in DESIGN.md\npub fn f() {}\n";
+    assert!(check_kill_points(MODEL_FILE, &lex(prose)).is_empty());
 }
 
 /// The acceptance criterion: the real tree is clean. Any future violation

@@ -11,6 +11,30 @@ pub mod stats;
 pub use ranking::{hit_rate_at_k, mrr, ndcg_at_k, RankedList};
 pub use stats::{paired_t, PairedComparison};
 
+/// Total order on `f32` with **NaN sorted last** (ascending). A model that
+/// diverges can emit NaN scores; evaluation must degrade (NaN ranks worst)
+/// rather than panic mid-experiment. Built on [`f32::total_cmp`] so the
+/// order is total and stable sorts preserve ties.
+pub fn cmp_nan_last(a: f32, b: f32) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
+/// Descending counterpart of [`cmp_nan_last`]: higher values first, NaN
+/// still last (a plain reversed `total_cmp` would rank +NaN *first*).
+pub fn cmp_nan_last_desc(a: f32, b: f32) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => b.total_cmp(&a),
+    }
+}
+
 /// Root mean squared error over `(predicted, gold)` pairs (Eq. 22).
 pub fn rmse(pairs: &[(f32, f32)]) -> f32 {
     assert!(!pairs.is_empty(), "rmse: empty evaluation set");
@@ -55,6 +79,24 @@ pub struct Aggregate {
     pub n: usize,
 }
 
+impl Aggregate {
+    /// Placeholder for a result that could not be produced (every trial of
+    /// a method failed): NaN mean over zero trials. Table renderers show
+    /// it as a missing cell; [`best_and_second`] ranks it last.
+    pub fn missing() -> Aggregate {
+        Aggregate {
+            mean: f32::NAN,
+            std: 0.0,
+            n: 0,
+        }
+    }
+
+    /// Did any trial actually contribute?
+    pub fn is_missing(&self) -> bool {
+        self.n == 0
+    }
+}
+
 /// Aggregate repeated trials (the paper reports the average of 5 random
 /// trials, §5.4).
 pub fn aggregate(values: &[f32]) -> Aggregate {
@@ -79,11 +121,12 @@ pub fn improvement_pct(ours: f32, best_other: f32) -> f32 {
 
 /// Identify the best (minimum) and second-best values in a row of error
 /// metrics; returns their indices. Used to bold/underline table cells the
-/// way the paper does.
+/// way the paper does. NaN entries (missing results) rank last instead of
+/// panicking, so one failed method cannot take down table rendering.
 pub fn best_and_second(values: &[f32]) -> (usize, usize) {
     assert!(values.len() >= 2, "need at least two methods");
     let mut idx: Vec<usize> = (0..values.len()).collect();
-    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("no NaNs"));
+    idx.sort_by(|&a, &b| cmp_nan_last(values[a], values[b]));
     (idx[0], idx[1])
 }
 
@@ -149,6 +192,41 @@ mod tests {
         let (b, s) = best_and_second(&[1.15, 1.124, 1.558, 1.031]);
         assert_eq!(b, 3);
         assert_eq!(s, 1);
+    }
+
+    #[test]
+    fn best_and_second_ranks_nan_last() {
+        // A diverged method (NaN) must never be best or second.
+        let (b, s) = best_and_second(&[f32::NAN, 1.2, 1.1]);
+        assert_eq!(b, 2);
+        assert_eq!(s, 1);
+        // All-NaN still returns indices instead of panicking.
+        let (b, s) = best_and_second(&[f32::NAN, f32::NAN]);
+        assert_eq!((b, s), (0, 1), "stable ties keep insertion order");
+    }
+
+    #[test]
+    fn cmp_nan_last_orderings() {
+        use std::cmp::Ordering::*;
+        assert_eq!(cmp_nan_last(1.0, 2.0), Less);
+        assert_eq!(cmp_nan_last(f32::NAN, 2.0), Greater);
+        assert_eq!(cmp_nan_last(2.0, f32::NAN), Less);
+        assert_eq!(cmp_nan_last(f32::NAN, f32::NAN), Equal);
+        assert_eq!(cmp_nan_last_desc(1.0, 2.0), Greater);
+        assert_eq!(cmp_nan_last_desc(f32::NAN, 2.0), Greater, "NaN last even descending");
+        let mut v = [0.5, f32::NAN, 0.9, 0.1];
+        v.sort_by(|a, b| cmp_nan_last_desc(*a, *b));
+        assert_eq!(&v[..3], &[0.9, 0.5, 0.1]);
+        assert!(v[3].is_nan());
+    }
+
+    #[test]
+    fn missing_aggregate_is_nan_and_flagged() {
+        let m = Aggregate::missing();
+        assert!(m.mean.is_nan());
+        assert!(m.is_missing());
+        assert_eq!(m.n, 0);
+        assert!(!aggregate(&[1.0]).is_missing());
     }
 
     #[test]

@@ -12,9 +12,10 @@ pub struct RankedList {
 
 impl RankedList {
     /// Build from `(score, relevant)` pairs; sorts by score descending
-    /// (stable, so ties keep insertion order).
+    /// (stable, so ties keep insertion order). NaN scores — a diverged
+    /// model — sort last, i.e. rank worst, instead of panicking.
     pub fn new(mut items: Vec<(f32, bool)>) -> RankedList {
-        items.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN scores"));
+        items.sort_by(|a, b| crate::cmp_nan_last_desc(a.0, b.0));
         RankedList { items }
     }
 
@@ -144,5 +145,18 @@ mod tests {
     fn hit_beyond_list_length_is_safe() {
         let l = list(&[(0.9, true)]);
         assert_eq!(l.hit_at(10), 1.0);
+    }
+
+    #[test]
+    fn nan_scores_rank_last_instead_of_panicking() {
+        // Relevant item has a NaN score → it must sink to the bottom.
+        let l = list(&[(f32::NAN, true), (0.2, false), (0.1, false)]);
+        assert_eq!(l.hit_at(2), 0.0, "NaN-scored item must not be in top 2");
+        assert_eq!(l.hit_at(3), 1.0);
+        assert!((l.reciprocal_rank() - 1.0 / 3.0).abs() < 1e-6);
+        // All-NaN list: stable sort keeps insertion order, nothing panics.
+        let all = list(&[(f32::NAN, false), (f32::NAN, true)]);
+        assert_eq!(all.hit_at(1), 0.0);
+        assert_eq!(all.hit_at(2), 1.0);
     }
 }

@@ -30,7 +30,8 @@ pub use linear::Linear;
 pub use loss::{mse_loss, supcon_loss, SupConBatch};
 pub use mlp::Mlp;
 pub use module::HasParams;
-pub use optim::{Adadelta, Adam, Optimizer, Sgd, StepStats};
+pub use optim::{Adadelta, Adam, OptSlot, OptState, Optimizer, Sgd, StepStats};
+pub use serialize::{CheckpointError, CheckpointV2};
 pub use shapecheck::{Dim, NodeId, Op, Shape, ShapeError, ShapeGraph, ShapeReport};
 pub use textcnn::TextCnn;
 pub use transformer::TransformerEncoder;

@@ -6,6 +6,101 @@ use std::collections::BTreeMap;
 
 use om_tensor::Tensor;
 
+use crate::serialize::CheckpointError;
+
+/// One named optimizer state slot (e.g. Adadelta's `sq_avg`), stored **by
+/// parameter index** — `per_param[i]` belongs to `params()[i]`. Tensor ids
+/// are ephemeral (a restarted process allocates fresh ids), so exported
+/// state is keyed by position in the parameter list, which is stable for a
+/// given model construction order. `None` marks a parameter the optimizer
+/// has not touched yet (lazy state allocation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptSlot {
+    /// Slot name, e.g. `"sq_avg"`; checked on import.
+    pub name: String,
+    /// Per-parameter state vector, indexed like [`Optimizer::params`].
+    pub per_param: Vec<Option<Vec<f32>>>,
+}
+
+/// Portable snapshot of an optimizer's internal state, suitable for
+/// checkpointing (see `om_nn::serialize::{encode_opt_state,
+/// decode_opt_state}`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptState {
+    /// Which optimizer produced this state (`"sgd"`, `"adam"`,
+    /// `"adadelta"`); import refuses a mismatched kind.
+    pub kind: String,
+    /// Step counter for optimizers that have one (Adam's `t`); 0 otherwise.
+    pub step: u64,
+    /// Named state slots in a fixed, kind-specific order.
+    pub slots: Vec<OptSlot>,
+}
+
+fn export_slot(name: &str, params: &[Tensor], map: &BTreeMap<u64, Vec<f32>>) -> OptSlot {
+    OptSlot {
+        name: name.to_string(),
+        per_param: params.iter().map(|p| map.get(&p.id()).cloned()).collect(),
+    }
+}
+
+/// Validate one slot against the live parameter list and rebuild the
+/// id-keyed map. Pure — touches nothing on failure, so callers can
+/// validate every slot before committing any.
+fn import_slot(
+    state: &OptState,
+    index: usize,
+    expect_name: &str,
+    params: &[Tensor],
+) -> Result<BTreeMap<u64, Vec<f32>>, CheckpointError> {
+    let slot = state
+        .slots
+        .get(index)
+        .ok_or_else(|| CheckpointError::StateMismatch(format!("missing slot `{expect_name}`")))?;
+    if slot.name != expect_name {
+        return Err(CheckpointError::StateMismatch(format!(
+            "slot {index} is `{}`, expected `{expect_name}`",
+            slot.name
+        )));
+    }
+    if slot.per_param.len() != params.len() {
+        return Err(CheckpointError::StateMismatch(format!(
+            "slot `{expect_name}` covers {} parameters, optimizer has {}",
+            slot.per_param.len(),
+            params.len()
+        )));
+    }
+    let mut map = BTreeMap::new();
+    for (p, entry) in params.iter().zip(&slot.per_param) {
+        if let Some(v) = entry {
+            if v.len() != p.numel() {
+                return Err(CheckpointError::StateMismatch(format!(
+                    "slot `{expect_name}` has {} values for a {}-element parameter",
+                    v.len(),
+                    p.numel()
+                )));
+            }
+            map.insert(p.id(), v.clone());
+        }
+    }
+    Ok(map)
+}
+
+fn check_kind(state: &OptState, expect: &str, n_slots: usize) -> Result<(), CheckpointError> {
+    if state.kind != expect {
+        return Err(CheckpointError::StateMismatch(format!(
+            "state is for `{}`, optimizer is `{expect}`",
+            state.kind
+        )));
+    }
+    if state.slots.len() != n_slots {
+        return Err(CheckpointError::StateMismatch(format!(
+            "`{expect}` expects {n_slots} slots, state has {}",
+            state.slots.len()
+        )));
+    }
+    Ok(())
+}
+
 /// Common optimizer interface: owns handles to the parameters it updates.
 pub trait Optimizer {
     /// Apply one update using the gradients currently accumulated on the
@@ -55,6 +150,23 @@ impl Sgd {
             momentum,
             velocity: BTreeMap::new(),
         }
+    }
+
+    /// Snapshot the momentum state, indexed by parameter position.
+    pub fn export_state(&self) -> OptState {
+        OptState {
+            kind: "sgd".to_string(),
+            step: 0,
+            slots: vec![export_slot("velocity", &self.params, &self.velocity)],
+        }
+    }
+
+    /// Restore a [`Sgd::export_state`] snapshot. All-or-nothing: on error
+    /// the optimizer is unchanged.
+    pub fn import_state(&mut self, state: &OptState) -> Result<(), CheckpointError> {
+        check_kind(state, "sgd", 1)?;
+        self.velocity = import_slot(state, 0, "velocity", &self.params)?;
+        Ok(())
     }
 }
 
@@ -119,6 +231,31 @@ impl Adam {
             m: BTreeMap::new(),
             v: BTreeMap::new(),
         }
+    }
+
+    /// Snapshot step counter and both moment estimates, indexed by
+    /// parameter position.
+    pub fn export_state(&self) -> OptState {
+        OptState {
+            kind: "adam".to_string(),
+            step: self.t,
+            slots: vec![
+                export_slot("m", &self.params, &self.m),
+                export_slot("v", &self.params, &self.v),
+            ],
+        }
+    }
+
+    /// Restore an [`Adam::export_state`] snapshot. All-or-nothing: on
+    /// error the optimizer is unchanged.
+    pub fn import_state(&mut self, state: &OptState) -> Result<(), CheckpointError> {
+        check_kind(state, "adam", 2)?;
+        let m = import_slot(state, 0, "m", &self.params)?;
+        let v = import_slot(state, 1, "v", &self.params)?;
+        self.t = state.step;
+        self.m = m;
+        self.v = v;
+        Ok(())
     }
 }
 
@@ -215,10 +352,35 @@ impl Adadelta {
     pub fn step_stats(&self) -> Option<StepStats> {
         self.last_stats
     }
+
+    /// Snapshot both running accumulators, indexed by parameter position.
+    pub fn export_state(&self) -> OptState {
+        OptState {
+            kind: "adadelta".to_string(),
+            step: 0,
+            slots: vec![
+                export_slot("sq_avg", &self.params, &self.sq_avg),
+                export_slot("acc_delta", &self.params, &self.acc_delta),
+            ],
+        }
+    }
+
+    /// Restore an [`Adadelta::export_state`] snapshot. All-or-nothing: on
+    /// error the optimizer is unchanged.
+    pub fn import_state(&mut self, state: &OptState) -> Result<(), CheckpointError> {
+        check_kind(state, "adadelta", 2)?;
+        let sq_avg = import_slot(state, 0, "sq_avg", &self.params)?;
+        let acc_delta = import_slot(state, 1, "acc_delta", &self.params)?;
+        self.sq_avg = sq_avg;
+        self.acc_delta = acc_delta;
+        Ok(())
+    }
 }
 
 impl Optimizer for Adadelta {
     fn step(&mut self) {
+        // om-fault: kill-point
+        om_obs::fault::kill_point("optim-step");
         let collect = om_obs::enabled();
         let mut grad_sq = 0.0f64;
         let mut upd_sq = 0.0f64;
@@ -353,6 +515,96 @@ mod tests {
         let opt = Adadelta::paper(vec![]);
         assert_eq!(opt.lr, 0.02);
         assert_eq!(opt.rho, 0.95);
+    }
+
+    /// One gradient step on two parameters (second deliberately unused so
+    /// its state stays lazily unallocated → `None` in the export).
+    fn stepped_pair() -> (Tensor, Tensor) {
+        let used = Tensor::from_vec(vec![2.0, -1.0], &[2]).requires_grad();
+        let unused = Tensor::from_vec(vec![7.0], &[1]).requires_grad();
+        (used, unused)
+    }
+
+    #[test]
+    fn adadelta_state_roundtrip_resumes_identically() {
+        let (used, unused) = stepped_pair();
+        let mut opt = Adadelta::new(vec![used.clone(), unused.clone()], 0.5, 0.9);
+        used.square().sum_all().backward();
+        opt.step();
+        opt.zero_grad();
+        let state = opt.export_state();
+        assert_eq!(state.kind, "adadelta");
+        assert_eq!(state.slots[0].name, "sq_avg");
+        assert!(state.slots[0].per_param[0].is_some());
+        assert!(state.slots[0].per_param[1].is_none(), "unused param lazily absent");
+
+        // A fresh optimizer over *new tensors* (fresh ids — as after a
+        // process restart) continues the exact update sequence.
+        let resume = |import: bool| {
+            let u2 = Tensor::from_vec(used.to_vec(), &[2]).requires_grad();
+            let x2 = Tensor::from_vec(unused.to_vec(), &[1]).requires_grad();
+            let mut o2 = Adadelta::new(vec![u2.clone(), x2], 0.5, 0.9);
+            if import {
+                o2.import_state(&state).unwrap();
+            }
+            u2.square().sum_all().backward();
+            o2.step();
+            u2.to_vec()
+        };
+        let with_state = resume(true);
+
+        // Reference: keep stepping the original optimizer.
+        used.square().sum_all().backward();
+        opt.step();
+        assert_eq!(used.to_vec(), with_state, "resumed step must be bitwise identical");
+        assert_ne!(resume(false), with_state, "state must actually matter");
+    }
+
+    #[test]
+    fn adam_state_roundtrip_keeps_step_counter() {
+        let (used, unused) = stepped_pair();
+        let mut opt = Adam::new(vec![used.clone(), unused.clone()], 0.1);
+        used.square().sum_all().backward();
+        opt.step();
+        let state = opt.export_state();
+        assert_eq!((state.kind.as_str(), state.step), ("adam", 1));
+        let mut o2 = Adam::new(vec![used.clone(), unused], 0.1);
+        o2.import_state(&state).unwrap();
+        assert_eq!(o2.t, 1);
+        assert_eq!(o2.export_state(), state);
+    }
+
+    #[test]
+    fn sgd_state_roundtrip() {
+        let (used, unused) = stepped_pair();
+        let mut opt = Sgd::with_momentum(vec![used.clone(), unused.clone()], 0.1, 0.9);
+        used.square().sum_all().backward();
+        opt.step();
+        let state = opt.export_state();
+        let mut o2 = Sgd::with_momentum(vec![used, unused], 0.1, 0.9);
+        o2.import_state(&state).unwrap();
+        assert_eq!(o2.export_state(), state);
+    }
+
+    #[test]
+    fn import_rejects_mismatched_state() {
+        let x = Tensor::ones(&[2]).requires_grad();
+        let mut ada = Adadelta::new(vec![x.clone()], 0.5, 0.9);
+        let sgd_state = Sgd::new(vec![x.clone()], 0.1).export_state();
+        assert!(ada.import_state(&sgd_state).is_err(), "wrong kind");
+
+        let mut bad = ada.export_state();
+        bad.slots[0].per_param.push(None);
+        assert!(ada.import_state(&bad).is_err(), "wrong param count");
+
+        let mut bad_len = ada.export_state();
+        bad_len.slots[0].per_param[0] = Some(vec![1.0; 3]);
+        assert!(ada.import_state(&bad_len).is_err(), "wrong vec length");
+
+        // Valid import still works and failure left state untouched.
+        let good = ada.export_state();
+        ada.import_state(&good).unwrap();
+        assert_eq!(ada.export_state(), good);
     }
 
     #[test]

@@ -1,23 +1,51 @@
-//! Binary checkpointing of parameter sets.
+//! Binary checkpointing of parameter sets and training state.
 //!
-//! Format (little-endian, via `bytes`):
+//! Two formats share the `OMCK` magic:
+//!
+//! **v1** — a bare parameter list (kept for the in-memory best-epoch
+//! snapshot and old artifacts):
 //!
 //! ```text
-//! magic "OMCK" | u32 version | u32 tensor count |
+//! magic "OMCK" | u32 version=1 | u32 tensor count |
 //!   per tensor: u32 ndim | u64 dims[ndim] | f32 data[numel]
 //! ```
 //!
+//! **v2** — named sections with integrity checks, the on-disk durable
+//! checkpoint format. Every section's CRC32 covers its name *and* payload,
+//! so any single-bit corruption anywhere in the file is detected:
+//!
+//! ```text
+//! magic "OMCK" | u32 version=2 | u32 section count |
+//!   per section: u32 name_len | name | u64 payload_len | payload |
+//!                u32 crc32(name ++ payload)
+//! ```
+//!
+//! Tensor-list payloads (sections like `params`) additionally carry a
+//! per-tensor CRC32 so a corrupt tensor is identified by index:
+//!
+//! ```text
+//! u32 count | per tensor: u32 ndim | u64 dims[ndim] | f32 data[numel] |
+//!            u32 crc32(data)
+//! ```
+//!
 //! Loading restores *values into* an existing parameter list (shapes must
-//! match), which keeps optimizer state and graph wiring intact.
+//! match), which keeps optimizer state and graph wiring intact. Every
+//! decode path is **all-or-nothing**: nothing is written into the target
+//! parameters until the complete payload has been parsed and verified, so
+//! a corrupt checkpoint can never leave a model half-restored.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use om_tensor::Tensor;
+
+use crate::optim::{OptSlot, OptState};
 
 const MAGIC: &[u8; 4] = b"OMCK";
 const VERSION: u32 = 1;
+/// Version tag of the sectioned, checksummed on-disk format.
+pub const VERSION_V2: u32 = 2;
 
 /// Errors raised while decoding a checkpoint.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CheckpointError {
     /// Buffer does not start with the `OMCK` magic.
     BadMagic,
@@ -25,10 +53,24 @@ pub enum CheckpointError {
     BadVersion(u32),
     /// Buffer ended before the declared payload.
     Truncated,
+    /// Bytes remain after the declared payload — the file is not what its
+    /// header claims (e.g. a torn or concatenated write).
+    TrailingBytes,
     /// Checkpoint tensor count differs from the target parameter list.
     CountMismatch { expected: usize, found: usize },
     /// A tensor's shape differs from the corresponding parameter.
     ShapeMismatch { index: usize },
+    /// A section's CRC32 does not match its name + payload bytes.
+    ChecksumMismatch { section: String },
+    /// A tensor's per-tensor CRC32 does not match its data.
+    TensorChecksum { index: usize },
+    /// A required section is absent from the checkpoint.
+    MissingSection(String),
+    /// A section name is not valid UTF-8.
+    BadSectionName,
+    /// Optimizer (or other) state does not fit the target it is being
+    /// imported into (wrong kind, slot names, or per-parameter lengths).
+    StateMismatch(String),
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -37,11 +79,27 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::BadMagic => write!(f, "not an OMCK checkpoint"),
             CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
             CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::TrailingBytes => {
+                write!(f, "trailing bytes after the declared checkpoint payload")
+            }
             CheckpointError::CountMismatch { expected, found } => {
                 write!(f, "expected {expected} tensors, found {found}")
             }
             CheckpointError::ShapeMismatch { index } => {
                 write!(f, "shape mismatch at tensor {index}")
+            }
+            CheckpointError::ChecksumMismatch { section } => {
+                write!(f, "CRC32 mismatch in section `{section}`")
+            }
+            CheckpointError::TensorChecksum { index } => {
+                write!(f, "CRC32 mismatch in tensor {index}")
+            }
+            CheckpointError::MissingSection(name) => {
+                write!(f, "checkpoint has no `{name}` section")
+            }
+            CheckpointError::BadSectionName => write!(f, "section name is not UTF-8"),
+            CheckpointError::StateMismatch(what) => {
+                write!(f, "state does not fit its target: {what}")
             }
         }
     }
@@ -49,7 +107,85 @@ impl std::fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
-/// Serialise a parameter list to bytes.
+// ------------------------------------------------------------------ CRC32
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the checksum
+/// gzip/zip use. Table computed once at compile time.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut c = !0u32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ------------------------------------------------------- bounded reader
+
+/// Slice reader whose every read is bounds-checked: corrupt length fields
+/// surface as [`CheckpointError::Truncated`] instead of a panic, and
+/// declared sizes are validated against the remaining bytes *before* any
+/// allocation (a flipped length bit must not trigger a huge `Vec`).
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.buf.len() < n {
+            return Err(CheckpointError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f32s(&mut self, n: usize) -> Result<Vec<f32>, CheckpointError> {
+        let raw = self.take(4 * n)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+}
+
+// ------------------------------------------------------------ v1 format
+
+/// Serialise a parameter list to bytes (v1 layout, no checksums).
 pub fn save_params(params: &[Tensor]) -> Bytes {
     let payload: usize = params
         .iter()
@@ -72,50 +208,302 @@ pub fn save_params(params: &[Tensor]) -> Bytes {
 }
 
 /// Restore values into `params` from a checkpoint produced by
-/// [`save_params`]. Order and shapes must match.
+/// [`save_params`]. Order and shapes must match; trailing bytes after the
+/// declared payload are rejected. All-or-nothing: on any error `params`
+/// are untouched.
 pub fn load_params(params: &[Tensor], bytes: &[u8]) -> Result<(), CheckpointError> {
-    let mut buf = bytes;
-    if buf.remaining() < 12 {
-        return Err(CheckpointError::Truncated);
-    }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    let mut r = Reader::new(bytes);
+    let magic = r.take(4)?;
+    if magic != MAGIC {
         return Err(CheckpointError::BadMagic);
     }
-    let version = buf.get_u32_le();
+    let version = r.u32()?;
     if version != VERSION {
         return Err(CheckpointError::BadVersion(version));
     }
-    let count = buf.get_u32_le() as usize;
+    let count = r.u32()? as usize;
     if count != params.len() {
         return Err(CheckpointError::CountMismatch {
             expected: params.len(),
             found: count,
         });
     }
+    let mut decoded: Vec<Vec<f32>> = Vec::with_capacity(count);
     for (index, p) in params.iter().enumerate() {
-        if buf.remaining() < 4 {
+        let ndim = r.u32()? as usize;
+        if r.remaining() < 8 * ndim {
             return Err(CheckpointError::Truncated);
         }
-        let ndim = buf.get_u32_le() as usize;
-        if buf.remaining() < 8 * ndim {
-            return Err(CheckpointError::Truncated);
+        let mut dims = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            dims.push(r.u64()? as usize);
         }
-        let dims: Vec<usize> = (0..ndim).map(|_| buf.get_u64_le() as usize).collect();
         if dims != p.dims() {
             return Err(CheckpointError::ShapeMismatch { index });
         }
         let numel: usize = dims.iter().product();
-        if buf.remaining() < 4 * numel {
+        decoded.push(r.f32s(numel)?);
+    }
+    if r.remaining() > 0 {
+        return Err(CheckpointError::TrailingBytes);
+    }
+    commit_tensors(params, &decoded);
+    Ok(())
+}
+
+/// Overwrite every parameter's values from fully validated decode results.
+fn commit_tensors(params: &[Tensor], decoded: &[Vec<f32>]) {
+    for (p, values) in params.iter().zip(decoded) {
+        p.data_mut().copy_from_slice(values);
+    }
+}
+
+// --------------------------------------------------- v2 tensor payloads
+
+/// Encode a parameter list as a v2 section payload (per-tensor CRC32).
+pub fn encode_tensors(params: &[Tensor]) -> Bytes {
+    let payload: usize = params
+        .iter()
+        .map(|p| 4 + 8 * p.dims().len() + 4 * p.numel() + 4)
+        .sum();
+    let mut buf = BytesMut::with_capacity(4 + payload);
+    buf.put_u32_le(params.len() as u32);
+    for p in params {
+        buf.put_u32_le(p.dims().len() as u32);
+        for &d in p.dims() {
+            buf.put_u64_le(d as u64);
+        }
+        let data = p.data();
+        let mut raw = Vec::with_capacity(4 * data.len());
+        for &v in data.iter() {
+            raw.extend_from_slice(&v.to_le_bytes());
+        }
+        buf.put_slice(&raw);
+        buf.put_u32_le(crc32(&raw));
+    }
+    buf.freeze()
+}
+
+/// Decode a [`encode_tensors`] payload into `params` (shapes must match).
+/// All-or-nothing: every tensor is parsed, shape-checked and CRC-verified
+/// before the first value is written.
+pub fn decode_tensors_into(params: &[Tensor], payload: &[u8]) -> Result<(), CheckpointError> {
+    let mut r = Reader::new(payload);
+    let count = r.u32()? as usize;
+    if count != params.len() {
+        return Err(CheckpointError::CountMismatch {
+            expected: params.len(),
+            found: count,
+        });
+    }
+    let mut decoded: Vec<Vec<f32>> = Vec::with_capacity(count);
+    for (index, p) in params.iter().enumerate() {
+        let ndim = r.u32()? as usize;
+        if r.remaining() < 8 * ndim {
             return Err(CheckpointError::Truncated);
         }
-        let mut data = p.data_mut();
-        for v in data.iter_mut() {
-            *v = buf.get_f32_le();
+        let mut dims = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            dims.push(r.u64()? as usize);
+        }
+        if dims != p.dims() {
+            return Err(CheckpointError::ShapeMismatch { index });
+        }
+        let numel: usize = dims.iter().product();
+        let raw = r.take(4 * numel)?;
+        let declared = r.u32()?;
+        if crc32(raw) != declared {
+            return Err(CheckpointError::TensorChecksum { index });
+        }
+        decoded.push(
+            raw.chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect(),
+        );
+    }
+    if r.remaining() > 0 {
+        return Err(CheckpointError::TrailingBytes);
+    }
+    commit_tensors(params, &decoded);
+    Ok(())
+}
+
+// -------------------------------------------------- optimizer payloads
+
+/// Encode an exported optimizer state as a v2 section payload.
+pub fn encode_opt_state(state: &OptState) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(state.kind.len() as u32);
+    buf.put_slice(state.kind.as_bytes());
+    buf.put_u64_le(state.step);
+    buf.put_u32_le(state.slots.len() as u32);
+    for slot in &state.slots {
+        buf.put_u32_le(slot.name.len() as u32);
+        buf.put_slice(slot.name.as_bytes());
+        buf.put_u32_le(slot.per_param.len() as u32);
+        for entry in &slot.per_param {
+            match entry {
+                None => buf.put_u8(0),
+                Some(v) => {
+                    buf.put_u8(1);
+                    buf.put_u64_le(v.len() as u64);
+                    for &x in v {
+                        buf.put_f32_le(x);
+                    }
+                }
+            }
         }
     }
-    Ok(())
+    buf.freeze()
+}
+
+/// Decode an [`encode_opt_state`] payload.
+pub fn decode_opt_state(payload: &[u8]) -> Result<OptState, CheckpointError> {
+    let mut r = Reader::new(payload);
+    let kind_len = r.u32()? as usize;
+    let kind = String::from_utf8(r.take(kind_len)?.to_vec())
+        .map_err(|_| CheckpointError::BadSectionName)?;
+    let step = r.u64()?;
+    let n_slots = r.u32()? as usize;
+    if n_slots > r.remaining() {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut slots = Vec::with_capacity(n_slots);
+    for _ in 0..n_slots {
+        let name_len = r.u32()? as usize;
+        let name = String::from_utf8(r.take(name_len)?.to_vec())
+            .map_err(|_| CheckpointError::BadSectionName)?;
+        let n_params = r.u32()? as usize;
+        if n_params > r.remaining() {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut per_param = Vec::with_capacity(n_params);
+        for _ in 0..n_params {
+            let present = r.take(1)?[0];
+            per_param.push(match present {
+                0 => None,
+                _ => {
+                    let len = r.u64()? as usize;
+                    if r.remaining() < 4 * len {
+                        return Err(CheckpointError::Truncated);
+                    }
+                    Some(r.f32s(len)?)
+                }
+            });
+        }
+        slots.push(OptSlot { name, per_param });
+    }
+    if r.remaining() > 0 {
+        return Err(CheckpointError::TrailingBytes);
+    }
+    Ok(OptState { kind, step, slots })
+}
+
+// ------------------------------------------------------------ v2 format
+
+/// A decoded (or under-construction) v2 checkpoint: ordered named
+/// sections. Section names are unique; re-inserting replaces.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointV2 {
+    sections: Vec<(String, Bytes)>,
+}
+
+impl CheckpointV2 {
+    /// An empty checkpoint.
+    pub fn new() -> CheckpointV2 {
+        CheckpointV2::default()
+    }
+
+    /// Add (or replace) a named section.
+    pub fn insert(&mut self, name: &str, payload: Bytes) {
+        if let Some(slot) = self.sections.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = payload;
+        } else {
+            self.sections.push((name.to_string(), payload));
+        }
+    }
+
+    /// Look up a section's payload.
+    pub fn get(&self, name: &str) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| p.as_ref())
+    }
+
+    /// Look up a section or fail with [`CheckpointError::MissingSection`].
+    pub fn require(&self, name: &str) -> Result<&[u8], CheckpointError> {
+        self.get(name)
+            .ok_or_else(|| CheckpointError::MissingSection(name.to_string()))
+    }
+
+    /// Section names, in file order.
+    pub fn section_names(&self) -> Vec<&str> {
+        self.sections.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Serialise to the on-disk v2 byte layout.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION_V2);
+        buf.put_u32_le(self.sections.len() as u32);
+        for (name, payload) in &self.sections {
+            buf.put_u32_le(name.len() as u32);
+            buf.put_slice(name.as_bytes());
+            buf.put_u64_le(payload.len() as u64);
+            buf.put_slice(payload);
+            let mut crc_input = Vec::with_capacity(name.len() + payload.len());
+            crc_input.extend_from_slice(name.as_bytes());
+            crc_input.extend_from_slice(payload);
+            buf.put_u32_le(crc32(&crc_input));
+        }
+        buf.freeze()
+    }
+
+    /// Parse and verify a v2 checkpoint. Every section CRC is checked and
+    /// trailing bytes are rejected, so a successfully decoded checkpoint
+    /// is bit-exact what [`CheckpointV2::encode`] wrote.
+    pub fn decode(bytes: &[u8]) -> Result<CheckpointV2, CheckpointError> {
+        let mut r = Reader::new(bytes);
+        let magic = r.take(4)?;
+        if magic != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != VERSION_V2 {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        let n_sections = r.u32()? as usize;
+        if n_sections > r.remaining() {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut sections = Vec::with_capacity(n_sections);
+        for _ in 0..n_sections {
+            let name_len = r.u32()? as usize;
+            let name_raw = r.take(name_len)?;
+            let name = std::str::from_utf8(name_raw)
+                .map_err(|_| CheckpointError::BadSectionName)?
+                .to_string();
+            let payload_len = r.u64()?;
+            if payload_len > r.remaining() as u64 {
+                return Err(CheckpointError::Truncated);
+            }
+            let payload = r.take(payload_len as usize)?;
+            let declared = r.u32()?;
+            let mut crc_input = Vec::with_capacity(name_raw.len() + payload.len());
+            crc_input.extend_from_slice(name_raw);
+            crc_input.extend_from_slice(payload);
+            if crc32(&crc_input) != declared {
+                return Err(CheckpointError::ChecksumMismatch { section: name });
+            }
+            sections.push((name, Bytes::copy_from_slice(payload)));
+        }
+        if r.remaining() > 0 {
+            return Err(CheckpointError::TrailingBytes);
+        }
+        Ok(CheckpointV2 { sections })
+    }
 }
 
 #[cfg(test)]
@@ -191,8 +579,191 @@ mod tests {
     }
 
     #[test]
+    fn rejects_trailing_garbage() {
+        let src = sample_params();
+        let dst = vec![
+            Tensor::zeros(&[3, 4]).requires_grad(),
+            Tensor::zeros(&[4]).requires_grad(),
+        ];
+        let mut extended = save_params(&src).to_vec();
+        extended.extend_from_slice(b"junk");
+        assert_eq!(
+            load_params(&dst, &extended),
+            Err(CheckpointError::TrailingBytes)
+        );
+        // …and the rejection left the target untouched (all-or-nothing).
+        assert!(dst.iter().all(|t| t.to_vec().iter().all(|&v| v == 0.0)));
+    }
+
+    #[test]
+    fn truncated_load_is_all_or_nothing() {
+        let src = sample_params();
+        let bytes = save_params(&src);
+        let dst = vec![
+            Tensor::zeros(&[3, 4]).requires_grad(),
+            Tensor::zeros(&[4]).requires_grad(),
+        ];
+        // Cut inside the *second* tensor: the first tensor's bytes are
+        // fully present, but nothing may be committed.
+        let cut = &bytes[..bytes.len() - 5];
+        assert_eq!(load_params(&dst, cut), Err(CheckpointError::Truncated));
+        assert!(dst.iter().all(|t| t.to_vec().iter().all(|&v| v == 0.0)));
+    }
+
+    #[test]
     fn empty_param_list_roundtrips() {
         let bytes = save_params(&[]);
         load_params(&[], &bytes).unwrap();
+    }
+
+    // ------------------------------------------------------------- crc32
+
+    #[test]
+    fn crc32_reference_vectors() {
+        // Standard check value for "123456789" (IEEE CRC-32).
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    // ---------------------------------------------------------------- v2
+
+    #[test]
+    fn v2_roundtrip_with_sections() {
+        let src = sample_params();
+        let mut ck = CheckpointV2::new();
+        ck.insert("params", encode_tensors(&src));
+        ck.insert("cursor", Bytes::copy_from_slice(b"\x05\x00\x00\x00"));
+        let bytes = ck.encode();
+        let back = CheckpointV2::decode(&bytes).unwrap();
+        assert_eq!(back.section_names(), vec!["params", "cursor"]);
+        let dst = vec![
+            Tensor::zeros(&[3, 4]).requires_grad(),
+            Tensor::zeros(&[4]).requires_grad(),
+        ];
+        decode_tensors_into(&dst, back.require("params").unwrap()).unwrap();
+        for (a, b) in src.iter().zip(&dst) {
+            assert_eq!(a.to_vec(), b.to_vec());
+        }
+        assert_eq!(
+            back.require("missing"),
+            Err(CheckpointError::MissingSection("missing".to_string()))
+        );
+    }
+
+    #[test]
+    fn v2_detects_any_flipped_bit() {
+        let src = sample_params();
+        let mut ck = CheckpointV2::new();
+        ck.insert("params", encode_tensors(&src));
+        let bytes = ck.encode().to_vec();
+        // Flip one bit in every byte position after the 12-byte header and
+        // assert the decode (or the tensor restore) always fails.
+        for pos in 12..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x10;
+            let decoded = CheckpointV2::decode(&corrupt);
+            if let Ok(ck) = decoded {
+                let dst = sample_params();
+                let r = ck
+                    .require("params")
+                    .and_then(|p| decode_tensors_into(&dst, p));
+                assert!(r.is_err(), "corruption at byte {pos} went undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn v2_rejects_trailing_bytes() {
+        let mut ck = CheckpointV2::new();
+        ck.insert("a", Bytes::copy_from_slice(b"xyz"));
+        let mut bytes = ck.encode().to_vec();
+        bytes.push(0);
+        assert_eq!(
+            CheckpointV2::decode(&bytes).unwrap_err(),
+            CheckpointError::TrailingBytes
+        );
+    }
+
+    #[test]
+    fn v2_rejects_wrong_version() {
+        let src = save_params(&sample_params());
+        // A v1 blob is not a v2 checkpoint.
+        assert_eq!(
+            CheckpointV2::decode(&src).unwrap_err(),
+            CheckpointError::BadVersion(1)
+        );
+    }
+
+    #[test]
+    fn v2_insert_replaces() {
+        let mut ck = CheckpointV2::new();
+        ck.insert("a", Bytes::copy_from_slice(b"one"));
+        ck.insert("a", Bytes::copy_from_slice(b"two"));
+        assert_eq!(ck.get("a"), Some(&b"two"[..]));
+        assert_eq!(ck.section_names().len(), 1);
+    }
+
+    #[test]
+    fn per_tensor_checksum_identifies_the_tensor() {
+        let src = sample_params();
+        let payload = encode_tensors(&src).to_vec();
+        // Corrupt the last data byte region of the second tensor: flip a
+        // byte inside its f32 data (before its trailing CRC).
+        let mut corrupt = payload.clone();
+        let n = corrupt.len();
+        corrupt[n - 8] ^= 0xFF; // inside tensor 1's data or padding
+        let dst = sample_params();
+        match decode_tensors_into(&dst, &corrupt) {
+            Err(CheckpointError::TensorChecksum { index }) => assert_eq!(index, 1),
+            other => panic!("expected tensor checksum failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn opt_state_roundtrips() {
+        let state = OptState {
+            kind: "adadelta".to_string(),
+            step: 7,
+            slots: vec![
+                OptSlot {
+                    name: "sq_avg".to_string(),
+                    per_param: vec![Some(vec![1.0, 2.0]), None],
+                },
+                OptSlot {
+                    name: "acc_delta".to_string(),
+                    per_param: vec![Some(vec![0.5, -0.5]), None],
+                },
+            ],
+        };
+        let bytes = encode_opt_state(&state);
+        let back = decode_opt_state(&bytes).unwrap();
+        assert_eq!(back.kind, "adadelta");
+        assert_eq!(back.step, 7);
+        assert_eq!(back.slots.len(), 2);
+        assert_eq!(back.slots[0].per_param[0], Some(vec![1.0, 2.0]));
+        assert_eq!(back.slots[1].per_param[1], None);
+    }
+
+    #[test]
+    fn opt_state_rejects_truncation_and_trailing() {
+        let state = OptState {
+            kind: "sgd".to_string(),
+            step: 0,
+            slots: vec![OptSlot {
+                name: "velocity".to_string(),
+                per_param: vec![Some(vec![1.0])],
+            }],
+        };
+        let bytes = encode_opt_state(&state).to_vec();
+        assert_eq!(
+            decode_opt_state(&bytes[..bytes.len() - 1]),
+            Err(CheckpointError::Truncated)
+        );
+        let mut extended = bytes.clone();
+        extended.push(9);
+        assert_eq!(
+            decode_opt_state(&extended),
+            Err(CheckpointError::TrailingBytes)
+        );
     }
 }

@@ -1,0 +1,149 @@
+//! Fuzz the OMCK v2 checkpoint decoder: random truncations, bit flips and
+//! corrupted length fields must always produce an `Err` — never a panic,
+//! never a huge speculative allocation, and never a partial restore.
+//!
+//! The generator is seeded (`PROPTEST_SEED`, default 0) so every CI run
+//! replays the same corruption set.
+
+use bytes::Bytes;
+use om_nn::serialize::{self, CheckpointV2};
+use om_tensor::{init, seeded_rng, Tensor};
+use proptest::prelude::*;
+
+fn sample_tensors() -> Vec<Tensor> {
+    let mut rng = seeded_rng(42);
+    vec![
+        init::normal(&[3, 5], 1.0, &mut rng).requires_grad(),
+        init::normal(&[7], 1.0, &mut rng).requires_grad(),
+        init::normal(&[2, 2, 2], 1.0, &mut rng).requires_grad(),
+    ]
+}
+
+/// A well-formed v2 blob with two sections, as `ckpt::save` would write.
+fn sample_blob() -> Vec<u8> {
+    let mut ck = CheckpointV2::new();
+    ck.insert("params", serialize::encode_tensors(&sample_tensors()));
+    ck.insert("meta", Bytes::copy_from_slice(&[7u8; 16]));
+    ck.encode().to_vec()
+}
+
+fn fresh_zeros() -> Vec<Tensor> {
+    vec![
+        Tensor::zeros(&[3, 5]).requires_grad(),
+        Tensor::zeros(&[7]).requires_grad(),
+        Tensor::zeros(&[2, 2, 2]).requires_grad(),
+    ]
+}
+
+fn all_zero(tensors: &[Tensor]) -> bool {
+    tensors.iter().all(|t| t.to_vec().iter().all(|&v| v == 0.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn any_truncation_is_rejected(frac in 0.0f64..1.0) {
+        let blob = sample_blob();
+        let cut = ((blob.len() as f64) * frac) as usize;
+        // Every strict prefix must fail cleanly — the decoder may not
+        // panic, and must not report success on a torn write.
+        prop_assert!(
+            CheckpointV2::decode(&blob[..cut]).is_err(),
+            "prefix of {cut}/{} bytes decoded successfully",
+            blob.len()
+        );
+    }
+
+    #[test]
+    fn bit_flips_are_detected(positions in collection::vec(0usize..1_000_000, 1..6)) {
+        let mut blob = sample_blob();
+        let n = blob.len();
+        for p in &positions {
+            blob[p % n] ^= 1u8 << ((p / n) % 8);
+        }
+        if blob == sample_blob() {
+            return; // flips cancelled each other out
+        }
+        match CheckpointV2::decode(&blob) {
+            Err(_) => {}
+            // A CRC pass after corruption is astronomically unlikely, but
+            // if it happens the restored data must still be exact or the
+            // restore must refuse all-or-nothing.
+            Ok(ck) => {
+                let dst = fresh_zeros();
+                if let Some(payload) = ck.get("params") {
+                    match serialize::decode_tensors_into(&dst, payload) {
+                        Ok(()) => {
+                            for (a, b) in sample_tensors().iter().zip(&dst) {
+                                prop_assert_eq!(a.to_vec(), b.to_vec());
+                            }
+                        }
+                        Err(_) => prop_assert!(all_zero(&dst)),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_length_fields_fail_without_allocating(v in 0u64..u64::MAX, field in 0usize..3) {
+        let mut blob = sample_blob();
+        match field {
+            // section_count (u32 at offset 8)
+            0 => blob[8..12].copy_from_slice(&(v as u32).to_le_bytes()),
+            // first section's name_len (u32 at offset 12)
+            1 => blob[12..16].copy_from_slice(&(v as u32).to_le_bytes()),
+            // first section's payload_len (u64 after the 6-byte "params")
+            _ => blob[22..30].copy_from_slice(&v.to_le_bytes()),
+        }
+        if blob == sample_blob() {
+            return; // wrote the original value back
+        }
+        // Oversized declared lengths must be rejected by bounds checks
+        // against the remaining byte count *before* any allocation — a
+        // declared length of e.g. u64::MAX must not attempt a reservation.
+        prop_assert!(CheckpointV2::decode(&blob).is_err());
+    }
+
+    #[test]
+    fn corrupt_tensor_payload_restores_nothing(positions in collection::vec(0usize..1_000_000, 1..4)) {
+        let payload = serialize::encode_tensors(&sample_tensors());
+        let mut bytes = payload.to_vec();
+        let n = bytes.len();
+        for p in &positions {
+            bytes[p % n] ^= 1u8 << ((p / n) % 8);
+        }
+        if bytes[..] == payload[..] {
+            return;
+        }
+        let dst = fresh_zeros();
+        match serialize::decode_tensors_into(&dst, &bytes) {
+            // All-or-nothing: a failed decode must leave the destination
+            // parameters untouched, not half-written.
+            Err(_) => prop_assert!(all_zero(&dst), "failed decode wrote partial data"),
+            Ok(()) => {
+                for (a, b) in sample_tensors().iter().zip(&dst) {
+                    prop_assert_eq!(a.to_vec(), b.to_vec());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_opt_state_is_rejected(frac in 0.0f64..1.0) {
+        let params = sample_tensors();
+        let mut opt = om_nn::Adadelta::new(params.clone(), 0.02, 0.95);
+        for t in &params {
+            t.square().sum_all().backward();
+        }
+        use om_nn::Optimizer as _;
+        opt.step();
+        let payload = serialize::encode_opt_state(&opt.export_state());
+        let cut = ((payload.len() as f64) * frac) as usize;
+        if cut == payload.len() {
+            return;
+        }
+        prop_assert!(serialize::decode_opt_state(&payload[..cut]).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! Fault injection: named kill points that terminate the process on their
+//! n-th hit, driven by the `OM_FAULT` environment variable.
+//!
+//! `OM_FAULT=<site>:<nth>` arms exactly one site; the process exits with
+//! [`EXIT_CODE`] on that site's `nth` hit (1-based; `OM_FAULT=<site>` means
+//! the first hit). Registered sites:
+//!
+//! | site | location |
+//! |---|---|
+//! | `ckpt-save` | after a checkpoint tmp file is written, **before** the atomic rename |
+//! | `optim-step` | entry of `Adadelta::step` (once per batch) |
+//! | `trial` | start of each experiment trial in the runner |
+//!
+//! Before exiting, the injected fault is mirrored into the om-obs event
+//! stream (`kind: "fault"`) and the active run is flushed, so `obs-report`
+//! shows exactly where a chaos run died. When `OM_FAULT` is unset every
+//! kill point is a single relaxed atomic load.
+//!
+//! Every `kill_point` call site outside this crate must carry a
+//! `// om-fault: kill-point` marker comment (enforced by om-lint), keeping
+//! the set of registered sites auditable.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, Once};
+
+/// Exit status of a process killed by an injected fault — distinct from
+/// panic (101) and success, so harnesses can assert the fault fired.
+pub const EXIT_CODE: i32 = 86;
+
+struct Spec {
+    site: String,
+    nth: u64,
+    hits: u64,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+static SPEC: Mutex<Option<Spec>> = Mutex::new(None);
+
+fn lock_spec() -> std::sync::MutexGuard<'static, Option<Spec>> {
+    SPEC.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Parse an `OM_FAULT` value: `site:nth` or bare `site` (nth = 1).
+/// Returns `None` for empty / malformed specs (nth must be ≥ 1).
+pub fn parse_spec(s: &str) -> Option<(String, u64)> {
+    let s = s.trim();
+    if s.is_empty() {
+        return None;
+    }
+    match s.rsplit_once(':') {
+        None => Some((s.to_string(), 1)),
+        Some((site, nth)) => {
+            let site = site.trim();
+            let nth: u64 = nth.trim().parse().ok()?;
+            if site.is_empty() || nth == 0 {
+                return None;
+            }
+            Some((site.to_string(), nth))
+        }
+    }
+}
+
+fn ensure_env() {
+    ENV_INIT.call_once(|| {
+        if let Ok(v) = std::env::var("OM_FAULT") {
+            if let Some((site, nth)) = parse_spec(&v) {
+                *lock_spec() = Some(Spec { site, nth, hits: 0 });
+                ARMED.store(true, Ordering::Relaxed);
+            }
+        }
+    });
+}
+
+/// Programmatically arm (or with `None`, disarm) fault injection,
+/// overriding `OM_FAULT`. Resets the hit counter. For tests.
+pub fn set_spec(spec: Option<(&str, u64)>) {
+    ensure_env();
+    let mut g = lock_spec();
+    match spec {
+        Some((site, nth)) if nth > 0 => {
+            *g = Some(Spec {
+                site: site.to_string(),
+                nth,
+                hits: 0,
+            });
+            ARMED.store(true, Ordering::Relaxed);
+        }
+        _ => {
+            *g = None;
+            ARMED.store(false, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The decision half of [`kill_point`]: record a hit at `site` and report
+/// whether this hit is the armed `nth` one. Exposed (rather than private)
+/// so tests can exercise the counting logic without dying.
+pub fn should_kill(site: &str) -> bool {
+    ensure_env();
+    if !ARMED.load(Ordering::Relaxed) {
+        return false;
+    }
+    let mut g = lock_spec();
+    match g.as_mut() {
+        Some(spec) if spec.site == site => {
+            spec.hits += 1;
+            spec.hits == spec.nth
+        }
+        _ => false,
+    }
+}
+
+/// A named kill point. When `OM_FAULT=<site>:<nth>` targets this site and
+/// this is the `nth` hit: emit a `fault` event, flush the active om-obs
+/// run, and terminate the process with [`EXIT_CODE`]. Otherwise (the
+/// overwhelmingly common case) this is one relaxed atomic load.
+pub fn kill_point(site: &str) {
+    if !should_kill(site) {
+        return;
+    }
+    let nth = lock_spec().as_ref().map(|s| s.nth).unwrap_or(0);
+    crate::error!("injected fault at kill point `{site}` (hit {nth}); exiting {EXIT_CODE}");
+    crate::emit(
+        "fault",
+        &[
+            ("site", crate::Value::Str(site.to_string())),
+            ("nth", crate::Value::U64(nth)),
+        ],
+    );
+    let _ = crate::run_finish();
+    std::process::exit(EXIT_CODE);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_spec_forms() {
+        assert_eq!(parse_spec("ckpt-save:3"), Some(("ckpt-save".to_string(), 3)));
+        assert_eq!(parse_spec("trial"), Some(("trial".to_string(), 1)));
+        assert_eq!(parse_spec(" optim-step : 2 "), Some(("optim-step".to_string(), 2)));
+        assert_eq!(parse_spec(""), None);
+        assert_eq!(parse_spec("site:0"), None, "nth is 1-based");
+        assert_eq!(parse_spec("site:x"), None);
+        assert_eq!(parse_spec(":3"), None);
+    }
+
+    #[test]
+    fn should_kill_counts_hits_per_armed_site() {
+        let _g = crate::test_lock();
+        set_spec(Some(("ckpt-save", 3)));
+        assert!(!should_kill("ckpt-save"), "hit 1 of 3");
+        assert!(!should_kill("optim-step"), "other sites never fire");
+        assert!(!should_kill("ckpt-save"), "hit 2 of 3");
+        assert!(should_kill("ckpt-save"), "hit 3 fires");
+        assert!(!should_kill("ckpt-save"), "fires exactly once");
+        set_spec(None);
+        assert!(!should_kill("ckpt-save"), "disarmed");
+    }
+
+    #[test]
+    fn disarmed_kill_point_is_inert() {
+        let _g = crate::test_lock();
+        set_spec(None);
+        // Must return (not exit) when disarmed.
+        kill_point("ckpt-save");
+        kill_point("optim-step");
+    }
+}

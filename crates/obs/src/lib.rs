@@ -22,6 +22,7 @@
 //! | `OM_OBS=1` | enable tracing/metrics/telemetry (default off) |
 //! | `OM_LOG=error…trace` | stderr log level of the [`info!`]-family macros (default `info`) |
 //! | `OM_OBS_DIR=path` | sink root (default `results/obs/`) |
+//! | `OM_FAULT=site:nth` | fault injection: kill the process at a named kill point (see [`fault`]) |
 //!
 //! Tests override all three programmatically ([`set_enabled`],
 //! [`logger::set_level`], [`set_out_root`]) — environment reads happen
@@ -38,6 +39,7 @@
 //! loss sparklines, histogram quantiles).
 
 pub mod clock;
+pub mod fault;
 pub mod json;
 pub mod logger;
 pub mod metrics;

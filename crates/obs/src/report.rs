@@ -260,6 +260,7 @@ pub fn summarize(dir: &Path) -> Result<String, String> {
     let mut gauges: Vec<(String, f64)> = Vec::new();
     let mut hists: Vec<(String, u64, u64, Vec<u64>)> = Vec::new();
     let mut busy: Vec<(u64, String, u64)> = Vec::new();
+    let mut faults: Vec<(u64, String, u64)> = Vec::new();
     let mut t_max = 0u64;
 
     for line in text.lines() {
@@ -314,6 +315,11 @@ pub fn summarize(dir: &Path) -> Result<String, String> {
                     buckets,
                 ));
             }
+            "fault" => faults.push((
+                t,
+                obj.get("site").and_then(Json::as_str).unwrap_or("?").to_string(),
+                obj.get("nth").and_then(Json::as_u64).unwrap_or(0),
+            )),
             "thread_busy" => busy.push((
                 obj.get("tid").and_then(Json::as_u64).unwrap_or(0),
                 obj.get("thread").and_then(Json::as_str).unwrap_or("?").to_string(),
@@ -413,6 +419,17 @@ pub fn summarize(dir: &Path) -> Result<String, String> {
         }
     }
 
+    // ---- injected faults ----
+    if !faults.is_empty() {
+        out.push_str("\n-- injected faults --\n");
+        for (t, site, nth) in &faults {
+            out.push_str(&format!(
+                "killed at `{site}` (hit {nth}) after {}\n",
+                fmt_ns(*t)
+            ));
+        }
+    }
+
     // ---- per-thread busy time ----
     if !busy.is_empty() {
         out.push_str(&format!(
@@ -496,6 +513,21 @@ mod tests {
         let agg = aggregate_spans(by_tid);
         assert_eq!(agg["a"].self_ns, 10);
         assert_eq!(agg["b"].self_ns, 10);
+    }
+
+    #[test]
+    fn summarize_renders_injected_faults() {
+        let dir = std::env::temp_dir().join(format!("om-obs-report-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let text = concat!(
+            "{\"kind\":\"run\",\"t\":0,\"name\":\"chaos\",\"schema\":1}\n",
+            "{\"kind\":\"fault\",\"t\":1500,\"site\":\"ckpt-save\",\"nth\":2}\n",
+        );
+        std::fs::write(dir.join("events.jsonl"), text).unwrap();
+        let report = summarize(&dir).unwrap();
+        assert!(report.contains("injected faults"), "{report}");
+        assert!(report.contains("ckpt-save"), "{report}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

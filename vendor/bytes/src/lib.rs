@@ -110,6 +110,13 @@ pub trait Buf {
     /// Copy `dst.len()` bytes out and advance. Panics when short.
     fn copy_to_slice(&mut self, dst: &mut [u8]);
 
+    /// Read a single byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
     /// Read a little-endian `u32`.
     fn get_u32_le(&mut self) -> u32 {
         let mut b = [0u8; 4];
@@ -147,6 +154,11 @@ impl Buf for &[u8] {
 pub trait BufMut {
     /// Append raw bytes.
     fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a single byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
 
     /// Append a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32) {
