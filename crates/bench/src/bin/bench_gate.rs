@@ -1,0 +1,167 @@
+//! Benchmark-regression gate: compares freshly produced `BENCH_*.json`
+//! reports against the committed baselines and fails CI when a median
+//! regresses past the failure factor.
+//!
+//! For every `BENCH_*.json` in the baseline directory the same file must
+//! exist in the current directory and contain every baseline bench name —
+//! a missing file or bench is a hard failure (a silently dropped
+//! benchmark must not pass the gate). Comparison is on `median_ms`:
+//!
+//! * ratio > fail factor (default 1.30×)  → FAIL, exit 1
+//! * ratio > warn factor (default 1.15×)  → WARN, exit 0
+//! * otherwise                            → OK (improvements print too)
+//!
+//! Usage:
+//!   cargo bench-gate [--current DIR] [--baseline DIR]
+//!                    [--fail-factor F] [--warn-factor W]
+//!
+//! Re-baselining (after an intentional perf change): re-run `bench_json`
+//! and `serve_bench` on a quiet machine and copy the fresh reports over
+//! `bench/baselines/` — see README.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use om_obs::json::Json;
+
+struct Row {
+    file: String,
+    name: String,
+    base_ms: f64,
+    cur_ms: f64,
+}
+
+fn medians(path: &Path) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let benches = doc
+        .get("benches")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{}: no benches array", path.display()))?;
+    let mut out = Vec::with_capacity(benches.len());
+    for b in benches {
+        let name = b
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{}: bench without a name", path.display()))?;
+        let med = b
+            .get("median_ms")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{}: {name} has no median_ms", path.display()))?;
+        out.push((name.to_string(), med));
+    }
+    Ok(out)
+}
+
+fn run() -> Result<bool, String> {
+    let mut current = PathBuf::from(".");
+    let mut baseline = PathBuf::from("bench/baselines");
+    let mut fail_factor = 1.30f64;
+    let mut warn_factor = 1.15f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |flag: &str| {
+            args.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--current" => current = PathBuf::from(val("--current")?),
+            "--baseline" => baseline = PathBuf::from(val("--baseline")?),
+            "--fail-factor" => {
+                fail_factor = val("--fail-factor")?
+                    .parse()
+                    .map_err(|e| format!("--fail-factor: {e}"))?
+            }
+            "--warn-factor" => {
+                warn_factor = val("--warn-factor")?
+                    .parse()
+                    .map_err(|e| format!("--warn-factor: {e}"))?
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&baseline)
+        .map_err(|e| format!("baseline dir {}: {e}", baseline.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no BENCH_*.json baselines in {}", baseline.display()));
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    for base_path in &files {
+        let file = base_path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .expect("filtered on utf-8 names")
+            .to_string();
+        let base = medians(base_path)?;
+        let cur_path = current.join(&file);
+        let cur = medians(&cur_path)
+            .map_err(|e| format!("current report missing or unreadable — {e}"))?;
+        for (name, base_ms) in base {
+            let cur_ms = cur
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, m)| *m)
+                .ok_or_else(|| format!("{file}: bench '{name}' missing from current run"))?;
+            rows.push(Row { file: file.clone(), name, base_ms, cur_ms });
+        }
+    }
+
+    let wide = rows.iter().map(|r| r.name.len()).max().unwrap_or(4).max(4);
+    println!(
+        "{:<20} {:<wide$} {:>12} {:>12} {:>8}  verdict",
+        "file", "bench", "base ms", "cur ms", "ratio"
+    );
+    let mut failed = false;
+    let mut warned = false;
+    for r in &rows {
+        let ratio = if r.base_ms > 0.0 { r.cur_ms / r.base_ms } else { f64::INFINITY };
+        let verdict = if ratio > fail_factor {
+            failed = true;
+            "FAIL"
+        } else if ratio > warn_factor {
+            warned = true;
+            "WARN"
+        } else if ratio < 1.0 / warn_factor {
+            "FASTER"
+        } else {
+            "OK"
+        };
+        println!(
+            "{:<20} {:<wide$} {:>12.4} {:>12.4} {:>7.2}x  {verdict}",
+            r.file, r.name, r.base_ms, r.cur_ms, ratio
+        );
+    }
+    println!(
+        "bench-gate: {} benches, fail > {fail_factor:.2}x, warn > {warn_factor:.2}x",
+        rows.len()
+    );
+    if failed {
+        println!("bench-gate: FAIL — median regression beyond the failure factor");
+    } else if warned {
+        println!("bench-gate: WARN — regression within tolerance; watch this trend");
+    } else {
+        println!("bench-gate: OK");
+    }
+    Ok(!failed)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("bench-gate: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Serving benchmark: replays a synthetic request trace through the
+//! microbatching engine and writes `BENCH_serve.json`.
+//!
+//! The trace uses a *virtual* arrival clock (deterministic jittered
+//! inter-arrival gaps) so the batching pattern is reproducible run to
+//! run; only the compute inside each flush is measured with `Instant`.
+//! A request's reported latency is its virtual queue wait plus the real
+//! compute time of the flush that scored it. Latency percentiles come
+//! from an `om_obs` histogram; exact f64 samples feed the
+//! `bench_json`-schema summaries that `bench_gate` compares.
+//!
+//! Usage: `cargo run --release -p om-bench --bin serve_bench [out_dir]`.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use om_bench::bench_scenario;
+use om_obs::json::Json;
+use om_obs::metrics::histogram;
+use om_serve::{Microbatcher, Request, ServeEngine, ServeOptions};
+use omnimatch_core::{OmniMatchConfig, Trainer};
+
+const REQUESTS: usize = 400;
+/// Mean virtual inter-arrival gap; ~1/3 of the batcher deadline so most
+/// flushes fill up and a tail flushes on the deadline — both paths hot.
+const MEAN_GAP_US: u64 = 650;
+/// Trace replays: one discarded warmup, then this many measured. Flush
+/// compute is tens of microseconds, so medians need the pooled samples
+/// to be stable enough for the regression gate.
+const REPLAYS: usize = 3;
+
+/// Summary of one benchmark's samples (nearest-rank percentiles) —
+/// matches the `bench_json` schema that `bench_gate` reads.
+fn summarize(name: &str, mut samples: Vec<f64>) -> Json {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let n = samples.len();
+    let pct = |q: f64| samples[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
+    let mut o = BTreeMap::new();
+    o.insert("name".to_string(), Json::Str(name.to_string()));
+    o.insert("iters".to_string(), Json::Num(n as f64));
+    o.insert("median_ms".to_string(), Json::Num(pct(0.5)));
+    o.insert("p95_ms".to_string(), Json::Num(pct(0.95)));
+    o.insert(
+        "mean_ms".to_string(),
+        Json::Num(samples.iter().sum::<f64>() / n as f64),
+    );
+    o.insert("min_ms".to_string(), Json::Num(samples[0]));
+    o.insert("max_ms".to_string(), Json::Num(samples[n - 1]));
+    Json::Obj(o)
+}
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    std::fs::create_dir_all(&out_dir).expect("create benchmark output dir");
+
+    // ---- model + engine -------------------------------------------------
+    let scenario = bench_scenario();
+    let trained = Trainer::new(OmniMatchConfig::fast().with_seed(5)).fit(&scenario);
+    let warm = scenario.train_users.clone();
+    let (model, views, _) = trained.into_parts();
+    let users = views.users().to_vec();
+
+    let t0 = Instant::now();
+    let opts = ServeOptions::from_env();
+    let engine = ServeEngine::new(model, views, &warm, opts.clone());
+    let arena_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // ---- synthetic trace -------------------------------------------------
+    // Deterministic jittered arrivals: gap in [MEAN_GAP/2, 3*MEAN_GAP/2).
+    let mut trace = Vec::with_capacity(REQUESTS);
+    let mut now_us = 0u64;
+    let mut h = 0x1234_5678_9ABC_DEF1u64;
+    for i in 0..REQUESTS {
+        h = h.wrapping_mul(0xD130_2B97_9AF6_2F05).rotate_left(23) ^ (i as u64);
+        now_us += MEAN_GAP_US / 2 + h % MEAN_GAP_US;
+        trace.push(Request {
+            id: i as u64,
+            user: users[(h >> 32) as usize % users.len()],
+            arrive_us: now_us,
+        });
+    }
+
+    // ---- replay ----------------------------------------------------------
+    let lat = histogram("serve.request_latency_ns");
+    let mut flush_ms: Vec<f64> = Vec::new();
+    let mut latency_ms: Vec<f64> = Vec::new();
+    let mut compute_s = 0.0f64;
+    let mut total_served = 0usize;
+    for replay in 0..=REPLAYS {
+        let warmup = replay == 0;
+        let mut batcher = Microbatcher::new(opts.batch, opts.wait_us);
+        let mut served = 0usize;
+        let mut flush = |reqs: Vec<Request>, virtual_now: u64| {
+            let t = Instant::now();
+            let responses = engine.serve_batch(&reqs);
+            let dt = t.elapsed().as_secs_f64();
+            served += responses.len();
+            if warmup {
+                return;
+            }
+            compute_s += dt;
+            flush_ms.push(dt * 1e3);
+            for r in &reqs {
+                let wait_ms = (virtual_now - r.arrive_us) as f64 / 1e3;
+                let total = wait_ms + dt * 1e3;
+                latency_ms.push(total);
+                lat.record((total * 1e6) as u64);
+            }
+        };
+        for req in &trace {
+            if let Some(due) = batcher.poll(req.arrive_us) {
+                // Deadline flush fires at (oldest arrival + wait_us), not
+                // at the arrival that exposed it.
+                let fired_at = due[0].arrive_us + opts.wait_us;
+                flush(due, fired_at);
+            }
+            let now = req.arrive_us;
+            if let Some(full) = batcher.submit(*req, now) {
+                flush(full, now);
+            }
+        }
+        let end = trace.last().expect("non-empty trace").arrive_us + opts.wait_us;
+        if let Some(rest) = batcher.drain() {
+            flush(rest, end);
+        }
+        assert_eq!(served, REQUESTS, "trace replay dropped requests");
+        if !warmup {
+            total_served += served;
+        }
+    }
+
+    // ---- report ----------------------------------------------------------
+    let qps = total_served as f64 / compute_s;
+    let q = |p: f64| lat.quantile(p).unwrap_or(0) as f64 / 1e6;
+    let mut serve = BTreeMap::new();
+    serve.insert("requests".to_string(), Json::Num(total_served as f64));
+    serve.insert("flushes".to_string(), Json::Num(flush_ms.len() as f64));
+    serve.insert("batch".to_string(), Json::Num(opts.batch as f64));
+    serve.insert("wait_us".to_string(), Json::Num(opts.wait_us as f64));
+    serve.insert("catalogue".to_string(), Json::Num(engine.catalogue_len() as f64));
+    serve.insert("qps".to_string(), Json::Num(qps));
+    serve.insert("p50_ms".to_string(), Json::Num(q(0.50)));
+    serve.insert("p95_ms".to_string(), Json::Num(q(0.95)));
+    serve.insert("p99_ms".to_string(), Json::Num(q(0.99)));
+    serve.insert("arena_build_ms".to_string(), Json::Num(arena_ms));
+
+    let mut o = BTreeMap::new();
+    o.insert("schema".to_string(), Json::Num(1.0));
+    o.insert("group".to_string(), Json::Str("serve".to_string()));
+    o.insert("unit".to_string(), Json::Str("ms".to_string()));
+    o.insert(
+        "benches".to_string(),
+        Json::Arr(vec![
+            summarize("serve_flush_compute", flush_ms),
+            summarize("serve_request_latency", latency_ms),
+        ]),
+    );
+    o.insert("serve".to_string(), Json::Obj(serve));
+
+    let path = out_dir.join("BENCH_serve.json");
+    std::fs::write(&path, format!("{}\n", Json::Obj(o))).expect("write benchmark report");
+    println!("wrote {path} ({qps:.0} qps)", path = path.display());
+}

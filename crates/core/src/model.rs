@@ -247,6 +247,20 @@ impl OmniMatchModel {
         self.rating_clf.forward(&pair, training, rng)
     }
 
+    /// Rating logits for pre-assembled `r_target ⊕ r_item` rows. The
+    /// serving path builds its microbatch × item-arena cross join with
+    /// `om_tensor::kernels::pair_rows` and scores it here in one pass;
+    /// because [`Tensor::concat_cols`] only copies, this is bitwise
+    /// identical to [`OmniMatchModel::rating_logits`] over the same rows.
+    pub fn rating_logits_from_pairs(
+        &self,
+        pairs: &Tensor,
+        training: bool,
+        rng: &mut Rng,
+    ) -> Tensor {
+        self.rating_clf.forward(pairs, training, rng)
+    }
+
     /// Domain logits for *invariant* features, behind the gradient
     /// reversal layer (Eqs. 14–15 + GRL of §4.4).
     pub fn domain_logits_invariant(

@@ -20,6 +20,7 @@ use std::time::Instant;
 use om_data::split::CrossDomainScenario;
 use om_data::types::{Interaction, ItemId, Rating, UserId};
 use om_metrics::Eval;
+use om_nn::serialize::{encode_tensors, CheckpointV2};
 use om_nn::{Adadelta, HasParams, Optimizer, SupConBatch};
 use om_tensor::{no_grad, seeded_rng, Rng, Tensor};
 use om_text::pretrain::subword_hash_init;
@@ -621,13 +622,50 @@ impl TrainedOmniMatch {
     /// report top-K quality against a relevant set — the extension protocol
     /// (HR@K / NDCG@K) beyond the paper's RMSE/MAE.
     pub fn rank_items(&self, user: UserId, candidates: &[ItemId]) -> Vec<(ItemId, f32)> {
+        self.rank_items_topk(user, candidates, candidates.len())
+    }
+
+    /// Partial top-`k` ranking of a candidate set — `om_metrics::topk`
+    /// selection instead of a full sort, the same code path `om-serve`
+    /// and [`om_metrics::RankedList`] use. NaN scores (diverged model)
+    /// rank last instead of panicking; ties keep candidate order, exactly
+    /// as the previous stable full sort did.
+    pub fn rank_items_topk(
+        &self,
+        user: UserId,
+        candidates: &[ItemId],
+        k: usize,
+    ) -> Vec<(ItemId, f32)> {
         assert!(!candidates.is_empty(), "rank_items: no candidates");
         let pairs: Vec<(UserId, ItemId)> = candidates.iter().map(|&i| (user, i)).collect();
         let scores = self.predict(&pairs);
-        let mut ranked: Vec<(ItemId, f32)> = candidates.iter().copied().zip(scores).collect();
-        // NaN scores (diverged model) rank last instead of panicking.
-        ranked.sort_by(|a, b| om_metrics::cmp_nan_last_desc(a.1, b.1));
-        ranked
+        om_metrics::top_k_indices(&scores, k)
+            .into_iter()
+            .map(|i| (candidates[i], scores[i]))
+            .collect()
+    }
+
+    /// Decompose into the owned parts a serving engine takes over
+    /// (`om_serve::ServeEngine` holds the model and the corpus views for
+    /// the lifetime of the process).
+    pub fn into_parts(self) -> (OmniMatchModel, CorpusViews, TrainReport) {
+        (self.model, self.views, self.report)
+    }
+
+    /// Export the fitted parameters as a minimal OMCK v2 checkpoint (one
+    /// `params` section, CRC-protected) — the format `om_serve::load_model`
+    /// consumes. The trainer's durable epoch checkpoints (`ckpt` module)
+    /// carry the same `params` section plus optimizer/RNG state, so both
+    /// kinds of file feed the serving loader.
+    pub fn export_checkpoint(&self) -> bytes::Bytes {
+        let mut v2 = CheckpointV2::new();
+        v2.insert("params", encode_tensors(&self.model.params()));
+        v2.encode()
+    }
+
+    /// Write [`TrainedOmniMatch::export_checkpoint`] to a file.
+    pub fn write_checkpoint(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.export_checkpoint())
     }
 
     /// Diagnostic: supervised-contrastive alignment between a user's

@@ -1,0 +1,115 @@
+//! CI smoke test for the serving engine: train a tiny model, export its
+//! checkpoint, reload it through `om_serve::load_model_file` (the real
+//! deployment path — fresh process state, corpus views rebuilt from the
+//! scenario), then assert:
+//!
+//! * the engine's batched scores are bitwise identical to
+//!   `TrainedOmniMatch::predict` over the same user–item pairs;
+//! * the sharded top-K equals a naive full-sort oracle exactly, for every
+//!   scenario user (cold and warm);
+//! * a microbatched replay returns the same responses as unbatched
+//!   serving.
+//!
+//! Observability is force-enabled; the run's artifact directory is the
+//! last stdout line (CI uploads it as a build artifact).
+//!
+//! Usage: `serve_smoke [checkpoint_path]` (default `serve_smoke.omck`).
+
+use om_data::{SplitConfig, SynthConfig, SynthWorld};
+use om_serve::{load_model_file, Microbatcher, Request, ServeEngine, ServeOptions};
+use om_tensor::seeded_rng;
+use omnimatch_core::{CorpusViews, OmniMatchConfig, Trainer};
+
+fn main() {
+    om_obs::set_enabled(true);
+    assert!(om_obs::run_begin("serve_smoke"), "serve_smoke must own the run");
+    let ckpt_path = std::env::args()
+        .nth(1)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("serve_smoke.omck"));
+
+    // ---- train + export -------------------------------------------------
+    let world = SynthWorld::generate(SynthConfig::tiny(), &["Books", "Movies"]);
+    let scenario = world.scenario("Books", "Movies", SplitConfig::default());
+    let cfg = OmniMatchConfig::fast().with_seed(7);
+    let trained = Trainer::new(cfg.clone()).fit(&scenario);
+    trained.write_checkpoint(&ckpt_path).expect("write checkpoint");
+    om_obs::info!("serve smoke: checkpoint at {}", ckpt_path.display());
+
+    // Reference predictions from the training-side code path.
+    let users = trained.views().users().to_vec();
+    let items = trained.views().items();
+    let vocab_size = trained.views().vocab.len();
+
+    // ---- reload through the serving path --------------------------------
+    let model = load_model_file(&cfg, vocab_size, &ckpt_path).expect("reload checkpoint");
+    let views = CorpusViews::build(&scenario, &cfg, &mut seeded_rng(cfg.seed));
+    assert_eq!(views.vocab.len(), vocab_size, "rebuilt vocabulary drifted");
+    let warm = scenario.train_users.clone();
+    let engine = ServeEngine::new(model, views, &warm, ServeOptions::default());
+    om_obs::manifest_set("serve.catalogue", (engine.catalogue_len() as u64).into());
+    om_obs::manifest_set("serve.users", (users.len() as u64).into());
+
+    // ---- engine scores == trainer predict, bitwise ----------------------
+    for &u in &users {
+        let scores = engine.score_user(u);
+        let pairs: Vec<_> = items.iter().map(|&i| (u, i)).collect();
+        let preds = trained.predict(&pairs);
+        assert_eq!(scores.len(), preds.len());
+        for (s, p) in scores.iter().zip(&preds) {
+            assert_eq!(
+                s.to_bits(),
+                p.to_bits(),
+                "serving score diverged from training-side predict for user {u:?}"
+            );
+        }
+    }
+    om_obs::info!("serve smoke: scores match predict bitwise over {} users", users.len());
+
+    // ---- sharded top-K == full-sort oracle ------------------------------
+    let k = engine.options().topk;
+    for &u in &users {
+        let oracle = engine.oracle_rank(u);
+        let resp = engine.serve_one(Request { id: 0, user: u, arrive_us: 0 });
+        assert_eq!(resp.top.len(), k.min(oracle.len()));
+        for ((ia, sa), (ib, sb)) in resp.top.iter().zip(&oracle) {
+            assert_eq!(ia, ib, "sharded top-K diverged from the oracle for {u:?}");
+            assert_eq!(sa.to_bits(), sb.to_bits());
+        }
+    }
+    om_obs::info!("serve smoke: sharded top-K equals the full-sort oracle");
+
+    // ---- microbatched replay == unbatched serving -----------------------
+    let opts = engine.options().clone();
+    let mut batcher = Microbatcher::new(opts.batch, opts.wait_us);
+    let mut batched = Vec::new();
+    for (i, &u) in users.iter().enumerate() {
+        let now = i as u64 * 700; // arrivals 700us apart → mixed flush causes
+        if let Some(due) = batcher.poll(now) {
+            batched.extend(engine.serve_batch(&due));
+        }
+        let req = Request { id: i as u64, user: u, arrive_us: now };
+        if let Some(full) = batcher.submit(req, now) {
+            batched.extend(engine.serve_batch(&full));
+        }
+    }
+    if let Some(rest) = batcher.drain() {
+        batched.extend(engine.serve_batch(&rest));
+    }
+    assert_eq!(batched.len(), users.len());
+    for (i, (&u, resp)) in users.iter().zip(&batched).enumerate() {
+        let solo = engine.serve_one(Request { id: i as u64, user: u, arrive_us: 0 });
+        assert_eq!(resp.user, u);
+        assert_eq!(solo.top.len(), resp.top.len());
+        for ((ia, sa), (ib, sb)) in resp.top.iter().zip(&solo.top) {
+            assert_eq!(ia, ib);
+            assert_eq!(sa.to_bits(), sb.to_bits(), "microbatched flush diverged for {u:?}");
+        }
+    }
+    om_obs::info!("serve smoke: microbatched replay equals unbatched serving");
+    om_obs::manifest_set("serve.smoke_ok", true.into());
+
+    let dir = om_obs::run_finish().expect("run artifacts written");
+    // Machine-readable: CI captures this line to locate the artifact.
+    println!("{}", dir.display());
+}

@@ -32,6 +32,7 @@ pub const MODEL_PATH_CRATES: &[&str] = &[
     "crates/nn/",
     "crates/baselines/",
     "crates/experiments/",
+    "crates/serve/",
 ];
 
 /// Crates whose diagnostics must go through the om-obs logging facade
@@ -43,6 +44,7 @@ pub const PRINT_BANNED_CRATES: &[&str] = &[
     "crates/nn/",
     "crates/core/",
     "crates/metrics/",
+    "crates/serve/",
 ];
 
 /// One lint finding.

@@ -3,13 +3,17 @@
 //! Evaluation metrics (RMSE / MAE, Eqs. 22–23 of the paper) plus the
 //! aggregation helpers the experiment harness uses: mean ± std over random
 //! trials and the percentage-improvement (Δ%) column of Tables 2–3.
-//! The [`ranking`] module adds HR@K / NDCG@K / MRR for top-K evaluation.
+//! The [`ranking`] module adds HR@K / NDCG@K / MRR for top-K evaluation,
+//! built on the [`topk`] sharded partial-selection module that offline
+//! tables and the `om-serve` engine share.
 
 pub mod ranking;
 pub mod stats;
+pub mod topk;
 
 pub use ranking::{hit_rate_at_k, mrr, ndcg_at_k, RankedList};
 pub use stats::{paired_t, PairedComparison};
+pub use topk::{rank_desc_indices, top_k_indices};
 
 /// Total order on `f32` with **NaN sorted last** (ascending). A model that
 /// diverges can emit NaN scores; evaluation must degrade (NaN ranks worst)

@@ -11,11 +11,17 @@ pub struct RankedList {
 }
 
 impl RankedList {
-    /// Build from `(score, relevant)` pairs; sorts by score descending
-    /// (stable, so ties keep insertion order). NaN scores — a diverged
-    /// model — sort last, i.e. rank worst, instead of panicking.
-    pub fn new(mut items: Vec<(f32, bool)>) -> RankedList {
-        items.sort_by(|a, b| crate::cmp_nan_last_desc(a.0, b.0));
+    /// Build from `(score, relevant)` pairs; orders by score descending
+    /// (ties keep insertion order, as a stable sort would). NaN scores —
+    /// a diverged model — rank last instead of panicking. Routed through
+    /// [`crate::topk`], the same selection code path the serving engine
+    /// uses.
+    pub fn new(items: Vec<(f32, bool)>) -> RankedList {
+        let scores: Vec<f32> = items.iter().map(|&(s, _)| s).collect();
+        let items = crate::topk::rank_desc_indices(&scores)
+            .into_iter()
+            .map(|i| items[i])
+            .collect();
         RankedList { items }
     }
 
@@ -145,6 +151,29 @@ mod tests {
     fn hit_beyond_list_length_is_safe() {
         let l = list(&[(0.9, true)]);
         assert_eq!(l.hit_at(10), 1.0);
+    }
+
+    #[test]
+    fn topk_path_matches_the_old_stable_full_sort_bitwise() {
+        // RankedList now routes through crate::topk; its order must stay
+        // exactly what the previous direct stable sort produced.
+        let raw: Vec<(f32, bool)> = (0..3000)
+            .map(|i| {
+                let s = if i % 91 == 0 {
+                    f32::NAN
+                } else {
+                    ((i * 37) % 101) as f32 * 0.5 - 20.0
+                };
+                (s, i % 13 == 0)
+            })
+            .collect();
+        let mut sorted = raw.clone();
+        sorted.sort_by(|a, b| crate::cmp_nan_last_desc(a.0, b.0));
+        let via_topk = RankedList::new(raw);
+        for (a, b) in via_topk.items.iter().zip(&sorted) {
+            assert_eq!(a.0.to_bits(), b.0.to_bits());
+            assert_eq!(a.1, b.1);
+        }
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Sharded partial top-K selection shared by offline evaluation
+//! ([`crate::RankedList`], `TrainedOmniMatch::rank_items`) and the online
+//! serving engine (`om-serve`), so ranked tables and served
+//! recommendations come from one code path.
+//!
+//! The order is the one the rest of the crate already uses — score
+//! descending under [`crate::cmp_nan_last_desc`] (NaN ranks worst) — made
+//! *strictly* total by breaking ties on the original index, ascending.
+//! That tie-break is exactly what a stable full sort produces, so
+//! `top_k_indices(s, k)` equals the first `k` entries of the stable
+//! full-sort ranking bit for bit, for every `k`, every shard boundary,
+//! and every thread count.
+//!
+//! Selection is sharded: candidates are split into fixed-size shards
+//! (independent of the worker count, like the tensor kernels' fixed
+//! reduction chunks), each shard keeps its own bounded worst-out heap of
+//! `k` candidates on a worker of the `om_tensor::runtime` pool, and the
+//! per-shard survivors — at most `⌈n/SHARD⌉·k` of them — are merged by a
+//! final sort. Replacing an `n log n` full sort with `n log k` selection
+//! is the point: serving ranks thousands of items per request to return
+//! a ten-item page.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use om_tensor::runtime;
+
+/// Fixed shard width. Chosen like the tensor kernels' reduction chunk:
+/// big enough that a shard amortises task dispatch, small enough that a
+/// typical candidate set still fans out. Results never depend on it (the
+/// order is strictly total); it is pure performance tuning.
+const SHARD: usize = 1024;
+
+/// The strict total order of the ranking: score descending, NaN last,
+/// ties broken by original index ascending (= stable-sort order).
+#[inline]
+fn cmp_entry(a: (f32, usize), b: (f32, usize)) -> Ordering {
+    crate::cmp_nan_last_desc(a.0, b.0).then(a.1.cmp(&b.1))
+}
+
+/// A candidate in a shard heap. `Ord` is [`cmp_entry`] — `Less` means
+/// "ranks earlier" — so a max-heap's root is the *worst-ranked* candidate
+/// held, which is the one a better arrival evicts.
+#[derive(Clone, Copy, PartialEq)]
+struct Entry(f32, usize);
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Entry) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Entry) -> Ordering {
+        cmp_entry((self.0, self.1), (other.0, other.1))
+    }
+}
+
+/// Bounded selection over one shard: push every entry, evict the
+/// worst-ranked whenever the heap exceeds `k`. Returns the shard's top
+/// `min(k, len)` candidates, best first.
+fn shard_top(scores: &[f32], base: usize, k: usize) -> Vec<Entry> {
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
+    for (i, &s) in scores.iter().enumerate() {
+        let e = Entry(s, base + i);
+        if heap.len() < k {
+            heap.push(e);
+        } else if let Some(worst) = heap.peek() {
+            if e < *worst {
+                heap.pop();
+                heap.push(e);
+            }
+        }
+    }
+    // Ascending by `Ord` = best-ranked first.
+    heap.into_sorted_vec()
+}
+
+/// Indices of the top `k` scores in ranking order (score descending,
+/// NaN-scored candidates last, ties by index). Bitwise identical to
+/// `rank_desc_indices(scores)[..k]`; `k >= scores.len()` returns the full
+/// ranking. Deterministic at any `OM_THREADS` setting.
+pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    let n = scores.len();
+    let k = k.min(n);
+    if k == 0 {
+        return Vec::new();
+    }
+    // Small inputs (or near-full selections) don't benefit from sharding;
+    // the strict total order makes any sort return the same answer.
+    if n <= SHARD || k * 4 >= n {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_unstable_by(|&a, &b| cmp_entry((scores[a], a), (scores[b], b)));
+        idx.truncate(k);
+        return idx;
+    }
+    let shards = n.div_ceil(SHARD);
+    let mut survivors: Vec<Vec<Entry>> = vec![Vec::new(); shards];
+    runtime::parallel_rows_mut(&mut survivors, 1, 1, |s0, block| {
+        for (ds, out) in block.iter_mut().enumerate() {
+            let s = s0 + ds;
+            let lo = s * SHARD;
+            let hi = (lo + SHARD).min(n);
+            *out = shard_top(&scores[lo..hi], lo, k);
+        }
+    });
+    let mut merged: Vec<Entry> = survivors.into_iter().flatten().collect();
+    merged.sort_unstable();
+    merged.truncate(k);
+    merged.into_iter().map(|e| e.1).collect()
+}
+
+/// The full ranking permutation (descending, NaN last, stable on ties) —
+/// what [`crate::RankedList`] sorts by. Equivalent to a stable sort by
+/// [`crate::cmp_nan_last_desc`].
+pub fn rank_desc_indices(scores: &[f32]) -> Vec<usize> {
+    top_k_indices(scores, scores.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Serialise tests that mutate the global thread count.
+    fn thread_lock() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        match LOCK.get_or_init(|| Mutex::new(())).lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Deterministic pseudo-random scores with plenty of exact ties and
+    /// a sprinkling of NaNs.
+    fn scores(n: usize, seed: u64) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed;
+                if h.is_multiple_of(97) {
+                    f32::NAN
+                } else {
+                    ((h >> 32) % 127) as f32 * 0.25 - 12.0
+                }
+            })
+            .collect()
+    }
+
+    /// The oracle: a stable full sort by `cmp_nan_last_desc`.
+    fn oracle(s: &[f32]) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..s.len()).collect();
+        idx.sort_by(|&a, &b| crate::cmp_nan_last_desc(s[a], s[b]));
+        idx
+    }
+
+    #[test]
+    fn top_k_equals_stable_full_sort_prefix() {
+        // Sizes straddle the shard boundary; ks straddle the sort/heap
+        // crossover inside `top_k_indices`.
+        for &n in &[1usize, 7, 1023, 1024, 1025, 3 * 1024 + 17] {
+            let s = scores(n, 42);
+            let full = oracle(&s);
+            for &k in &[1usize, 2, 10, 100, n / 2 + 1, n, n + 5] {
+                let got = top_k_indices(&s, k);
+                assert_eq!(got, full[..k.min(n)], "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_ranking_matches_stable_sort() {
+        for &n in &[1usize, 100, 2048, 5000] {
+            let s = scores(n, 7);
+            assert_eq!(rank_desc_indices(&s), oracle(&s), "n={n}");
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_selection() {
+        let _guard = thread_lock();
+        let s = scores(10_000, 3);
+        let reference = top_k_indices(&s, 25);
+        for threads in [1usize, 2, 3, 0] {
+            let prev = runtime::set_threads(threads);
+            let got = top_k_indices(&s, 25);
+            runtime::set_threads(prev);
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn nans_rank_last_and_ties_keep_index_order() {
+        let s = [1.0, f32::NAN, 3.0, 1.0, f32::NAN, 3.0];
+        assert_eq!(rank_desc_indices(&s), vec![2, 5, 0, 3, 1, 4]);
+        assert_eq!(top_k_indices(&s, 3), vec![2, 5, 0]);
+    }
+
+    #[test]
+    fn empty_and_zero_k_are_safe() {
+        assert!(top_k_indices(&[], 5).is_empty());
+        assert!(top_k_indices(&[1.0, 2.0], 0).is_empty());
+    }
+}

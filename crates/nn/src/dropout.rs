@@ -24,9 +24,11 @@ impl Dropout {
     }
 
     /// Apply dropout. `training = false` (or `rate == 0`) returns the input
-    /// unchanged.
+    /// unchanged, as does an active [`crate::inference::inference_mode`]
+    /// scope — a serving path must never draw a mask, even if a caller
+    /// passes `training = true` by mistake.
     pub fn forward(&self, x: &Tensor, training: bool, rng: &mut Rng) -> Tensor {
-        if !training || self.rate == 0.0 {
+        if !training || self.rate == 0.0 || crate::inference::is_inference() {
             return x.clone();
         }
         let keep = 1.0 - self.rate;

@@ -1,0 +1,98 @@
+//! Inference-only forward mode for serving.
+//!
+//! [`inference_mode`] returns an RAII guard that, while alive on the
+//! current thread,
+//!
+//! * disables autograd tape allocation (it holds an
+//!   [`om_tensor::NoGradGuard`], so every op severs its graph edges), and
+//! * forces [`crate::Dropout`] to the identity **even if a caller passes
+//!   `training = true`** — a serving path must never be able to draw a
+//!   dropout mask, both for determinism and so inference consumes nothing
+//!   from any RNG a later training run might reuse.
+//!
+//! The flag is thread-local, like the no-grad flag it extends: worker
+//! threads of `om_tensor::runtime` only ever execute closed kernels (no
+//! layer forwards), so a guard on the calling thread covers the whole
+//! forward pass. Guards nest; dropping restores the previous state.
+
+use std::cell::Cell;
+
+use om_tensor::{no_grad, NoGradGuard};
+
+thread_local! {
+    static INFERENCE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Is the current thread inside an [`inference_mode`] scope?
+pub fn is_inference() -> bool {
+    INFERENCE.with(|c| c.get())
+}
+
+/// RAII scope for inference-only forwards: no tape, no dropout masks.
+/// Dropping restores the previous thread-local state, so scopes nest.
+pub struct InferenceGuard {
+    prev: bool,
+    _no_grad: NoGradGuard,
+}
+
+/// Enter inference mode on the current thread (see module docs).
+pub fn inference_mode() -> InferenceGuard {
+    InferenceGuard {
+        prev: INFERENCE.with(|c| c.replace(true)),
+        _no_grad: no_grad(),
+    }
+}
+
+impl Drop for InferenceGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        INFERENCE.with(|c| c.set(prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dropout;
+    use om_tensor::{grad_enabled, seeded_rng, Tensor};
+
+    #[test]
+    fn guard_sets_and_restores_flag() {
+        assert!(!is_inference());
+        {
+            let _g = inference_mode();
+            assert!(is_inference());
+            assert!(!grad_enabled(), "inference implies no-grad");
+            {
+                let _inner = inference_mode();
+                assert!(is_inference());
+            }
+            assert!(is_inference(), "inner drop must not clear outer scope");
+        }
+        assert!(!is_inference());
+        assert!(grad_enabled());
+    }
+
+    #[test]
+    fn dropout_is_identity_even_with_training_true() {
+        let d = Dropout::new(0.4);
+        let x = Tensor::ones(&[64]);
+        let _g = inference_mode();
+        let mut rng = seeded_rng(1);
+        let state_before = rng.state();
+        let y = d.forward(&x, true, &mut rng);
+        assert_eq!(y.to_vec(), vec![1.0; 64]);
+        assert_eq!(rng.state(), state_before, "inference dropout must not draw from the RNG");
+    }
+
+    #[test]
+    fn no_tape_is_allocated_under_inference() {
+        let _g = inference_mode();
+        let x = Tensor::ones(&[4]).requires_grad();
+        let y = x.relu().sum_all();
+        // Graph edges were severed, so backward is a no-op and no gradient
+        // ever reaches the leaf.
+        y.backward();
+        assert!(x.grad_vec().is_none(), "ops under inference must sever graph edges");
+    }
+}

@@ -10,10 +10,14 @@
 //!   supervised contrastive loss [`supcon_loss`] of Khosla et al. (Eq. 13);
 //! * optimizers — [`Adadelta`] (the paper's optimizer, §5.4), plus
 //!   [`Sgd`] and [`Adam`];
-//! * checkpointing — binary save/load of parameter sets via `bytes`.
+//! * checkpointing — binary save/load of parameter sets via `bytes`;
+//! * serving — [`inference_mode`], an RAII scope that disables tape
+//!   allocation and forces [`Dropout`] to the identity for read-only
+//!   forwards (used by `om-serve`).
 
 pub mod dropout;
 pub mod embedding;
+pub mod inference;
 pub mod linear;
 pub mod loss;
 pub mod mlp;
@@ -26,6 +30,7 @@ pub mod transformer;
 
 pub use dropout::Dropout;
 pub use embedding::Embedding;
+pub use inference::{inference_mode, is_inference, InferenceGuard};
 pub use linear::Linear;
 pub use loss::{mse_loss, supcon_loss, SupConBatch};
 pub use mlp::Mlp;

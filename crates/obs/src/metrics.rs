@@ -98,6 +98,22 @@ impl Histogram {
         self.0.count.load(Ordering::Relaxed)
     }
 
+    /// Sum of all recorded samples (exact, unlike the bucketed quantiles).
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Exact mean of the recorded samples; `None` when empty. Serving
+    /// latency reports pair this with the bucketed p50/p95/p99.
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        if n == 0 {
+            None
+        } else {
+            Some(self.sum() as f64 / n as f64)
+        }
+    }
+
     /// Estimate the `q`-quantile (`0.0..=1.0`) by nearest rank over the
     /// bucket counts; the returned value is the midpoint of the bucket
     /// holding that rank (≤ 2× relative error). `None` when empty.

@@ -1,0 +1,148 @@
+//! Offline representation precompute: contiguous embedding arenas.
+//!
+//! The towers are the expensive half of scoring (TextCNN over a review
+//! document per entity); the rating head is a small MLP over concatenated
+//! features. Serving therefore encodes every target-domain item — and
+//! every warm user — **once**, into row-major `[n, dim]` f32 arenas, and
+//! a request only runs the user tower when its user is cold (or not even
+//! that, for warm users).
+//!
+//! Determinism: every forward here runs under [`om_nn::inference_mode`]
+//! (no tape, no dropout, nothing drawn from the RNG), and every kernel in
+//! the tower is row-independent with a fixed per-element reduction order,
+//! so arena rows are bitwise identical no matter how the precompute was
+//! batched — and bitwise identical to a tower run at request time. Tests
+//! assert both.
+
+use std::collections::BTreeMap;
+
+use om_data::types::{ItemId, UserId};
+use om_tensor::seeded_rng;
+use omnimatch_core::model::DomainSide;
+use omnimatch_core::{CorpusViews, OmniMatchModel};
+
+/// Every target-domain item's features, `[len, dim]` row-major.
+pub struct ItemArena {
+    ids: Vec<ItemId>,
+    index: BTreeMap<ItemId, usize>,
+    data: Vec<f32>,
+    dim: usize,
+}
+
+impl ItemArena {
+    /// Encode all items of `views` (dense-index order) in batches of
+    /// `batch` documents. The batch size is a throughput knob only; it
+    /// cannot affect any bit of the result.
+    pub fn build(model: &OmniMatchModel, views: &CorpusViews, batch: usize) -> ItemArena {
+        let _mode = om_nn::inference_mode();
+        let ids = views.items();
+        let dim = model.config().item_dim;
+        let mut data = Vec::with_capacity(ids.len() * dim);
+        // Never drawn from under inference mode; the signature demands one.
+        let mut rng = seeded_rng(0);
+        for chunk in ids.chunks(batch.max(1)) {
+            let docs: Vec<&[usize]> = chunk.iter().map(|&i| views.item_doc(i)).collect();
+            let feats = model.item_features(&docs, false, &mut rng);
+            data.extend_from_slice(&feats.data());
+        }
+        let index = ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        ItemArena { ids, index, data, dim }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Feature width per row.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The contiguous `[len, dim]` feature block — the right-hand side of
+    /// the serving cross join.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Item at arena row `i`.
+    pub fn id_at(&self, i: usize) -> ItemId {
+        self.ids[i]
+    }
+
+    /// Arena row of `item`, if present.
+    pub fn row_of(&self, item: ItemId) -> Option<usize> {
+        self.index.get(&item).copied()
+    }
+}
+
+/// Warm users' combined target-side features, `[len, dim]` row-major.
+/// Cold users are deliberately absent: their tower runs at request time
+/// over the auxiliary document (that tower pass *is* the cold-start
+/// inference the paper describes).
+pub struct UserArena {
+    index: BTreeMap<UserId, usize>,
+    data: Vec<f32>,
+    dim: usize,
+}
+
+impl UserArena {
+    /// Encode `warm` users' target documents in batches of `batch`.
+    /// Unknown users are skipped (they cannot be encoded without a
+    /// document); duplicates collapse to one row.
+    pub fn build(
+        model: &OmniMatchModel,
+        views: &CorpusViews,
+        warm: &[UserId],
+        batch: usize,
+    ) -> UserArena {
+        let _mode = om_nn::inference_mode();
+        let cfg = model.config();
+        let dim = cfg.invariant_dim + cfg.specific_dim;
+        let known: Vec<UserId> = {
+            let mut seen = BTreeMap::new();
+            for &u in warm {
+                if views.user_idx(u).is_some() {
+                    seen.entry(u).or_insert(());
+                }
+            }
+            seen.into_keys().collect()
+        };
+        let mut data = Vec::with_capacity(known.len() * dim);
+        let mut rng = seeded_rng(0);
+        for chunk in known.chunks(batch.max(1)) {
+            let docs: Vec<&[usize]> = chunk.iter().map(|&u| views.target_doc(u)).collect();
+            let feats = model.user_features(&docs, DomainSide::Target, false, &mut rng);
+            data.extend_from_slice(&feats.combined.data());
+        }
+        let index = known.into_iter().enumerate().map(|(i, u)| (u, i)).collect();
+        UserArena { index, data, dim }
+    }
+
+    /// Number of warm users held.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Feature width per row.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The cached combined features of `user`, if warm.
+    pub fn row(&self, user: UserId) -> Option<&[f32]> {
+        self.index
+            .get(&user)
+            .map(|&i| &self.data[i * self.dim..(i + 1) * self.dim])
+    }
+}

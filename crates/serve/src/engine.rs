@@ -1,0 +1,248 @@
+//! The batched scoring engine.
+//!
+//! A flush of `B` requests against an arena of `N` items runs:
+//!
+//! 1. user rows — arena lookups for warm users, one *batched* tower pass
+//!    for the cold ones (their auxiliary target documents);
+//! 2. `om_tensor::kernels::pair_rows` — the `[B·N, user_dim + item_dim]`
+//!    cross join, assembled in parallel;
+//! 3. one rating-classifier forward over all `B·N` pairs (the "one GEMM
+//!    against the item arena"), then per-row expected stars;
+//! 4. per-request sharded top-K via `om_metrics::topk` — the selection
+//!    code path the offline eval tables share.
+//!
+//! Bitwise determinism: every step is per-row independent (the GEMM fixes
+//! its reduction order per output element regardless of how many rows the
+//! batch has), `concat`/`pair_rows` only copy, and top-K uses a strict
+//! total order. Hence `serve_batch([a, b, c])` equals
+//! `[serve_one(a), serve_one(b), serve_one(c)]` bit for bit, at any
+//! thread count — property-tested in `tests/batching_parity.rs`.
+
+use om_data::types::{ItemId, UserId};
+use om_tensor::{kernels, seeded_rng, Tensor};
+use omnimatch_core::model::DomainSide;
+use omnimatch_core::{CorpusViews, OmniMatchModel};
+
+use crate::arena::{ItemArena, UserArena};
+
+/// Engine knobs; [`ServeOptions::from_env`] reads the `OM_SERVE_*`
+/// variables documented in the README.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Microbatch flush size (`OM_SERVE_BATCH`, default 8).
+    pub batch: usize,
+    /// Max queueing delay before a partial batch flushes, in microseconds
+    /// (`OM_SERVE_WAIT_US`, default 2000).
+    pub wait_us: u64,
+    /// Recommendations returned per request (`OM_SERVE_TOPK`, default 10).
+    pub topk: usize,
+    /// Document batch size for the offline arena precompute.
+    pub arena_batch: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            batch: 8,
+            wait_us: 2_000,
+            topk: 10,
+            arena_batch: 64,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Defaults overridden by `OM_SERVE_BATCH` / `OM_SERVE_WAIT_US` /
+    /// `OM_SERVE_TOPK`; unparsable values fall back to the default.
+    pub fn from_env() -> ServeOptions {
+        fn env_usize(key: &str, default: usize) -> usize {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .filter(|&v| v > 0)
+                .unwrap_or(default)
+        }
+        let d = ServeOptions::default();
+        ServeOptions {
+            batch: env_usize("OM_SERVE_BATCH", d.batch),
+            wait_us: env_usize("OM_SERVE_WAIT_US", d.wait_us as usize) as u64,
+            topk: env_usize("OM_SERVE_TOPK", d.topk),
+            arena_batch: d.arena_batch,
+        }
+    }
+}
+
+/// One scoring request: rank the catalogue for `user`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Caller's correlation id, echoed in the [`Response`].
+    pub id: u64,
+    /// The user to serve (warm or cold; must be a scenario user).
+    pub user: UserId,
+    /// Arrival time on the caller's clock, microseconds (drives the
+    /// microbatcher's wait deadline; not used by scoring).
+    pub arrive_us: u64,
+}
+
+/// Top-K recommendations for one request, best first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Echo of [`Request::id`].
+    pub id: u64,
+    /// Echo of [`Request::user`].
+    pub user: UserId,
+    /// `(item, expected_stars)`, descending score, NaN-last, ties by
+    /// arena order.
+    pub top: Vec<(ItemId, f32)>,
+}
+
+/// A loaded model plus its precomputed arenas, ready to score.
+pub struct ServeEngine {
+    model: OmniMatchModel,
+    views: CorpusViews,
+    items: ItemArena,
+    users: UserArena,
+    opts: ServeOptions,
+}
+
+impl ServeEngine {
+    /// Precompute the arenas and assemble the engine. `warm` lists users
+    /// whose target-side features may be cached (typically the training
+    /// users); everyone else runs the user tower per request — the
+    /// cold-start path.
+    pub fn new(
+        model: OmniMatchModel,
+        views: CorpusViews,
+        warm: &[UserId],
+        opts: ServeOptions,
+    ) -> ServeEngine {
+        let t0 = std::time::Instant::now();
+        let items = ItemArena::build(&model, &views, opts.arena_batch);
+        let users = UserArena::build(&model, &views, warm, opts.arena_batch);
+        om_obs::info!(
+            "serve: arenas ready — {} items, {} warm users, {} ms",
+            items.len(),
+            users.len(),
+            t0.elapsed().as_millis()
+        );
+        om_obs::metrics::counter("serve.arena.items").add(items.len() as u64);
+        om_obs::metrics::counter("serve.arena.warm_users").add(users.len() as u64);
+        ServeEngine { model, views, items, users, opts }
+    }
+
+    /// The engine's options (the microbatcher is built from these).
+    pub fn options(&self) -> &ServeOptions {
+        &self.opts
+    }
+
+    /// Number of items in the arena (the catalogue being ranked).
+    pub fn catalogue_len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Is this user served from the warm-user cache?
+    pub fn is_warm(&self, user: UserId) -> bool {
+        self.users.row(user).is_some()
+    }
+
+    /// Expected-star scores of `user` against the whole arena, in arena
+    /// (dense item) order. Single-request path; [`ServeEngine::serve_batch`]
+    /// produces bitwise-identical rows for any grouping.
+    pub fn score_user(&self, user: UserId) -> Vec<f32> {
+        let req = [Request { id: 0, user, arrive_us: 0 }];
+        self.score_batch(&req)
+            .pop()
+            .expect("one request yields one score row")
+    }
+
+    /// Serve one request (unbatched path — used as the parity oracle).
+    pub fn serve_one(&self, req: Request) -> Response {
+        let scores = self.score_user(req.user);
+        self.respond(req, &scores)
+    }
+
+    /// Serve a microbatch: one fused forward, then per-request top-K.
+    pub fn serve_batch(&self, reqs: &[Request]) -> Vec<Response> {
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        let t0 = std::time::Instant::now();
+        let rows = self.score_batch(reqs);
+        let out: Vec<Response> = reqs
+            .iter()
+            .zip(&rows)
+            .map(|(&req, scores)| self.respond(req, scores))
+            .collect();
+        om_obs::metrics::counter("serve.requests").add(reqs.len() as u64);
+        om_obs::metrics::counter("serve.flushes").add(1);
+        om_obs::metrics::histogram("serve.flush_ns")
+            .record(t0.elapsed().as_nanos() as u64);
+        out
+    }
+
+    /// Per-request score rows against the arena (arena order). Shared by
+    /// the batched and unbatched paths, under inference mode throughout.
+    fn score_batch(&self, reqs: &[Request]) -> Vec<Vec<f32>> {
+        let _mode = om_nn::inference_mode();
+        assert!(!self.items.is_empty(), "serve: empty item arena");
+        let user_dim = self.users.dim();
+        let n = self.items.len();
+
+        // 1. User rows: warm → arena copy; cold → one batched tower pass.
+        let mut user_rows = vec![0.0f32; reqs.len() * user_dim];
+        let cold: Vec<usize> = (0..reqs.len())
+            .filter(|&i| self.users.row(reqs[i].user).is_none())
+            .collect();
+        for (i, req) in reqs.iter().enumerate() {
+            if let Some(row) = self.users.row(req.user) {
+                user_rows[i * user_dim..(i + 1) * user_dim].copy_from_slice(row);
+            }
+        }
+        if !cold.is_empty() {
+            let docs: Vec<&[usize]> = cold
+                .iter()
+                .map(|&i| self.views.target_doc(reqs[i].user))
+                .collect();
+            // Inference mode: nothing is drawn from this RNG.
+            let mut rng = seeded_rng(0);
+            let feats = self
+                .model
+                .user_features(&docs, DomainSide::Target, false, &mut rng);
+            let combined = feats.combined.data();
+            for (c, &i) in cold.iter().enumerate() {
+                user_rows[i * user_dim..(i + 1) * user_dim]
+                    .copy_from_slice(&combined[c * user_dim..(c + 1) * user_dim]);
+            }
+        }
+
+        // 2–3. Cross join + one rating-head forward over all B·N pairs.
+        let pair_dim = user_dim + self.items.dim();
+        let pairs = kernels::pair_rows(&user_rows, self.items.data(), user_dim, self.items.dim());
+        let pairs = Tensor::from_vec(pairs, &[reqs.len() * n, pair_dim]);
+        let mut rng = seeded_rng(0);
+        let logits = self.model.rating_logits_from_pairs(&pairs, false, &mut rng);
+        let stars = OmniMatchModel::expected_stars(&logits);
+        stars.chunks(n).map(|row| row.to_vec()).collect()
+    }
+
+    /// Sharded top-K over one score row → a [`Response`].
+    fn respond(&self, req: Request, scores: &[f32]) -> Response {
+        let top = om_metrics::top_k_indices(scores, self.opts.topk)
+            .into_iter()
+            .map(|i| (self.items.id_at(i), scores[i]))
+            .collect();
+        Response { id: req.id, user: req.user, top }
+    }
+
+    /// Naive oracle for tests/smoke: score, then *full* stable sort by
+    /// `cmp_nan_last_desc` — the pre-topk code path. The engine's sharded
+    /// selection must reproduce its prefix exactly.
+    pub fn oracle_rank(&self, user: UserId) -> Vec<(ItemId, f32)> {
+        let scores = self.score_user(user);
+        let mut ranked: Vec<(ItemId, f32)> = (0..scores.len())
+            .map(|i| (self.items.id_at(i), scores[i]))
+            .collect();
+        ranked.sort_by(|a, b| om_metrics::cmp_nan_last_desc(a.1, b.1));
+        ranked
+    }
+}

@@ -1,0 +1,39 @@
+//! # om-serve
+//!
+//! Batched inference serving for trained OmniMatch checkpoints — the
+//! first end-to-end *read* path through the stack, and the deployment
+//! shape the paper's cold-start scenario implies: a new user arrives in
+//! the target domain, and the system must rank the full target catalogue
+//! for them, now.
+//!
+//! Pipeline:
+//!
+//! 1. [`loader`] — rebuild the model from an OMCK v2 checkpoint (either a
+//!    trainer epoch checkpoint or [`export_checkpoint`]'s minimal file);
+//! 2. [`arena`] — offline precompute: every target-domain item (and every
+//!    warm user) is encoded **once** into a contiguous `[n, dim]` f32
+//!    arena, so a request never re-runs the item tower;
+//! 3. [`batcher`] — microbatching: requests accumulate until
+//!    `OM_SERVE_BATCH` are pending or the oldest has waited
+//!    `OM_SERVE_WAIT_US`, then score as one batch;
+//! 4. [`engine`] — one `pair_rows` cross-join + one rating-classifier
+//!    GEMM per flush, then sharded top-K per request via
+//!    `om_metrics::topk` (the same selection the offline tables use).
+//!
+//! Everything runs under [`om_nn::inference_mode`]: no autograd tape, no
+//! dropout masks, nothing drawn from any RNG — which is also why batched
+//! results are **bitwise identical** to one-request-at-a-time results at
+//! any `OM_THREADS` setting (every kernel in the forward is row-
+//! independent with a fixed per-element reduction order).
+//!
+//! [`export_checkpoint`]: omnimatch_core::TrainedOmniMatch::export_checkpoint
+
+pub mod arena;
+pub mod batcher;
+pub mod engine;
+pub mod loader;
+
+pub use arena::{ItemArena, UserArena};
+pub use batcher::Microbatcher;
+pub use engine::{Request, Response, ServeEngine, ServeOptions};
+pub use loader::{load_model, load_model_file};

@@ -1,0 +1,46 @@
+//! Checkpoint loading: rebuild an [`OmniMatchModel`] from an OMCK v2 file.
+//!
+//! Serving only needs the `params` section. Both checkpoint flavours the
+//! trainer produces carry one — the durable epoch files written by
+//! `omnimatch_core::ckpt` (`ep-NNNN.omck`, which add optimizer/RNG state)
+//! and the minimal export of
+//! [`TrainedOmniMatch::export_checkpoint`](omnimatch_core::TrainedOmniMatch::export_checkpoint)
+//! — so either feeds this loader unchanged. Decoding is strict: every
+//! section and every tensor is CRC-checked by `om_nn::serialize`, and a
+//! shape mismatch (config drift between training and serving) is an
+//! error, never a silent truncation.
+
+use om_nn::serialize::{decode_tensors_into, CheckpointError, CheckpointV2};
+use om_nn::HasParams;
+use om_tensor::seeded_rng;
+use omnimatch_core::{OmniMatchConfig, OmniMatchModel};
+
+/// Rebuild a model with `cfg`/`vocab_size` and overwrite every parameter
+/// from the checkpoint's `params` section. The config and vocabulary must
+/// match the training run (the parameter count and shapes are verified
+/// tensor by tensor).
+pub fn load_model(
+    cfg: &OmniMatchConfig,
+    vocab_size: usize,
+    bytes: &[u8],
+) -> Result<OmniMatchModel, CheckpointError> {
+    let v2 = CheckpointV2::decode(bytes)?;
+    // The freshly initialised parameters are fully overwritten below; the
+    // seed only feeds the soon-discarded random init.
+    let mut rng = seeded_rng(0);
+    let model = OmniMatchModel::new(cfg, vocab_size, None, &mut rng);
+    decode_tensors_into(&model.params(), v2.require("params")?)?;
+    Ok(model)
+}
+
+/// [`load_model`] from a file path; IO and decode errors become strings.
+pub fn load_model_file(
+    cfg: &OmniMatchConfig,
+    vocab_size: usize,
+    path: &std::path::Path,
+) -> Result<OmniMatchModel, String> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| format!("read checkpoint {}: {e}", path.display()))?;
+    load_model(cfg, vocab_size, &bytes)
+        .map_err(|e| format!("decode checkpoint {}: {e:?}", path.display()))
+}

@@ -1,0 +1,171 @@
+//! The serving engine's central contract, property-tested: **batched
+//! inference is bitwise equal to one-request-at-a-time inference** for
+//! arbitrary batch groupings and `OM_THREADS` settings — and running
+//! inference never perturbs a subsequent training run.
+//!
+//! One trained engine is shared per test thread (training is the
+//! expensive part); the proptest cases then vary grouping and thread
+//! count against a serial unbatched reference.
+
+use std::cell::OnceCell;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use om_data::types::UserId;
+use om_data::{SplitConfig, SynthConfig, SynthWorld};
+use om_serve::{Request, Response, ServeEngine, ServeOptions};
+use om_tensor::runtime;
+use omnimatch_core::{OmniMatchConfig, Trainer};
+use proptest::prelude::*;
+
+/// Serialise mutations of the global thread count across test threads.
+fn thread_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+struct Ctx {
+    engine: ServeEngine,
+    users: Vec<UserId>,
+    /// Unbatched single-thread reference responses, in `users` order.
+    reference: Vec<Response>,
+}
+
+fn build_ctx() -> Ctx {
+    let world = SynthWorld::generate(SynthConfig::tiny(), &["Books", "Movies"]);
+    let scenario = world.scenario("Books", "Movies", SplitConfig::default());
+    let trained = Trainer::new(OmniMatchConfig::fast().with_seed(11)).fit(&scenario);
+    let warm = scenario.train_users.clone();
+    let (model, views, _) = trained.into_parts();
+    let users = views.users().to_vec();
+    let engine = ServeEngine::new(model, views, &warm, ServeOptions::default());
+    let reference = {
+        let _g = thread_lock();
+        let prev = runtime::set_threads(1);
+        let r = users
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| {
+                engine.serve_one(Request {
+                    id: i as u64,
+                    user: u,
+                    arrive_us: 0,
+                })
+            })
+            .collect();
+        runtime::set_threads(prev);
+        r
+    };
+    Ctx { engine, users, reference }
+}
+
+// `Tensor` is an `Rc` handle, so the engine cannot live in a shared
+// static; each test thread builds (and re-uses) its own.
+thread_local! {
+    static CTX: OnceCell<Ctx> = const { OnceCell::new() };
+}
+
+fn with_ctx<R>(f: impl FnOnce(&Ctx) -> R) -> R {
+    CTX.with(|c| {
+        if c.get().is_none() {
+            let _ = c.set(build_ctx());
+        }
+        f(c.get().expect("ctx initialised"))
+    })
+}
+
+fn assert_same_response(a: &Response, b: &Response) {
+    assert_eq!(a.id, b.id);
+    assert_eq!(a.user, b.user);
+    assert_eq!(a.top.len(), b.top.len());
+    for ((ia, sa), (ib, sb)) in a.top.iter().zip(&b.top) {
+        assert_eq!(ia, ib, "item mismatch for user {:?}", a.user);
+        assert_eq!(
+            sa.to_bits(),
+            sb.to_bits(),
+            "score bits differ for user {:?} item {:?}",
+            a.user,
+            ia
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn batched_equals_unbatched_bitwise_at_any_thread_count(
+        grouping_seed in 0u64..10_000,
+        threads in 0usize..4,
+    ) {
+        with_ctx(|ctx| {
+            // Derive an arbitrary partition of the request list: walk the
+            // users and cut a new batch with pseudo-random sizes 1..=7.
+            let mut groups: Vec<Vec<Request>> = Vec::new();
+            let mut cur: Vec<Request> = Vec::new();
+            let mut h = grouping_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let mut cut = (h % 7) as usize + 1;
+            for (i, &u) in ctx.users.iter().enumerate() {
+                cur.push(Request { id: i as u64, user: u, arrive_us: 0 });
+                if cur.len() >= cut {
+                    groups.push(std::mem::take(&mut cur));
+                    h = h.wrapping_mul(0xD130_2B97_9AF6_2F05).rotate_left(17);
+                    cut = (h % 7) as usize + 1;
+                }
+            }
+            if !cur.is_empty() {
+                groups.push(cur);
+            }
+
+            let _g = thread_lock();
+            let prev = runtime::set_threads(threads);
+            let got: Vec<Response> = groups
+                .iter()
+                .flat_map(|g| ctx.engine.serve_batch(g))
+                .collect();
+            runtime::set_threads(prev);
+
+            assert_eq!(got.len(), ctx.reference.len());
+            for (a, b) in got.iter().zip(&ctx.reference) {
+                assert_same_response(a, b);
+            }
+        });
+    }
+}
+
+#[test]
+fn inference_mode_never_perturbs_a_subsequent_training_run() {
+    let world = SynthWorld::generate(SynthConfig::tiny(), &["Books", "Movies"]);
+    let scenario = world.scenario("Books", "Movies", SplitConfig::default());
+    let cfg = OmniMatchConfig::fast().with_seed(23);
+
+    // Reference: two clean back-to-back fits are bitwise identical (PR 1's
+    // determinism guarantee), so any deviation below is caused by serving.
+    let first = Trainer::new(cfg.clone()).fit(&scenario);
+    let reference = first.export_checkpoint();
+
+    // Serve a pile of requests off the first model — tape-free, dropout
+    // off, nothing drawn from any RNG...
+    let warm = scenario.train_users.clone();
+    let (model, views, _) = first.into_parts();
+    let users = views.users().to_vec();
+    let engine = ServeEngine::new(model, views, &warm, ServeOptions::default());
+    let reqs: Vec<Request> = users
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| Request { id: i as u64, user: u, arrive_us: 0 })
+        .collect();
+    let responses = engine.serve_batch(&reqs);
+    assert_eq!(responses.len(), reqs.len());
+
+    // ...so a training run *after* serving reproduces the reference
+    // checkpoint bit for bit.
+    let second = Trainer::new(cfg).fit(&scenario);
+    assert_eq!(
+        reference,
+        second.export_checkpoint(),
+        "serving perturbed a subsequent training run"
+    );
+}

@@ -1,0 +1,92 @@
+//! Sharded top-K correctness and the checkpoint round trip.
+//!
+//! * The engine's per-request top-K must equal the prefix of a naive
+//!   full-sort oracle, bit for bit — and the trainer's `rank_items`
+//!   (rerouted through the same `om_metrics::topk` path) must agree with
+//!   both, proving eval tables and serving share one selection code path.
+//! * A model exported with `export_checkpoint`, written to disk, and
+//!   reloaded by `om_serve::load_model` must serve bitwise-identical
+//!   responses to the in-memory original.
+
+use om_data::types::UserId;
+use om_data::{SplitConfig, SynthConfig, SynthWorld};
+use om_serve::{load_model, Request, ServeEngine, ServeOptions};
+use omnimatch_core::{CorpusViews, OmniMatchConfig, Trainer};
+use om_tensor::seeded_rng;
+
+#[test]
+fn sharded_topk_matches_the_full_sort_oracle_and_rank_items() {
+    let world = SynthWorld::generate(SynthConfig::tiny(), &["Books", "Movies"]);
+    let scenario = world.scenario("Books", "Movies", SplitConfig::default());
+    let trained = Trainer::new(OmniMatchConfig::fast().with_seed(31)).fit(&scenario);
+
+    // Trainer-level: partial selection must reproduce the full ranking's
+    // prefix over the same candidate set.
+    let candidates = trained.views().items();
+    let users: Vec<UserId> = trained.views().users().to_vec();
+    let probe = users[users.len() / 2];
+    let full = trained.rank_items(probe, &candidates);
+    for k in [1usize, 3, 10, candidates.len()] {
+        let part = trained.rank_items_topk(probe, &candidates, k);
+        assert_eq!(part.len(), k.min(candidates.len()));
+        for ((ia, sa), (ib, sb)) in part.iter().zip(&full) {
+            assert_eq!(ia, ib, "rank_items_topk diverged from full ranking at k={k}");
+            assert_eq!(sa.to_bits(), sb.to_bits());
+        }
+    }
+
+    // Engine-level: sharded top-K equals the naive full-sort oracle for
+    // every scenario user, cold and warm alike.
+    let warm = scenario.train_users.clone();
+    let (model, views, _) = trained.into_parts();
+    let engine = ServeEngine::new(model, views, &warm, ServeOptions::default());
+    let k = engine.options().topk;
+    for &u in &users {
+        let oracle = engine.oracle_rank(u);
+        let resp = engine.serve_one(Request { id: 0, user: u, arrive_us: 0 });
+        assert_eq!(resp.top.len(), k.min(oracle.len()));
+        for ((ia, sa), (ib, sb)) in resp.top.iter().zip(&oracle) {
+            assert_eq!(ia, ib, "top-K diverged from oracle for user {u:?}");
+            assert_eq!(sa.to_bits(), sb.to_bits());
+        }
+    }
+}
+
+#[test]
+fn checkpoint_roundtrip_serves_bitwise_identical_responses() {
+    let world = SynthWorld::generate(SynthConfig::tiny(), &["Books", "Movies"]);
+    let scenario = world.scenario("Books", "Movies", SplitConfig::default());
+    let cfg = OmniMatchConfig::fast().with_seed(47);
+    let trained = Trainer::new(cfg.clone()).fit(&scenario);
+    let blob = trained.export_checkpoint();
+
+    let warm = scenario.train_users.clone();
+    let (model, views, _) = trained.into_parts();
+    let users = views.users().to_vec();
+    let vocab_size = views.vocab.len();
+    let live = ServeEngine::new(model, views, &warm, ServeOptions::default());
+
+    // Serving rebuilds the corpus views exactly as the trainer did (same
+    // config, same seed) and restores the parameters from the checkpoint.
+    let reloaded_model = load_model(&cfg, vocab_size, &blob).expect("decode checkpoint");
+    let views2 = CorpusViews::build(&scenario, &cfg, &mut seeded_rng(cfg.seed));
+    assert_eq!(views2.vocab.len(), vocab_size, "rebuilt vocabulary drifted");
+    let reloaded = ServeEngine::new(reloaded_model, views2, &warm, ServeOptions::default());
+
+    for (i, &u) in users.iter().enumerate() {
+        let req = Request { id: i as u64, user: u, arrive_us: 0 };
+        let a = live.serve_one(req);
+        let b = reloaded.serve_one(req);
+        assert_eq!(a.top.len(), b.top.len());
+        for ((ia, sa), (ib, sb)) in a.top.iter().zip(&b.top) {
+            assert_eq!(ia, ib, "reloaded engine ranked differently for {u:?}");
+            assert_eq!(sa.to_bits(), sb.to_bits());
+        }
+    }
+
+    // Corruption must surface as an error, never a partial restore.
+    let mut bad = blob.to_vec();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0x40;
+    assert!(load_model(&cfg, vocab_size, &bad).is_err(), "bit flip went undetected");
+}

@@ -330,6 +330,49 @@ pub fn fill_rows_serial(rows: usize, row_len: usize, f: impl Fn(usize, &mut [f32
     out
 }
 
+/// Parallel assembly of a serving score batch: the row-wise cross join
+/// `out[b·n_items + i] = users[b] ⊕ items[i]` over a `[b, du]` user matrix
+/// and a `[n, di]` item arena, producing `[b·n, du + di]` pair rows ready
+/// for one rating-classifier GEMM. Pure copies — no arithmetic — so the
+/// partitioning can never affect bits.
+pub fn pair_rows(users: &[f32], items: &[f32], du: usize, di: usize) -> Vec<f32> {
+    assert!(du > 0 && di > 0, "pair_rows: zero feature width");
+    assert_eq!(users.len() % du, 0, "pair_rows: ragged user matrix");
+    assert_eq!(items.len() % di, 0, "pair_rows: ragged item arena");
+    let n = items.len() / di;
+    let row = du + di;
+    let mut out = vec![0.0f32; (users.len() / du) * n * row];
+    if n == 0 {
+        return out;
+    }
+    let grain = (FILL_GRAIN_CELLS / row).max(1);
+    runtime::parallel_rows_mut(&mut out, row, grain, |r0, block| {
+        for (dr, orow) in block.chunks_mut(row).enumerate() {
+            let r = r0 + dr;
+            let (bi, ii) = (r / n, r % n);
+            orow[..du].copy_from_slice(&users[bi * du..(bi + 1) * du]);
+            orow[du..].copy_from_slice(&items[ii * di..(ii + 1) * di]);
+        }
+    });
+    out
+}
+
+/// Serial twin of [`pair_rows`] — one pair row at a time, never parallel.
+pub fn pair_rows_serial(users: &[f32], items: &[f32], du: usize, di: usize) -> Vec<f32> {
+    assert!(du > 0 && di > 0, "pair_rows: zero feature width");
+    assert_eq!(users.len() % du, 0, "pair_rows: ragged user matrix");
+    assert_eq!(items.len() % di, 0, "pair_rows: ragged item arena");
+    let n = items.len() / di;
+    let row = du + di;
+    let mut out = vec![0.0f32; (users.len() / du) * n * row];
+    for (r, orow) in out.chunks_mut(row).enumerate() {
+        let (bi, ii) = (r / n, r % n);
+        orow[..du].copy_from_slice(&users[bi * du..(bi + 1) * du]);
+        orow[du..].copy_from_slice(&items[ii * di..(ii + 1) * di]);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -41,7 +41,7 @@ pub mod tensor;
 
 pub use gradcheck::{gradcheck, GradCheckReport};
 pub use shape::Shape;
-pub use tensor::{no_grad, NoGradGuard, Tensor};
+pub use tensor::{grad_enabled, no_grad, NoGradGuard, Tensor};
 
 /// Open an observability span for a hot op, or a no-op handle when
 /// observability is disabled (the common case: one relaxed atomic load).

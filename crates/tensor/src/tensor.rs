@@ -33,7 +33,10 @@ impl Drop for NoGradGuard {
     }
 }
 
-pub(crate) fn grad_enabled() -> bool {
+/// Is autograd graph construction currently enabled on this thread?
+/// `false` inside a [`no_grad`] scope (and thus inside om-nn's inference
+/// mode, which holds a [`NoGradGuard`]).
+pub fn grad_enabled() -> bool {
     NO_GRAD.with(|c| !c.get())
 }
 

@@ -249,3 +249,27 @@ fn whole_graph_loss_is_thread_count_invariant_bitwise() {
         out
     });
 }
+
+#[test]
+fn pair_rows_matches_serial_reference_bitwise() {
+    // Shapes straddle the fill grain so both the inline and pooled paths
+    // run; (1,1) and prime sizes hit the ragged tails.
+    for &(b, n, du, di) in &[
+        (1usize, 1usize, 1usize, 1usize),
+        (3, 257, 5, 7),
+        (17, 61, 24, 12),
+        (64, 500, 24, 12),
+    ] {
+        let users: Vec<f32> = (0..b * du).map(|i| ((i * 37) % 101) as f32 * 0.173 - 8.0).collect();
+        let items: Vec<f32> = (0..n * di).map(|i| ((i * 53) % 89) as f32 * 0.211 - 9.0).collect();
+        let serial = kernels::pair_rows_serial(&users, &items, du, di);
+        assert_parity(&format!("pair_rows {b}x{n} ({du}+{di})"), || {
+            kernels::pair_rows(&users, &items, du, di)
+        });
+        assert_eq!(
+            bits(&serial),
+            bits(&kernels::pair_rows(&users, &items, du, di)),
+            "pair_rows {b}x{n} vs serial reference"
+        );
+    }
+}
