@@ -14,6 +14,13 @@
 //! Usage:
 //!   cargo bench-gate [--current DIR] [--baseline DIR]
 //!                    [--fail-factor F] [--warn-factor W]
+//!                    [--only BENCH_file.json]...
+//!
+//! `--only` (repeatable) restricts the gate to the named baseline files —
+//! for CI jobs that produce a subset of the reports (e.g. the load-smoke
+//! job gates only `BENCH_serve_load.json`). Naming a file the baseline
+//! directory does not contain is an error, so a typo cannot silently gate
+//! nothing.
 //!
 //! Re-baselining (after an intentional perf change): re-run `bench_json`
 //! and `serve_bench` on a quiet machine and copy the fresh reports over
@@ -59,6 +66,7 @@ fn run() -> Result<bool, String> {
     let mut baseline = PathBuf::from("bench/baselines");
     let mut fail_factor = 1.30f64;
     let mut warn_factor = 1.15f64;
+    let mut only: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut val = |flag: &str| {
@@ -67,6 +75,7 @@ fn run() -> Result<bool, String> {
         match a.as_str() {
             "--current" => current = PathBuf::from(val("--current")?),
             "--baseline" => baseline = PathBuf::from(val("--baseline")?),
+            "--only" => only.push(val("--only")?),
             "--fail-factor" => {
                 fail_factor = val("--fail-factor")?
                     .parse()
@@ -93,6 +102,18 @@ fn run() -> Result<bool, String> {
     files.sort();
     if files.is_empty() {
         return Err(format!("no BENCH_*.json baselines in {}", baseline.display()));
+    }
+    if !only.is_empty() {
+        for name in &only {
+            if !files.iter().any(|p| p.file_name().and_then(|n| n.to_str()) == Some(name)) {
+                return Err(format!("--only {name}: no such baseline in {}", baseline.display()));
+            }
+        }
+        files.retain(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| only.iter().any(|o| o == n))
+        });
     }
 
     let mut rows: Vec<Row> = Vec::new();

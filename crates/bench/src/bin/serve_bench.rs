@@ -1,13 +1,12 @@
 //! Serving benchmark: replays a synthetic request trace through the
 //! microbatching engine and writes `BENCH_serve.json`.
 //!
-//! The trace uses a *virtual* arrival clock (deterministic jittered
-//! inter-arrival gaps) so the batching pattern is reproducible run to
-//! run; only the compute inside each flush is measured with `Instant`.
-//! A request's reported latency is its virtual queue wait plus the real
-//! compute time of the flush that scored it. Latency percentiles come
-//! from an `om_obs` histogram; exact f64 samples feed the
-//! `bench_json`-schema summaries that `bench_gate` compares.
+//! Trace construction, the virtual-clock replay loop, and the summary
+//! schema live in `om_bench::replay`, shared with `load_bench` (the
+//! million-user sharded variant); this binary keeps the small-catalogue
+//! single-arena measurement the committed baseline tracks. Latency
+//! percentiles come from an `om_obs` histogram; exact f64 samples feed
+//! the `bench_json`-schema summaries that `bench_gate` compares.
 //!
 //! Usage: `cargo run --release -p om-bench --bin serve_bench [out_dir]`.
 
@@ -15,9 +14,10 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use om_bench::bench_scenario;
+use om_bench::replay::{build_trace, replay_trace, summarize, Arrival};
 use om_obs::json::Json;
 use om_obs::metrics::histogram;
-use om_serve::{Microbatcher, Request, ServeEngine, ServeOptions};
+use om_serve::{ServeEngine, ServeOptions};
 use omnimatch_core::{OmniMatchConfig, Trainer};
 
 const REQUESTS: usize = 400;
@@ -28,26 +28,6 @@ const MEAN_GAP_US: u64 = 650;
 /// compute is tens of microseconds, so medians need the pooled samples
 /// to be stable enough for the regression gate.
 const REPLAYS: usize = 3;
-
-/// Summary of one benchmark's samples (nearest-rank percentiles) —
-/// matches the `bench_json` schema that `bench_gate` reads.
-fn summarize(name: &str, mut samples: Vec<f64>) -> Json {
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    let n = samples.len();
-    let pct = |q: f64| samples[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
-    let mut o = BTreeMap::new();
-    o.insert("name".to_string(), Json::Str(name.to_string()));
-    o.insert("iters".to_string(), Json::Num(n as f64));
-    o.insert("median_ms".to_string(), Json::Num(pct(0.5)));
-    o.insert("p95_ms".to_string(), Json::Num(pct(0.95)));
-    o.insert(
-        "mean_ms".to_string(),
-        Json::Num(samples.iter().sum::<f64>() / n as f64),
-    );
-    o.insert("min_ms".to_string(), Json::Num(samples[0]));
-    o.insert("max_ms".to_string(), Json::Num(samples[n - 1]));
-    Json::Obj(o)
-}
 
 fn main() {
     let out_dir = std::env::args()
@@ -68,76 +48,26 @@ fn main() {
     let engine = ServeEngine::new(model, views, &warm, opts.clone());
     let arena_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-    // ---- synthetic trace -------------------------------------------------
-    // Deterministic jittered arrivals: gap in [MEAN_GAP/2, 3*MEAN_GAP/2).
-    let mut trace = Vec::with_capacity(REQUESTS);
-    let mut now_us = 0u64;
-    let mut h = 0x1234_5678_9ABC_DEF1u64;
-    for i in 0..REQUESTS {
-        h = h.wrapping_mul(0xD130_2B97_9AF6_2F05).rotate_left(23) ^ (i as u64);
-        now_us += MEAN_GAP_US / 2 + h % MEAN_GAP_US;
-        trace.push(Request {
-            id: i as u64,
-            user: users[(h >> 32) as usize % users.len()],
-            arrive_us: now_us,
-        });
-    }
-
-    // ---- replay ----------------------------------------------------------
-    let lat = histogram("serve.request_latency_ns");
-    let mut flush_ms: Vec<f64> = Vec::new();
-    let mut latency_ms: Vec<f64> = Vec::new();
-    let mut compute_s = 0.0f64;
-    let mut total_served = 0usize;
-    for replay in 0..=REPLAYS {
-        let warmup = replay == 0;
-        let mut batcher = Microbatcher::new(opts.batch, opts.wait_us);
-        let mut served = 0usize;
-        let mut flush = |reqs: Vec<Request>, virtual_now: u64| {
-            let t = Instant::now();
-            let responses = engine.serve_batch(&reqs);
-            let dt = t.elapsed().as_secs_f64();
-            served += responses.len();
-            if warmup {
-                return;
-            }
-            compute_s += dt;
-            flush_ms.push(dt * 1e3);
-            for r in &reqs {
-                let wait_ms = (virtual_now - r.arrive_us) as f64 / 1e3;
-                let total = wait_ms + dt * 1e3;
-                latency_ms.push(total);
-                lat.record((total * 1e6) as u64);
-            }
-        };
-        for req in &trace {
-            if let Some(due) = batcher.poll(req.arrive_us) {
-                // Deadline flush fires at (oldest arrival + wait_us), not
-                // at the arrival that exposed it.
-                let fired_at = due[0].arrive_us + opts.wait_us;
-                flush(due, fired_at);
-            }
-            let now = req.arrive_us;
-            if let Some(full) = batcher.submit(*req, now) {
-                flush(full, now);
-            }
-        }
-        let end = trace.last().expect("non-empty trace").arrive_us + opts.wait_us;
-        if let Some(rest) = batcher.drain() {
-            flush(rest, end);
-        }
-        assert_eq!(served, REQUESTS, "trace replay dropped requests");
-        if !warmup {
-            total_served += served;
-        }
-    }
+    // ---- trace + replay --------------------------------------------------
+    let trace = build_trace(REQUESTS, Arrival::Jittered { mean_gap_us: MEAN_GAP_US }, |h| {
+        users[(h >> 32) as usize % users.len()]
+    });
+    let outcome = replay_trace(
+        &engine,
+        &trace,
+        opts.batch,
+        opts.wait_us,
+        REPLAYS,
+        "serve.request_latency_ns",
+    );
 
     // ---- report ----------------------------------------------------------
-    let qps = total_served as f64 / compute_s;
+    let qps = outcome.served as f64 / outcome.compute_s;
+    let lat = histogram("serve.request_latency_ns");
     let q = |p: f64| lat.quantile(p).unwrap_or(0) as f64 / 1e6;
     let mut serve = BTreeMap::new();
-    serve.insert("requests".to_string(), Json::Num(total_served as f64));
-    serve.insert("flushes".to_string(), Json::Num(flush_ms.len() as f64));
+    serve.insert("requests".to_string(), Json::Num(outcome.served as f64));
+    serve.insert("flushes".to_string(), Json::Num(outcome.flush_ms.len() as f64));
     serve.insert("batch".to_string(), Json::Num(opts.batch as f64));
     serve.insert("wait_us".to_string(), Json::Num(opts.wait_us as f64));
     serve.insert("catalogue".to_string(), Json::Num(engine.catalogue_len() as f64));
@@ -154,8 +84,8 @@ fn main() {
     o.insert(
         "benches".to_string(),
         Json::Arr(vec![
-            summarize("serve_flush_compute", flush_ms),
-            summarize("serve_request_latency", latency_ms),
+            summarize("serve_flush_compute", outcome.flush_ms),
+            summarize("serve_request_latency", outcome.latency_ms),
         ]),
     );
     o.insert("serve".to_string(), Json::Obj(serve));

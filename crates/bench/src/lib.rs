@@ -12,6 +12,8 @@
 //!   mechanism);
 //! * `baselines` — substrate costs (MF fit, graph propagation epochs).
 
+pub mod replay;
+
 use om_data::{SplitConfig, SynthConfig, SynthWorld};
 use om_data::split::CrossDomainScenario;
 

@@ -23,5 +23,5 @@ pub mod types;
 
 pub use domain::Domain;
 pub use split::{CrossDomainScenario, SplitConfig};
-pub use synth::{SynthConfig, SynthWorld};
+pub use synth::{synth_feature_rows, ArenaPreset, SynthConfig, SynthWorld};
 pub use types::{Interaction, ItemId, Rating, UserId};

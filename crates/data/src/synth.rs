@@ -287,6 +287,106 @@ impl SynthWorld {
     }
 }
 
+// ------------------------------------------------------------------------
+// Large-catalogue presets: serving-scale synthetic feature arenas.
+//
+// The review-level generator above is O(users × items) per user — right
+// for corpora the model *trains* on, hopeless for the million-user
+// catalogues the serving layer ranks. These presets instead emit the
+// post-tower representation directly: deterministic pseudo-random feature
+// rows from a counter-mode hash (splitmix64 finalizer), O(1) per element
+// with no sequential RNG state, so row `i` of a preset is the same bit
+// pattern regardless of how many rows are generated, in what order, or on
+// which thread. `om-serve` wraps the rows in its arenas and scores them
+// through the real (trained) rating head — garbage semantically, but the
+// exact compute shape and bit-determinism of production serving, which is
+// all a load harness needs.
+
+/// A serving-scale synthetic arena preset: how many users/items to emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaPreset {
+    /// Preset name (`load_bench --preset <name>`).
+    pub name: &'static str,
+    /// Number of synthetic (warm) users.
+    pub users: usize,
+    /// Catalogue size being ranked per request.
+    pub items: usize,
+    /// Master seed for the feature PRF.
+    pub seed: u64,
+}
+
+impl ArenaPreset {
+    /// CI-sized preset: big enough that top-K sharding and the item-shard
+    /// loop are exercised, small enough for a smoke job.
+    pub fn small() -> ArenaPreset {
+        ArenaPreset { name: "small", users: 20_000, items: 2_000, seed: 0x10AD_0001 }
+    }
+
+    /// The north-star preset: one million users against a 16Ki-item
+    /// catalogue.
+    pub fn million() -> ArenaPreset {
+        ArenaPreset { name: "million", users: 1_000_000, items: 16_384, seed: 0x10AD_0002 }
+    }
+
+    /// Look a preset up by its CLI name.
+    pub fn by_name(name: &str) -> Option<ArenaPreset> {
+        match name {
+            "small" => Some(ArenaPreset::small()),
+            "million" => Some(ArenaPreset::million()),
+            _ => None,
+        }
+    }
+
+    /// User feature rows, `[users, dim]` row-major.
+    pub fn user_rows(&self, dim: usize) -> Vec<f32> {
+        synth_feature_rows(self.users, dim, self.seed ^ 0x5EED_0000_0000_0001)
+    }
+
+    /// Item feature rows, `[items, dim]` row-major.
+    pub fn item_rows(&self, dim: usize) -> Vec<f32> {
+        synth_feature_rows(self.items, dim, self.seed ^ 0x5EED_0000_0000_0002)
+    }
+
+    /// Dense user ids `0..users`.
+    pub fn user_ids(&self) -> Vec<UserId> {
+        assert!(self.users <= u32::MAX as usize, "user id space is u32");
+        (0..self.users as u32).map(UserId).collect()
+    }
+
+    /// Dense item ids `0..items`.
+    pub fn item_ids(&self) -> Vec<ItemId> {
+        assert!(self.items <= u32::MAX as usize, "item id space is u32");
+        (0..self.items as u32).map(ItemId).collect()
+    }
+}
+
+/// splitmix64 finalizer: the per-element bijective mixer behind the
+/// counter-mode feature PRF.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic `[n, dim]` row-major feature rows in `[-1, 1)`. Pure
+/// counter-mode: element `(r, c)` is a function of `(seed, r, c)` alone,
+/// so any sub-range regenerates bit-identically.
+pub fn synth_feature_rows(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+    assert!(dim > 0, "zero-width feature rows");
+    let mut data = Vec::with_capacity(n * dim);
+    for r in 0..n as u64 {
+        let row_key = mix64(seed ^ r.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        for c in 0..dim as u64 {
+            let h = mix64(row_key ^ c.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+            // Top 24 bits → [0, 1) at f32 precision → [-1, 1).
+            let unit = (h >> 40) as f32 / (1u64 << 24) as f32;
+            data.push(unit * 2.0 - 1.0);
+        }
+    }
+    data
+}
+
 /// Sample `k` distinct indices with probability ∝ exp(affinity / T):
 /// preference-biased selection without replacement (Gumbel top-k).
 fn preference_biased_sample(
@@ -484,5 +584,32 @@ mod tests {
     fn unknown_domain_panics() {
         let w = SynthWorld::generate(SynthConfig::tiny(), &["Books"]);
         let _ = w.domain("Movies");
+    }
+
+    #[test]
+    fn feature_rows_are_counter_mode() {
+        // Same (seed, row, col) → same bits, regardless of how many rows
+        // were asked for — the property that lets the load harness and the
+        // front-end factory regenerate arenas independently.
+        let a = synth_feature_rows(10, 6, 7);
+        let b = synth_feature_rows(4, 6, 7);
+        assert_eq!(a[..4 * 6], b[..], "prefix must regenerate bit-identically");
+        let c = synth_feature_rows(10, 6, 8);
+        assert_ne!(a, c, "different seeds must differ");
+        for v in &a {
+            assert!((-1.0..1.0).contains(v), "out of range: {v}");
+            assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn arena_presets_resolve_by_name() {
+        assert_eq!(ArenaPreset::by_name("small"), Some(ArenaPreset::small()));
+        assert_eq!(ArenaPreset::by_name("million"), Some(ArenaPreset::million()));
+        assert_eq!(ArenaPreset::by_name("huge"), None);
+        let p = ArenaPreset::small();
+        assert_eq!(p.user_ids().len(), p.users);
+        assert_eq!(p.item_rows(12).len(), p.items * 12);
+        assert_eq!(ArenaPreset::million().users, 1_000_000);
     }
 }

@@ -37,6 +37,19 @@ fn runtime_unsafe_requires_a_safety_comment() {
 }
 
 #[test]
+fn the_mmap_layer_is_allowlisted_but_still_needs_safety_comments() {
+    const MMAP: &str = "crates/serve/src/mmap.rs";
+    let bare = "pub fn f(p: *mut f32) {\n    unsafe { *p = 0.0; }\n}\n";
+    let v = check_unsafe(MMAP, &lex(bare));
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].rule, "safety-comment");
+
+    let commented =
+        "pub fn f(p: *mut f32) {\n    // SAFETY: p is valid and exclusively owned here.\n    unsafe { *p = 0.0; }\n}\n";
+    assert!(check_unsafe(MMAP, &lex(commented)).is_empty());
+}
+
+#[test]
 fn unsafe_in_strings_and_comments_is_ignored() {
     let src = "// this mentions unsafe\npub fn f() -> &'static str { \"unsafe\" }\n";
     assert!(check_unsafe(MODEL_FILE, &lex(src)).is_empty());

@@ -13,7 +13,7 @@ pub mod topk;
 
 pub use ranking::{hit_rate_at_k, mrr, ndcg_at_k, RankedList};
 pub use stats::{paired_t, PairedComparison};
-pub use topk::{rank_desc_indices, top_k_indices};
+pub use topk::{merge_top_k, rank_desc_indices, top_k_indices};
 
 /// Total order on `f32` with **NaN sorted last** (ascending). A model that
 /// diverges can emit NaN scores; evaluation must degrade (NaN ranks worst)

@@ -119,6 +119,19 @@ pub fn rank_desc_indices(scores: &[f32]) -> Vec<usize> {
     top_k_indices(scores, scores.len())
 }
 
+/// Merge `(score, index)` candidates — typically the concatenation of
+/// per-shard [`top_k_indices`] survivors, with indices already offset to
+/// the global candidate space — into the global top `k` under the same
+/// strict total order selection uses. Because each shard's top-`k` is a
+/// superset of that shard's contribution to the global top-`k`, the merge
+/// of per-shard winners is bit-identical to running [`top_k_indices`]
+/// over the full concatenated score array, for every shard partition.
+pub fn merge_top_k(mut candidates: Vec<(f32, usize)>, k: usize) -> Vec<(f32, usize)> {
+    candidates.sort_unstable_by(|a, b| cmp_entry(*a, *b));
+    candidates.truncate(k);
+    candidates
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,5 +214,43 @@ mod tests {
     fn empty_and_zero_k_are_safe() {
         assert!(top_k_indices(&[], 5).is_empty());
         assert!(top_k_indices(&[1.0, 2.0], 0).is_empty());
+    }
+
+    #[test]
+    fn merging_per_shard_winners_equals_global_selection() {
+        // Split the scores into uneven shards, take each shard's local
+        // top-k (offset to global indices), merge — must equal the global
+        // top-k for every k and every partition width.
+        let s = scores(4_000, 9);
+        for &width in &[1usize, 3, 64, 1000, 1024, 4_001] {
+            for &k in &[1usize, 2, 10, 137] {
+                let mut cands: Vec<(f32, usize)> = Vec::new();
+                let mut lo = 0;
+                while lo < s.len() {
+                    let hi = (lo + width).min(s.len());
+                    for i in top_k_indices(&s[lo..hi], k) {
+                        cands.push((s[lo + i], lo + i));
+                    }
+                    lo = hi;
+                }
+                let merged = merge_top_k(cands, k);
+                let global = top_k_indices(&s, k);
+                assert_eq!(
+                    merged.iter().map(|&(_, i)| i).collect::<Vec<_>>(),
+                    global,
+                    "width={width} k={k}"
+                );
+                for (&(ms, mi), &gi) in merged.iter().zip(&global) {
+                    assert_eq!(ms.to_bits(), s[gi].to_bits(), "score bits at {mi}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_handles_empty_and_short_inputs() {
+        assert!(merge_top_k(Vec::new(), 5).is_empty());
+        let out = merge_top_k(vec![(1.0, 3), (2.0, 1)], 10);
+        assert_eq!(out, vec![(2.0, 1), (1.0, 3)]);
     }
 }

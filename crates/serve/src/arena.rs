@@ -15,17 +15,41 @@
 //! assert both.
 
 use std::collections::BTreeMap;
+use std::path::Path;
 
 use om_data::types::{ItemId, UserId};
 use om_tensor::seeded_rng;
 use omnimatch_core::model::DomainSide;
 use omnimatch_core::{CorpusViews, OmniMatchModel};
 
+use crate::blob::{write_blob, ArenaBlob, BlobError, BlobKind, Verify};
+
+/// Backing storage of an arena's `[len, dim]` feature block: owned rows
+/// from a tower precompute / raw synthesis, or a zero-copy window into a
+/// memory-mapped [`ArenaBlob`]. Scoring reads the same `&[f32]` either
+/// way, so every engine path is storage-agnostic (and the blob round-trip
+/// test can demand bitwise-equal scores).
+pub(crate) enum Rows {
+    /// Heap-owned rows.
+    Owned(Vec<f32>),
+    /// Rows borrowed from a memory-mapped blob.
+    Mapped(crate::mmap::F32View),
+}
+
+impl Rows {
+    fn as_slice(&self) -> &[f32] {
+        match self {
+            Rows::Owned(v) => v,
+            Rows::Mapped(m) => m.as_slice(),
+        }
+    }
+}
+
 /// Every target-domain item's features, `[len, dim]` row-major.
 pub struct ItemArena {
     ids: Vec<ItemId>,
     index: BTreeMap<ItemId, usize>,
-    data: Vec<f32>,
+    data: Rows,
     dim: usize,
 }
 
@@ -45,8 +69,41 @@ impl ItemArena {
             let feats = model.item_features(&docs, false, &mut rng);
             data.extend_from_slice(&feats.data());
         }
-        let index = ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        ItemArena::from_rows(ids, Rows::Owned(data), dim)
+    }
+
+    /// Assemble an arena from pre-computed feature rows (e.g. the
+    /// serving-scale synthetic presets of `om_data::synth`). `data` is
+    /// `[ids.len(), dim]` row-major; ids must be unique.
+    pub fn from_raw(ids: Vec<ItemId>, data: Vec<f32>, dim: usize) -> ItemArena {
+        ItemArena::from_rows(ids, Rows::Owned(data), dim)
+    }
+
+    pub(crate) fn from_rows(ids: Vec<ItemId>, data: Rows, dim: usize) -> ItemArena {
+        assert_eq!(data.as_slice().len(), ids.len() * dim, "ragged item arena");
+        let index: BTreeMap<ItemId, usize> =
+            ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        assert_eq!(index.len(), ids.len(), "duplicate item ids in arena");
         ItemArena { ids, index, data, dim }
+    }
+
+    /// Load an arena from an `OMAB` blob written by
+    /// [`ItemArena::write_blob`].
+    pub fn load_blob(path: &Path, verify: Verify) -> Result<ItemArena, BlobError> {
+        let blob = ArenaBlob::open(path, verify)?;
+        if blob.kind() != BlobKind::Items {
+            return Err(BlobError::WrongKind { expected: BlobKind::Items, found: blob.kind() });
+        }
+        let ids = blob.ids().into_iter().map(ItemId).collect();
+        let rows = blob.feature_rows();
+        Ok(ItemArena::from_rows(ids, rows, blob.dim()))
+    }
+
+    /// Serialize the arena to a length/CRC-framed `OMAB` blob at `path`
+    /// (atomic write → fsync → rename).
+    pub fn write_blob(&self, path: &Path) -> Result<(), BlobError> {
+        let ids: Vec<u32> = self.ids.iter().map(|id| id.0).collect();
+        write_blob(path, BlobKind::Items, self.dim, &ids, self.data())
     }
 
     /// Number of items.
@@ -67,7 +124,7 @@ impl ItemArena {
     /// The contiguous `[len, dim]` feature block — the right-hand side of
     /// the serving cross join.
     pub fn data(&self) -> &[f32] {
-        &self.data
+        self.data.as_slice()
     }
 
     /// Item at arena row `i`.
@@ -86,8 +143,9 @@ impl ItemArena {
 /// over the auxiliary document (that tower pass *is* the cold-start
 /// inference the paper describes).
 pub struct UserArena {
+    ids: Vec<UserId>,
     index: BTreeMap<UserId, usize>,
-    data: Vec<f32>,
+    data: Rows,
     dim: usize,
 }
 
@@ -120,18 +178,50 @@ impl UserArena {
             let feats = model.user_features(&docs, DomainSide::Target, false, &mut rng);
             data.extend_from_slice(&feats.combined.data());
         }
-        let index = known.into_iter().enumerate().map(|(i, u)| (u, i)).collect();
-        UserArena { index, data, dim }
+        UserArena::from_rows(known, Rows::Owned(data), dim)
+    }
+
+    /// Assemble an arena from pre-computed combined feature rows. `data`
+    /// is `[ids.len(), dim]` row-major; ids must be unique.
+    pub fn from_raw(ids: Vec<UserId>, data: Vec<f32>, dim: usize) -> UserArena {
+        UserArena::from_rows(ids, Rows::Owned(data), dim)
+    }
+
+    pub(crate) fn from_rows(ids: Vec<UserId>, data: Rows, dim: usize) -> UserArena {
+        assert_eq!(data.as_slice().len(), ids.len() * dim, "ragged user arena");
+        let index: BTreeMap<UserId, usize> =
+            ids.iter().enumerate().map(|(i, &u)| (u, i)).collect();
+        assert_eq!(index.len(), ids.len(), "duplicate user ids in arena");
+        UserArena { ids, index, data, dim }
+    }
+
+    /// Load an arena from an `OMAB` blob written by
+    /// [`UserArena::write_blob`].
+    pub fn load_blob(path: &Path, verify: Verify) -> Result<UserArena, BlobError> {
+        let blob = ArenaBlob::open(path, verify)?;
+        if blob.kind() != BlobKind::Users {
+            return Err(BlobError::WrongKind { expected: BlobKind::Users, found: blob.kind() });
+        }
+        let ids = blob.ids().into_iter().map(UserId).collect();
+        let rows = blob.feature_rows();
+        Ok(UserArena::from_rows(ids, rows, blob.dim()))
+    }
+
+    /// Serialize the arena to a length/CRC-framed `OMAB` blob at `path`
+    /// (atomic write → fsync → rename).
+    pub fn write_blob(&self, path: &Path) -> Result<(), BlobError> {
+        let ids: Vec<u32> = self.ids.iter().map(|u| u.0).collect();
+        write_blob(path, BlobKind::Users, self.dim, &ids, self.data.as_slice())
     }
 
     /// Number of warm users held.
     pub fn len(&self) -> usize {
-        self.index.len()
+        self.ids.len()
     }
 
     /// Whether the arena is empty.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.ids.is_empty()
     }
 
     /// Feature width per row.
@@ -139,10 +229,15 @@ impl UserArena {
         self.dim
     }
 
+    /// Warm users in arena row order.
+    pub fn ids(&self) -> &[UserId] {
+        &self.ids
+    }
+
     /// The cached combined features of `user`, if warm.
     pub fn row(&self, user: UserId) -> Option<&[f32]> {
         self.index
             .get(&user)
-            .map(|&i| &self.data[i * self.dim..(i + 1) * self.dim])
+            .map(|&i| &self.data.as_slice()[i * self.dim..(i + 1) * self.dim])
     }
 }

@@ -1,0 +1,329 @@
+//! Length/CRC-framed arena blobs (`OMAB` v1) — the on-disk form of
+//! [`crate::ItemArena`]/[`crate::UserArena`], written atomically and
+//! loaded all-or-nothing, OMCK v2 style.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! off  0  magic   b"OMAB"
+//!      4  version u32 = 1
+//!      8  kind    u32        (0 = items, 1 = users)
+//!     12  dim     u32        feature width per row
+//!     16  n       u64        row count
+//!     24  ids_crc u32        crc32 of the raw ids bytes
+//!     28  data_crc u32       crc32 of the raw feature bytes
+//!     32  header_crc u32     crc32 of bytes [0, 32)
+//!     36  pad     4 zero bytes
+//!     40  ids     n × u32    arena row order
+//!     …   pad     to the next 8-byte boundary
+//!     …   data    n × dim × f32
+//! ```
+//!
+//! The header pins the exact file length, so truncation *and* trailing
+//! garbage are rejected even in [`Verify::Quick`] mode without touching a
+//! single data page. [`Verify::Full`] additionally checks both payload
+//! CRCs — O(file), the right default for tests and one-off tooling, while
+//! a production cold start uses `Quick` and keeps start-up cost at
+//! O(pages touched) (CRCs were verified when the blob was written; the
+//! frame still catches the torn/partial-file failure modes).
+
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::sync::Arc;
+
+use om_nn::serialize::crc32;
+
+use crate::mmap::{F32View, Mmap};
+
+const MAGIC: &[u8; 4] = b"OMAB";
+const VERSION: u32 = 1;
+const HEADER_LEN: usize = 40;
+const IDS_OFF: usize = 40;
+
+/// Which arena a blob holds; loading a blob as the wrong arena type is an
+/// error, not a silent reinterpretation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlobKind {
+    /// An item arena (`kind = 0`).
+    Items,
+    /// A user arena (`kind = 1`).
+    Users,
+}
+
+impl BlobKind {
+    fn code(self) -> u32 {
+        match self {
+            BlobKind::Items => 0,
+            BlobKind::Users => 1,
+        }
+    }
+
+    fn from_code(code: u32) -> Option<BlobKind> {
+        match code {
+            0 => Some(BlobKind::Items),
+            1 => Some(BlobKind::Users),
+            _ => None,
+        }
+    }
+}
+
+/// How much of the blob to validate at open time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verify {
+    /// Header CRC + exact-length frame only: O(1) pages touched.
+    Quick,
+    /// Everything `Quick` checks plus both payload CRCs: O(file).
+    Full,
+}
+
+/// Why a blob was rejected. Every variant is all-or-nothing: no arena is
+/// ever built from a file that produced one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlobError {
+    /// Underlying IO failure (open/read/write/rename).
+    Io(String),
+    /// The first four bytes are not `OMAB`.
+    BadMagic,
+    /// A version this build does not understand.
+    BadVersion(u32),
+    /// An unknown kind code in the header.
+    BadKind(u32),
+    /// The blob holds the other arena type.
+    WrongKind {
+        /// Kind the caller asked for.
+        expected: BlobKind,
+        /// Kind the header declares.
+        found: BlobKind,
+    },
+    /// Header bytes fail their CRC.
+    HeaderCrc,
+    /// The ids section fails its CRC.
+    IdsCrc,
+    /// The feature data fails its CRC.
+    DataCrc,
+    /// The file is shorter than the header-declared frame.
+    Truncated {
+        /// Byte length the header implies.
+        expected: u64,
+        /// Actual file length.
+        actual: u64,
+    },
+    /// The file is longer than the header-declared frame.
+    TrailingBytes {
+        /// Byte length the header implies.
+        expected: u64,
+        /// Actual file length.
+        actual: u64,
+    },
+    /// Declared sizes overflow or a section is misaligned.
+    BadFrame,
+}
+
+impl std::fmt::Display for BlobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlobError::Io(e) => write!(f, "io error: {e}"),
+            BlobError::BadMagic => write!(f, "not an OMAB arena blob"),
+            BlobError::BadVersion(v) => write!(f, "unsupported OMAB version {v}"),
+            BlobError::BadKind(k) => write!(f, "unknown arena kind code {k}"),
+            BlobError::WrongKind { expected, found } => {
+                write!(f, "arena kind mismatch: expected {expected:?}, found {found:?}")
+            }
+            BlobError::HeaderCrc => write!(f, "header CRC mismatch"),
+            BlobError::IdsCrc => write!(f, "ids section CRC mismatch"),
+            BlobError::DataCrc => write!(f, "feature data CRC mismatch"),
+            BlobError::Truncated { expected, actual } => {
+                write!(f, "truncated blob: expected {expected} bytes, found {actual}")
+            }
+            BlobError::TrailingBytes { expected, actual } => {
+                write!(f, "trailing bytes: expected {expected} bytes, found {actual}")
+            }
+            BlobError::BadFrame => write!(f, "inconsistent frame lengths"),
+        }
+    }
+}
+
+impl std::error::Error for BlobError {}
+
+impl From<io::Error> for BlobError {
+    fn from(e: io::Error) -> BlobError {
+        BlobError::Io(e.to_string())
+    }
+}
+
+fn align8(off: usize) -> usize {
+    off.div_ceil(8) * 8
+}
+
+/// Byte offsets of the two sections and the total frame length for a
+/// blob of `n` rows × `dim`. `None` on arithmetic overflow.
+fn frame(n: usize, dim: usize) -> Option<(usize, usize, usize)> {
+    let ids_len = n.checked_mul(4)?;
+    let data_off = align8(IDS_OFF.checked_add(ids_len)?);
+    let data_len = n.checked_mul(dim)?.checked_mul(4)?;
+    let total = data_off.checked_add(data_len)?;
+    Some((IDS_OFF, data_off, total))
+}
+
+/// Serialize one arena to `path`, atomically: write `path.tmp`, fsync,
+/// rename. `data.len()` must equal `ids.len() * dim`.
+pub fn write_blob(
+    path: &Path,
+    kind: BlobKind,
+    dim: usize,
+    ids: &[u32],
+    data: &[f32],
+) -> Result<(), BlobError> {
+    assert_eq!(data.len(), ids.len() * dim, "ragged arena blob");
+    let n = ids.len();
+    let (ids_off, data_off, total) = frame(n, dim).ok_or(BlobError::BadFrame)?;
+
+    let mut ids_bytes = Vec::with_capacity(n * 4);
+    for id in ids {
+        ids_bytes.extend_from_slice(&id.to_le_bytes());
+    }
+    let mut data_bytes = Vec::with_capacity(data.len() * 4);
+    for v in data {
+        data_bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    let mut header = Vec::with_capacity(HEADER_LEN);
+    header.extend_from_slice(MAGIC);
+    header.extend_from_slice(&VERSION.to_le_bytes());
+    header.extend_from_slice(&kind.code().to_le_bytes());
+    header.extend_from_slice(&u32::try_from(dim).map_err(|_| BlobError::BadFrame)?.to_le_bytes());
+    header.extend_from_slice(&(n as u64).to_le_bytes());
+    header.extend_from_slice(&crc32(&ids_bytes).to_le_bytes());
+    header.extend_from_slice(&crc32(&data_bytes).to_le_bytes());
+    let hcrc = crc32(&header);
+    header.extend_from_slice(&hcrc.to_le_bytes());
+    header.extend_from_slice(&[0u8; 4]);
+    debug_assert_eq!(header.len(), HEADER_LEN);
+
+    let tmp = path.with_extension("omab.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&header)?;
+        f.write_all(&ids_bytes)?;
+        f.write_all(&vec![0u8; data_off - ids_off - ids_bytes.len()])?;
+        f.write_all(&data_bytes)?;
+        f.sync_all()?;
+        debug_assert_eq!(HEADER_LEN + ids_bytes.len() + (data_off - ids_off - ids_bytes.len()) + data_bytes.len(), total);
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// An opened, frame-validated arena blob.
+pub struct ArenaBlob {
+    map: Arc<Mmap>,
+    kind: BlobKind,
+    dim: usize,
+    n: usize,
+    data_off: usize,
+}
+
+impl ArenaBlob {
+    /// Open and validate `path` (see [`Verify`] for how much validation).
+    pub fn open(path: &Path, verify: Verify) -> Result<ArenaBlob, BlobError> {
+        let map = Arc::new(Mmap::open(path)?);
+        let bytes = map.as_bytes();
+        if bytes.len() < HEADER_LEN {
+            return Err(BlobError::Truncated {
+                expected: HEADER_LEN as u64,
+                actual: bytes.len() as u64,
+            });
+        }
+        let u32_at = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"));
+        if &bytes[0..4] != MAGIC {
+            return Err(BlobError::BadMagic);
+        }
+        if u32_at(32) != crc32(&bytes[0..32]) {
+            return Err(BlobError::HeaderCrc);
+        }
+        let version = u32_at(4);
+        if version != VERSION {
+            return Err(BlobError::BadVersion(version));
+        }
+        let kind = BlobKind::from_code(u32_at(8)).ok_or(BlobError::BadKind(u32_at(8)))?;
+        let dim = u32_at(12) as usize;
+        let n = usize::try_from(u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")))
+            .map_err(|_| BlobError::BadFrame)?;
+        let (_, data_off, total) = frame(n, dim).ok_or(BlobError::BadFrame)?;
+        match bytes.len().cmp(&total) {
+            std::cmp::Ordering::Less => {
+                return Err(BlobError::Truncated { expected: total as u64, actual: bytes.len() as u64 })
+            }
+            std::cmp::Ordering::Greater => {
+                return Err(BlobError::TrailingBytes { expected: total as u64, actual: bytes.len() as u64 })
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+        if verify == Verify::Full {
+            if u32_at(24) != crc32(&bytes[IDS_OFF..IDS_OFF + n * 4]) {
+                return Err(BlobError::IdsCrc);
+            }
+            if u32_at(28) != crc32(&bytes[data_off..total]) {
+                return Err(BlobError::DataCrc);
+            }
+        }
+        om_obs::metrics::counter("serve.blob.opens").add(1);
+        Ok(ArenaBlob { map, kind, dim, n, data_off })
+    }
+
+    /// Which arena type the blob holds.
+    pub fn kind(&self) -> BlobKind {
+        self.kind
+    }
+
+    /// Feature width per row.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the blob holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Whether the feature data is genuinely page-mapped (vs. the heap
+    /// fallback on unsupported targets).
+    pub fn is_mapped(&self) -> bool {
+        self.map.is_mapped()
+    }
+
+    /// Decode the row-order id section (a copy — ids are 4 bytes/row, the
+    /// cheap part of the blob).
+    pub fn ids(&self) -> Vec<u32> {
+        let bytes = self.map.as_bytes();
+        (0..self.n)
+            .map(|i| {
+                let off = IDS_OFF + i * 4;
+                u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"))
+            })
+            .collect()
+    }
+
+    /// The `[n, dim]` feature block: zero-copy into the map on
+    /// little-endian targets, an owned decode elsewhere.
+    pub(crate) fn feature_rows(&self) -> crate::arena::Rows {
+        let count = self.n * self.dim;
+        if cfg!(target_endian = "little") {
+            crate::arena::Rows::Mapped(F32View::new(Arc::clone(&self.map), self.data_off, count))
+        } else {
+            let bytes = self.map.as_bytes();
+            let data = (0..count)
+                .map(|i| {
+                    let off = self.data_off + i * 4;
+                    f32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"))
+                })
+                .collect();
+            crate::arena::Rows::Owned(data)
+        }
+    }
+}

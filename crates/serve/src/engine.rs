@@ -38,6 +38,10 @@ pub struct ServeOptions {
     pub topk: usize,
     /// Document batch size for the offline arena precompute.
     pub arena_batch: usize,
+    /// Item rows per shard for the sharded engine (`OM_SERVE_SHARD`,
+    /// default 8192). Partitioning is a throughput/footprint knob only;
+    /// it cannot affect any bit of the result.
+    pub shard_items: usize,
 }
 
 impl Default for ServeOptions {
@@ -47,6 +51,7 @@ impl Default for ServeOptions {
             wait_us: 2_000,
             topk: 10,
             arena_batch: 64,
+            shard_items: 8_192,
         }
     }
 }
@@ -68,6 +73,7 @@ impl ServeOptions {
             wait_us: env_usize("OM_SERVE_WAIT_US", d.wait_us as usize) as u64,
             topk: env_usize("OM_SERVE_TOPK", d.topk),
             arena_batch: d.arena_batch,
+            shard_items: env_usize("OM_SERVE_SHARD", d.shard_items),
         }
     }
 }
@@ -98,11 +104,11 @@ pub struct Response {
 
 /// A loaded model plus its precomputed arenas, ready to score.
 pub struct ServeEngine {
-    model: OmniMatchModel,
-    views: CorpusViews,
-    items: ItemArena,
-    users: UserArena,
-    opts: ServeOptions,
+    pub(crate) model: OmniMatchModel,
+    pub(crate) views: CorpusViews,
+    pub(crate) items: ItemArena,
+    pub(crate) users: UserArena,
+    pub(crate) opts: ServeOptions,
 }
 
 impl ServeEngine {
@@ -127,6 +133,20 @@ impl ServeEngine {
         );
         om_obs::metrics::counter("serve.arena.items").add(items.len() as u64);
         om_obs::metrics::counter("serve.arena.warm_users").add(users.len() as u64);
+        ServeEngine { model, views, items, users, opts }
+    }
+
+    /// Assemble an engine from pre-built arenas — the path the serving
+    /// bench and the blob loader use, where arenas come from synthesis or
+    /// a memory-mapped `OMAB` blob instead of a tower precompute. Users
+    /// absent from `users` still run the cold tower through `views`.
+    pub fn with_arenas(
+        model: OmniMatchModel,
+        views: CorpusViews,
+        items: ItemArena,
+        users: UserArena,
+        opts: ServeOptions,
+    ) -> ServeEngine {
         ServeEngine { model, views, items, users, opts }
     }
 
@@ -180,15 +200,12 @@ impl ServeEngine {
         out
     }
 
-    /// Per-request score rows against the arena (arena order). Shared by
-    /// the batched and unbatched paths, under inference mode throughout.
-    fn score_batch(&self, reqs: &[Request]) -> Vec<Vec<f32>> {
-        let _mode = om_nn::inference_mode();
-        assert!(!self.items.is_empty(), "serve: empty item arena");
+    /// Per-request combined user feature rows, `[reqs.len(), user_dim]`:
+    /// warm → arena copy; cold → one batched tower pass. Shared with the
+    /// sharded engine, which must assemble user rows identically for the
+    /// bitwise-parity contract to hold.
+    pub(crate) fn user_rows_for(&self, reqs: &[Request]) -> Vec<f32> {
         let user_dim = self.users.dim();
-        let n = self.items.len();
-
-        // 1. User rows: warm → arena copy; cold → one batched tower pass.
         let mut user_rows = vec![0.0f32; reqs.len() * user_dim];
         let cold: Vec<usize> = (0..reqs.len())
             .filter(|&i| self.users.row(reqs[i].user).is_none())
@@ -214,6 +231,19 @@ impl ServeEngine {
                     .copy_from_slice(&combined[c * user_dim..(c + 1) * user_dim]);
             }
         }
+        user_rows
+    }
+
+    /// Per-request score rows against the arena (arena order). Shared by
+    /// the batched and unbatched paths, under inference mode throughout.
+    fn score_batch(&self, reqs: &[Request]) -> Vec<Vec<f32>> {
+        let _mode = om_nn::inference_mode();
+        assert!(!self.items.is_empty(), "serve: empty item arena");
+        let user_dim = self.users.dim();
+        let n = self.items.len();
+
+        // 1. User rows: warm → arena copy; cold → one batched tower pass.
+        let user_rows = self.user_rows_for(reqs);
 
         // 2–3. Cross join + one rating-head forward over all B·N pairs.
         let pair_dim = user_dim + self.items.dim();

@@ -1,0 +1,280 @@
+//! Threaded serving front-end: a bounded queue feeding the microbatcher.
+//!
+//! The engines and the [`crate::Microbatcher`] are synchronous and
+//! caller-clocked; this module adds the missing production shape — many
+//! request producers, one scoring consumer — without any new dependency:
+//!
+//! * producers hold a cloneable [`FrontendHandle`] over a **bounded**
+//!   `std::sync::mpsc::sync_channel`; [`FrontendHandle::try_send`] never
+//!   blocks and never panics — a full queue is an explicit, typed
+//!   [`SubmitError::QueueFull`] rejection (admission control: shed load at
+//!   the door instead of growing an unbounded queue until the process
+//!   dies);
+//! * one worker thread owns the scorer (engines hold `Rc`-based tensors
+//!   and are not `Send`, so the worker *builds* the scorer itself from a
+//!   `Send` factory closure), pumps arrivals into a microbatcher, and
+//!   flushes on size or deadline exactly like the synchronous loop;
+//! * [`Frontend::shutdown`] enqueues a stop marker **behind** every
+//!   accepted request, so in-flight work drains — every accepted request
+//!   gets a response before the worker exits — and returns the tallies.
+//!
+//! Backpressure, then, is the queue bound itself: a slow consumer can
+//! hold at most `queue_cap` requests plus one in-progress microbatch in
+//! memory, and everything beyond that is rejected at submit time where
+//! the caller can retry, degrade, or shed. `tests/frontend.rs` pins all
+//! three behaviours.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::batcher::Microbatcher;
+use crate::engine::{Request, Response, ServeEngine};
+use crate::shard::ShardedEngine;
+
+/// Anything that can score a microbatch of requests. Both engines
+/// qualify; tests substitute stubs to pin queue behaviour without a
+/// model.
+pub trait BatchScorer {
+    /// Score a flushed microbatch, one [`Response`] per request, in
+    /// request order.
+    fn serve_batch(&self, reqs: &[Request]) -> Vec<Response>;
+}
+
+impl BatchScorer for ServeEngine {
+    fn serve_batch(&self, reqs: &[Request]) -> Vec<Response> {
+        ServeEngine::serve_batch(self, reqs)
+    }
+}
+
+impl BatchScorer for ShardedEngine {
+    fn serve_batch(&self, reqs: &[Request]) -> Vec<Response> {
+        ShardedEngine::serve_batch(self, reqs)
+    }
+}
+
+/// Front-end knobs; [`FrontendOptions::from_env`] also reads
+/// `OM_SERVE_QUEUE` for the queue bound.
+#[derive(Debug, Clone)]
+pub struct FrontendOptions {
+    /// Bounded queue capacity (`OM_SERVE_QUEUE`, default 256). Submits
+    /// beyond this are rejected, not blocked.
+    pub queue_cap: usize,
+    /// Microbatch flush size (see [`crate::ServeOptions::batch`]).
+    pub batch: usize,
+    /// Max queueing delay before a partial batch flushes, microseconds.
+    pub wait_us: u64,
+}
+
+impl Default for FrontendOptions {
+    fn default() -> FrontendOptions {
+        FrontendOptions { queue_cap: 256, batch: 8, wait_us: 2_000 }
+    }
+}
+
+impl FrontendOptions {
+    /// Batch/wait from `opts`, queue bound from `OM_SERVE_QUEUE` (default
+    /// 256; unparsable or zero values fall back).
+    pub fn from_serve(opts: &crate::ServeOptions) -> FrontendOptions {
+        let queue_cap = std::env::var("OM_SERVE_QUEUE")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(FrontendOptions::default().queue_cap);
+        FrontendOptions { queue_cap, batch: opts.batch, wait_us: opts.wait_us }
+    }
+
+    /// Defaults overridden by the `OM_SERVE_*` environment.
+    pub fn from_env() -> FrontendOptions {
+        FrontendOptions::from_serve(&crate::ServeOptions::from_env())
+    }
+}
+
+/// Why a submit was not accepted. Both cases are the caller's signal to
+/// back off; neither ever panics or blocks the producer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Admission control: the bounded queue is at capacity.
+    QueueFull {
+        /// The configured bound the queue is at.
+        capacity: usize,
+    },
+    /// The worker has shut down; no further requests will be scored.
+    Shutdown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "serve queue full (capacity {capacity})")
+            }
+            SubmitError::Shutdown => write!(f, "serve front-end is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// End-of-run tallies from [`Frontend::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontendStats {
+    /// Requests scored (every accepted request is served, even on
+    /// shutdown).
+    pub served: u64,
+    /// Microbatch flushes executed.
+    pub flushes: u64,
+    /// Submits rejected by admission control.
+    pub rejected: u64,
+}
+
+enum Msg {
+    Req(Request),
+    Stop,
+}
+
+/// A producer's handle: clone freely, submit from any thread.
+#[derive(Clone)]
+pub struct FrontendHandle {
+    tx: SyncSender<Msg>,
+    capacity: usize,
+    rejected: Arc<AtomicU64>,
+}
+
+impl FrontendHandle {
+    /// Try to enqueue `req`. Never blocks: a full queue or a stopped
+    /// worker returns a typed error immediately.
+    pub fn try_send(&self, req: Request) -> Result<(), SubmitError> {
+        match self.tx.try_send(Msg::Req(req)) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                om_obs::metrics::counter("serve.frontend.rejected").add(1);
+                Err(SubmitError::QueueFull { capacity: self.capacity })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::Shutdown),
+        }
+    }
+
+    /// Submits rejected so far (shared across clones).
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+}
+
+/// The worker end: owns the scoring thread; [`Frontend::shutdown`] drains
+/// and joins it.
+pub struct Frontend {
+    handle: FrontendHandle,
+    worker: std::thread::JoinHandle<(u64, u64)>,
+}
+
+impl Frontend {
+    /// Spawn the consumer thread. `factory` runs *on the worker* to build
+    /// the scorer there (engines are not `Send`); `responses` receives
+    /// every scored [`Response`] in flush order.
+    // om-lint: allow(thread-spawn) — this *is* the sanctioned spawn point:
+    // the one long-lived consumer thread of the serving front-end.
+    pub fn spawn<S, F>(
+        factory: F,
+        opts: FrontendOptions,
+        responses: Sender<Response>,
+    ) -> Frontend
+    where
+        S: BatchScorer,
+        F: FnOnce() -> S + Send + 'static,
+    {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Msg>(opts.queue_cap.max(1));
+        let batch = opts.batch.max(1);
+        let wait_us = opts.wait_us;
+        let worker = std::thread::Builder::new()
+            .name("om-serve-frontend".into())
+            // om-lint: allow(thread-spawn) — the front-end consumer is the
+            // one long-lived thread the serving shape requires; scoring
+            // inside it still fans out over the om_tensor::runtime pool.
+            .spawn(move || {
+                let scorer = factory();
+                let mut batcher = Microbatcher::new(batch, wait_us);
+                let start = Instant::now();
+                let mut served: u64 = 0;
+                let mut flushes: u64 = 0;
+                let mut flush = |reqs: Vec<Request>| {
+                    let out = scorer.serve_batch(&reqs);
+                    served += out.len() as u64;
+                    flushes += 1;
+                    for resp in out {
+                        // A dropped receiver just discards responses; the
+                        // worker still drains so shutdown stays orderly.
+                        let _ = responses.send(resp);
+                    }
+                };
+                loop {
+                    let now_us = start.elapsed().as_micros() as u64;
+                    let timeout = if batcher.pending() > 0 {
+                        let deadline = batcher.oldest_us().saturating_add(wait_us);
+                        Duration::from_micros(deadline.saturating_sub(now_us))
+                    } else {
+                        // Idle: nothing is pending, so nothing can time
+                        // out; wake occasionally to stay responsive to a
+                        // dropped producer side.
+                        Duration::from_millis(50)
+                    };
+                    match rx.recv_timeout(timeout) {
+                        Ok(Msg::Req(req)) => {
+                            let now_us = start.elapsed().as_micros() as u64;
+                            if let Some(batch) = batcher.submit(req, now_us) {
+                                flush(batch);
+                            }
+                        }
+                        Ok(Msg::Stop) => break,
+                        Err(RecvTimeoutError::Timeout) => {
+                            let now_us = start.elapsed().as_micros() as u64;
+                            if let Some(batch) = batcher.poll(now_us) {
+                                flush(batch);
+                            }
+                        }
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                // Handle clones may race a submit past the stop marker;
+                // anything already accepted still gets served.
+                while let Ok(Msg::Req(req)) = rx.try_recv() {
+                    let now_us = start.elapsed().as_micros() as u64;
+                    if let Some(batch) = batcher.submit(req, now_us) {
+                        flush(batch);
+                    }
+                }
+                if let Some(rest) = batcher.drain() {
+                    flush(rest);
+                }
+                om_obs::metrics::counter("serve.frontend.served").add(served);
+                (served, flushes)
+            })
+            .expect("spawn serve front-end worker");
+        let handle = FrontendHandle {
+            tx,
+            capacity: opts.queue_cap.max(1),
+            rejected: Arc::new(AtomicU64::new(0)),
+        };
+        Frontend { handle, worker }
+    }
+
+    /// A producer handle (clone per producer thread).
+    pub fn handle(&self) -> FrontendHandle {
+        self.handle.clone()
+    }
+
+    /// Stop accepting work, drain everything already accepted, join the
+    /// worker, and return the tallies. The stop marker queues *behind*
+    /// accepted requests, so none are dropped.
+    pub fn shutdown(self) -> FrontendStats {
+        // A blocking send: waits for queue space behind the accepted
+        // backlog. If the worker already exited (disconnected), join
+        // anyway.
+        let _ = self.handle.tx.send(Msg::Stop);
+        let rejected = self.handle.rejected();
+        let (served, flushes) = self.worker.join().expect("serve front-end worker panicked");
+        FrontendStats { served, flushes, rejected }
+    }
+}

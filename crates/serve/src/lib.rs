@@ -20,6 +20,20 @@
 //!    GEMM per flush, then sharded top-K per request via
 //!    `om_metrics::topk` (the same selection the offline tables use).
 //!
+//! Million-scale serving layers three more pieces on top, none of which
+//! may change a single result bit:
+//!
+//! 5. [`blob`]/[`mmap`] — arenas persist as length/CRC-framed `OMAB`
+//!    blobs, loaded all-or-nothing and memory-mapped so cold start is
+//!    O(pages touched), not O(catalogue);
+//! 6. [`shard`] — [`ShardedEngine`] scores the catalogue in fixed-width
+//!    item shards with per-shard top-K merged by `om_metrics::merge_top_k`
+//!    (bitwise identical to the single-arena path — see `shard`'s docs
+//!    for the argument and `tests/sharded_diff.rs` for the proof);
+//! 7. [`frontend`] — a bounded-queue threaded front-end with admission
+//!    control: full queue means a typed rejection, shutdown drains every
+//!    accepted request.
+//!
 //! Everything runs under [`om_nn::inference_mode`]: no autograd tape, no
 //! dropout masks, nothing drawn from any RNG — which is also why batched
 //! results are **bitwise identical** to one-request-at-a-time results at
@@ -30,10 +44,19 @@
 
 pub mod arena;
 pub mod batcher;
+pub mod blob;
 pub mod engine;
+pub mod frontend;
 pub mod loader;
+pub mod mmap;
+pub mod shard;
 
 pub use arena::{ItemArena, UserArena};
 pub use batcher::Microbatcher;
+pub use blob::{ArenaBlob, BlobError, BlobKind, Verify};
 pub use engine::{Request, Response, ServeEngine, ServeOptions};
+pub use frontend::{
+    BatchScorer, Frontend, FrontendHandle, FrontendOptions, FrontendStats, SubmitError,
+};
 pub use loader::{load_model, load_model_file};
+pub use shard::ShardedEngine;

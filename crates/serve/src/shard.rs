@@ -1,0 +1,180 @@
+//! Sharded catalogue scoring — the million-item form of the engine.
+//!
+//! A single `pair_rows` cross join materialises `B·N` pair rows before
+//! the rating head runs; at `N` in the millions that buffer alone is
+//! gigabytes. [`ShardedEngine`] partitions the item arena into fixed-width
+//! shards of [`ServeOptions::shard_items`] rows and scores one shard at a
+//! time: cross join, rating-head forward (each GEMM still fans out across
+//! the `om_tensor::runtime` worker pool), then a *per-shard* top-K through
+//! the same bounded worst-out heap the offline tables use. Per-shard
+//! winners — at most `k` per shard, tagged with their global arena row —
+//! are merged by [`om_metrics::merge_top_k`] into the final top-K.
+//!
+//! Bitwise parity with [`ServeEngine`] is a theorem, not a tuning goal:
+//!
+//! * every kernel in the forward is row-independent with a fixed
+//!   per-element reduction order, so an item's score does not depend on
+//!   which shard (or batch) it was computed in;
+//! * top-K uses a strict total order (`cmp_nan_last_desc`, ties by
+//!   ascending arena row), under which each shard's top-`k` is a superset
+//!   of that shard's contribution to the global top-`k`, so merging
+//!   per-shard winners loses nothing.
+//!
+//! `tests/sharded_diff.rs` property-tests the equality — bit for bit,
+//! NaNs and ties included — across random catalogue sizes, shard widths,
+//! `k`, and thread counts.
+
+use om_data::types::UserId;
+use om_tensor::{kernels, seeded_rng, Tensor};
+
+use crate::engine::{Request, Response, ServeEngine};
+
+/// A [`ServeEngine`] that scores the catalogue shard by shard. Same
+/// requests in, bitwise-identical responses out; only the peak pair-buffer
+/// footprint changes (`B · shard_items · pair_dim` floats instead of
+/// `B · N · pair_dim`).
+pub struct ShardedEngine {
+    inner: ServeEngine,
+    shard_items: usize,
+}
+
+impl ShardedEngine {
+    /// Wrap `engine`, scoring `engine.options().shard_items` rows per
+    /// shard (clamped to at least 1).
+    pub fn new(engine: ServeEngine) -> ShardedEngine {
+        let shard_items = engine.opts.shard_items.max(1);
+        om_obs::info!(
+            "serve: sharded engine — {} items in {} shards of {}",
+            engine.items.len(),
+            engine.items.len().div_ceil(shard_items.max(1)).max(1),
+            shard_items
+        );
+        ShardedEngine { inner: engine, shard_items }
+    }
+
+    /// The wrapped single-arena engine (the parity oracle).
+    pub fn inner(&self) -> &ServeEngine {
+        &self.inner
+    }
+
+    /// Item rows per shard.
+    pub fn shard_items(&self) -> usize {
+        self.shard_items
+    }
+
+    /// Change the shard width — a pure performance knob that cannot move
+    /// a result bit, which is exactly what the differential suite sweeps
+    /// it to prove.
+    pub fn set_shard_items(&mut self, width: usize) {
+        self.shard_items = width.max(1);
+    }
+
+    /// Number of shards the catalogue splits into.
+    pub fn shard_count(&self) -> usize {
+        self.inner.items.len().div_ceil(self.shard_items).max(1)
+    }
+
+    /// Number of items in the arena (the catalogue being ranked).
+    pub fn catalogue_len(&self) -> usize {
+        self.inner.catalogue_len()
+    }
+
+    /// Is this user served from the warm-user cache?
+    pub fn is_warm(&self, user: UserId) -> bool {
+        self.inner.is_warm(user)
+    }
+
+    /// Serve one request through the sharded path.
+    pub fn serve_one(&self, req: Request) -> Response {
+        self.serve_batch(std::slice::from_ref(&req))
+            .pop()
+            .expect("one request yields one response")
+    }
+
+    /// Serve a microbatch: per shard, one fused forward and a bounded
+    /// top-K per request; then one merge per request.
+    pub fn serve_batch(&self, reqs: &[Request]) -> Vec<Response> {
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        let t0 = std::time::Instant::now();
+        let _mode = om_nn::inference_mode();
+        let items = &self.inner.items;
+        assert!(!items.is_empty(), "serve: empty item arena");
+        let user_dim = self.inner.users.dim();
+        let item_dim = items.dim();
+        let pair_dim = user_dim + item_dim;
+        let k = self.inner.opts.topk;
+
+        let user_rows = self.inner.user_rows_for(reqs);
+
+        // Per-request candidate pools: ≤ k winners per shard, tagged with
+        // the global arena row so the merge's tie order matches the
+        // single-arena engine's.
+        let mut candidates: Vec<Vec<(f32, usize)>> = vec![Vec::new(); reqs.len()];
+        for (shard, rows) in items.data().chunks(self.shard_items * item_dim).enumerate() {
+            let base = shard * self.shard_items;
+            let sn = rows.len() / item_dim;
+            let pairs = kernels::pair_rows(&user_rows, rows, user_dim, item_dim);
+            let pairs = Tensor::from_vec(pairs, &[reqs.len() * sn, pair_dim]);
+            // Inference mode: nothing is drawn from this RNG.
+            let mut rng = seeded_rng(0);
+            let logits = self
+                .inner
+                .model
+                .rating_logits_from_pairs(&pairs, false, &mut rng);
+            let stars = omnimatch_core::OmniMatchModel::expected_stars(&logits);
+            for (b, row) in stars.chunks(sn).enumerate() {
+                candidates[b].extend(
+                    om_metrics::top_k_indices(row, k)
+                        .into_iter()
+                        .map(|i| (row[i], base + i)),
+                );
+            }
+        }
+
+        let out: Vec<Response> = reqs
+            .iter()
+            .zip(candidates)
+            .map(|(&req, pool)| {
+                let top = om_metrics::merge_top_k(pool, k)
+                    .into_iter()
+                    .map(|(score, i)| (items.id_at(i), score))
+                    .collect();
+                Response { id: req.id, user: req.user, top }
+            })
+            .collect();
+        om_obs::metrics::counter("serve.shard.requests").add(reqs.len() as u64);
+        om_obs::metrics::counter("serve.shard.flushes").add(1);
+        om_obs::metrics::histogram("serve.shard.flush_ns")
+            .record(t0.elapsed().as_nanos() as u64);
+        out
+    }
+
+    /// Expected-star scores of `user` against the whole arena, in arena
+    /// order, assembled shard by shard — bitwise equal to
+    /// [`ServeEngine::score_user`].
+    pub fn score_user(&self, user: UserId) -> Vec<f32> {
+        let _mode = om_nn::inference_mode();
+        let items = &self.inner.items;
+        assert!(!items.is_empty(), "serve: empty item arena");
+        let user_dim = self.inner.users.dim();
+        let item_dim = items.dim();
+        let pair_dim = user_dim + item_dim;
+        let req = [Request { id: 0, user, arrive_us: 0 }];
+        let user_rows = self.inner.user_rows_for(&req);
+        let mut scores = Vec::with_capacity(items.len());
+        for rows in items.data().chunks(self.shard_items * item_dim) {
+            let sn = rows.len() / item_dim;
+            let pairs = kernels::pair_rows(&user_rows, rows, user_dim, item_dim);
+            let pairs = Tensor::from_vec(pairs, &[sn, pair_dim]);
+            let mut rng = seeded_rng(0);
+            let logits = self
+                .inner
+                .model
+                .rating_logits_from_pairs(&pairs, false, &mut rng);
+            scores.extend(omnimatch_core::OmniMatchModel::expected_stars(&logits));
+        }
+        scores
+    }
+}

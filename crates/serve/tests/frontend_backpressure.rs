@@ -1,0 +1,174 @@
+//! Backpressure contract of the threaded front-end, pinned with a
+//! gated stub scorer (no model in the loop):
+//!
+//! * a full queue is a **typed rejection** (`SubmitError::QueueFull`) —
+//!   never a panic, never a blocked producer;
+//! * shutdown drains: every accepted request gets a response before the
+//!   worker exits;
+//! * a slow consumer bounds queue memory — accepted-but-unserved requests
+//!   never exceed the queue bound plus the one batch in flight;
+//! * a handle outliving the front-end reports `SubmitError::Shutdown`.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use om_data::types::UserId;
+use om_serve::{BatchScorer, Frontend, FrontendOptions, Request, Response, SubmitError};
+
+/// A scorer that blocks inside `serve_batch` until the test releases it:
+/// `entered` fires once per flush as the worker goes busy; each flush
+/// then waits on `gate` (released wholesale by dropping the sender).
+struct GatedScorer {
+    entered: Sender<usize>,
+    gate: Mutex<Receiver<()>>,
+}
+
+impl BatchScorer for GatedScorer {
+    fn serve_batch(&self, reqs: &[Request]) -> Vec<Response> {
+        // The test may have stopped listening for entry signals.
+        let _ = self.entered.send(reqs.len());
+        // Err means the test dropped the gate: everything is released.
+        let _ = self.gate.lock().expect("gate").recv();
+        reqs.iter()
+            .map(|r| Response { id: r.id, user: r.user, top: Vec::new() })
+            .collect()
+    }
+}
+
+fn req(id: u64) -> Request {
+    Request { id, user: UserId(id as u32), arrive_us: 0 }
+}
+
+/// Spawn a front-end around a gated scorer. Returns the front-end, the
+/// response stream, the per-flush entry signal, and the gate's sender
+/// (drop it to release every blocked flush).
+fn gated_frontend(
+    opts: FrontendOptions,
+) -> (Frontend, Receiver<Response>, Receiver<usize>, Sender<()>) {
+    let (entered_tx, entered_rx) = channel();
+    let (gate_tx, gate_rx) = channel();
+    let (resp_tx, resp_rx) = channel();
+    // om-lint: allow(thread-spawn) — spawning the front-end consumer is
+    // the behaviour under test.
+    let fe = Frontend::spawn(
+        move || GatedScorer { entered: entered_tx, gate: Mutex::new(gate_rx) },
+        opts,
+        resp_tx,
+    );
+    (fe, resp_rx, entered_rx, gate_tx)
+}
+
+#[test]
+fn full_queue_is_a_typed_rejection_not_a_panic_or_a_block() {
+    let cap = 3usize;
+    let (fe, resp_rx, entered_rx, gate_tx) = gated_frontend(FrontendOptions {
+        queue_cap: cap,
+        batch: 1,
+        wait_us: 0,
+    });
+    let handle = fe.handle();
+
+    // First request: the worker takes it and blocks inside the scorer.
+    handle.try_send(req(0)).expect("first submit");
+    let first_flush = entered_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("worker entered the scorer");
+    assert_eq!(first_flush, 1);
+
+    // The worker is stuck, so the next `cap` submits fill the queue...
+    for id in 1..=cap as u64 {
+        handle.try_send(req(id)).expect("queue has room");
+    }
+    // ...and the one after that is rejected, typed, immediately.
+    let err = handle.try_send(req(99)).expect_err("queue is full");
+    assert_eq!(err, SubmitError::QueueFull { capacity: cap });
+    assert_eq!(handle.rejected(), 1);
+    // Rejection is stateless: still rejecting, still counting.
+    assert!(handle.try_send(req(100)).is_err());
+    assert_eq!(handle.rejected(), 2);
+
+    // Release the scorer; every *accepted* request is served.
+    drop(gate_tx);
+    let stats = fe.shutdown();
+    assert_eq!(stats.served, 1 + cap as u64);
+    assert_eq!(stats.rejected, 2);
+    let mut got: Vec<u64> = resp_rx.iter().map(|r| r.id).collect();
+    got.sort_unstable();
+    assert_eq!(got, vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn shutdown_drains_every_accepted_request() {
+    // Huge batch and a huge deadline: nothing would flush on its own —
+    // only the shutdown drain can produce these responses.
+    let (fe, resp_rx, _entered_rx, gate_tx) = gated_frontend(FrontendOptions {
+        queue_cap: 64,
+        batch: 1_000,
+        wait_us: u64::MAX,
+    });
+    drop(gate_tx); // scorer never blocks in this test
+    let handle = fe.handle();
+    for id in 0..10 {
+        handle.try_send(req(id)).expect("submit");
+    }
+    let stats = fe.shutdown();
+    assert_eq!(stats.served, 10, "shutdown must drain accepted requests");
+    assert_eq!(stats.flushes, 1, "a single drain flush");
+    let mut got: Vec<u64> = resp_rx.iter().map(|r| r.id).collect();
+    got.sort_unstable();
+    assert_eq!(got, (0..10).collect::<Vec<_>>());
+}
+
+#[test]
+fn slow_consumer_bounds_accepted_backlog_to_queue_plus_in_flight() {
+    let cap = 2usize;
+    let (fe, resp_rx, entered_rx, gate_tx) = gated_frontend(FrontendOptions {
+        queue_cap: cap,
+        batch: 1,
+        wait_us: 0,
+    });
+    let handle = fe.handle();
+
+    // Hammer the front-end with far more work than the stuck consumer
+    // can hold. Memory stays bounded: accepted ≤ queue_cap + the single
+    // batch the worker may have already pulled out of the queue.
+    let total = 500u64;
+    let mut accepted = 0u64;
+    for id in 0..total {
+        if handle.try_send(req(id)).is_ok() {
+            accepted += 1;
+        }
+    }
+    assert!(
+        accepted <= (cap + 1) as u64,
+        "accepted {accepted} requests against a queue bound of {cap}"
+    );
+    assert_eq!(handle.rejected(), total - accepted);
+
+    // Every accepted request still completes once the consumer recovers.
+    drop(gate_tx);
+    drop(entered_rx);
+    let stats = fe.shutdown();
+    assert_eq!(stats.served, accepted);
+    assert_eq!(resp_rx.iter().count() as u64, accepted);
+}
+
+#[test]
+fn handles_outliving_the_frontend_get_a_shutdown_error() {
+    let (fe, resp_rx, _entered_rx, gate_tx) = gated_frontend(FrontendOptions {
+        queue_cap: 4,
+        batch: 1,
+        wait_us: 0,
+    });
+    drop(gate_tx);
+    let handle = fe.handle();
+    handle.try_send(req(1)).expect("submit while alive");
+    let stats = fe.shutdown();
+    assert_eq!(stats.served, 1);
+    assert_eq!(
+        handle.try_send(req(2)).expect_err("front-end is gone"),
+        SubmitError::Shutdown
+    );
+    assert_eq!(resp_rx.iter().count(), 1);
+}

@@ -1,0 +1,266 @@
+//! Arena-blob persistence: all-or-nothing rejection of every corruption
+//! class, and bitwise score parity between in-memory and memory-mapped
+//! arenas — the OMCK-style durability contract extended to the serving
+//! data plane.
+
+use std::path::{Path, PathBuf};
+
+use om_data::synth_feature_rows;
+use om_data::types::{ItemId, UserId};
+use om_data::{SplitConfig, SynthConfig, SynthWorld};
+use om_serve::{
+    load_model, BlobError, BlobKind, ItemArena, Request, ServeEngine, ServeOptions, ShardedEngine,
+    UserArena, Verify,
+};
+use om_tensor::seeded_rng;
+use omnimatch_core::{CorpusViews, OmniMatchConfig, Trainer};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("om-blob-test-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    dir
+}
+
+const ITEM_DIM: usize = 12; // OmniMatchConfig::fast() dims
+const USER_DIM: usize = 24;
+
+fn sample_arenas(n_items: usize, n_users: usize) -> (ItemArena, UserArena) {
+    let items = ItemArena::from_raw(
+        (0..n_items as u32).map(ItemId).collect(),
+        synth_feature_rows(n_items, ITEM_DIM, 0xB10B),
+        ITEM_DIM,
+    );
+    let users = UserArena::from_raw(
+        (0..n_users as u32).map(UserId).collect(),
+        synth_feature_rows(n_users, USER_DIM, 0xB10C),
+        USER_DIM,
+    );
+    (items, users)
+}
+
+// ---------------------------------------------------------------------------
+// Round trip + parity.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn roundtrip_preserves_ids_dims_and_every_data_bit() {
+    let dir = tmp_dir("roundtrip");
+    let (items, users) = sample_arenas(137, 41);
+    let ipath = dir.join("items.omab");
+    let upath = dir.join("users.omab");
+    items.write_blob(&ipath).expect("write items");
+    users.write_blob(&upath).expect("write users");
+
+    let mapped_items = ItemArena::load_blob(&ipath, Verify::Full).expect("load items");
+    let mapped_users = UserArena::load_blob(&upath, Verify::Full).expect("load users");
+    assert_eq!(mapped_items.len(), items.len());
+    assert_eq!(mapped_items.dim(), items.dim());
+    assert_eq!(mapped_users.len(), users.len());
+    assert_eq!(mapped_users.dim(), users.dim());
+    for (a, b) in items.data().iter().zip(mapped_items.data()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    for i in 0..items.len() {
+        assert_eq!(items.id_at(i), mapped_items.id_at(i));
+    }
+    for &u in users.ids() {
+        let (a, b) = (users.row(u).expect("row"), mapped_users.row(u).expect("row"));
+        assert!(a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+    // Feature bits survive even when poisoned with NaN payloads.
+    let mut weird = synth_feature_rows(5, ITEM_DIM, 1);
+    weird[3] = f32::NAN;
+    weird[17] = f32::NEG_INFINITY;
+    weird[20] = -0.0;
+    let arena = ItemArena::from_raw((0..5).map(ItemId).collect(), weird.clone(), ITEM_DIM);
+    let wpath = dir.join("weird.omab");
+    arena.write_blob(&wpath).expect("write");
+    let back = ItemArena::load_blob(&wpath, Verify::Full).expect("load");
+    for (a, b) in weird.iter().zip(back.data()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+#[test]
+fn mapped_and_in_memory_arenas_serve_bitwise_identical_responses() {
+    let dir = tmp_dir("parity");
+    let world = SynthWorld::generate(SynthConfig::tiny(), &["Books", "Movies"]);
+    let scenario = world.scenario("Books", "Movies", SplitConfig::default());
+    let cfg = OmniMatchConfig::fast().with_seed(53);
+    let trained = Trainer::new(cfg.clone()).fit(&scenario);
+    let ckpt = trained.export_checkpoint().to_vec();
+    let (model, views, _) = trained.into_parts();
+    let vocab_size = views.vocab.len();
+
+    let (items, users) = sample_arenas(300, 17);
+    let ipath = dir.join("items.omab");
+    let upath = dir.join("users.omab");
+    items.write_blob(&ipath).expect("write items");
+    users.write_blob(&upath).expect("write users");
+
+    let opts = ServeOptions { shard_items: 64, ..ServeOptions::default() };
+    let in_memory =
+        ShardedEngine::new(ServeEngine::with_arenas(model, views, items, users, opts.clone()));
+
+    // A second process's cold start: model from the checkpoint, arenas
+    // memory-mapped from the blobs (Quick — the production verify level).
+    let model2 = load_model(&cfg, vocab_size, &ckpt).expect("decode checkpoint");
+    let views2 = CorpusViews::build(&scenario, &cfg, &mut seeded_rng(cfg.seed));
+    let items2 = ItemArena::load_blob(&ipath, Verify::Quick).expect("map items");
+    let users2 = UserArena::load_blob(&upath, Verify::Quick).expect("map users");
+    let mapped =
+        ShardedEngine::new(ServeEngine::with_arenas(model2, views2, items2, users2, opts));
+
+    let reqs: Vec<Request> = (0..17)
+        .map(|i| Request { id: i as u64, user: UserId(i as u32), arrive_us: 0 })
+        .collect();
+    let a = in_memory.serve_batch(&reqs);
+    let b = mapped.serve_batch(&reqs);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.id, y.id);
+        assert_eq!(x.top.len(), y.top.len());
+        for ((ia, sa), (ib, sb)) in x.top.iter().zip(&y.top) {
+            assert_eq!(ia, ib, "mapped arena ranked differently");
+            assert_eq!(sa.to_bits(), sb.to_bits(), "score bits drifted through the blob");
+        }
+    }
+    // And the full score rows, not just the page.
+    for req in &reqs {
+        let ra = in_memory.score_user(req.user);
+        let rb = mapped.score_user(req.user);
+        assert!(ra.iter().zip(&rb).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corruption classes — each rejected all-or-nothing.
+// ---------------------------------------------------------------------------
+
+fn valid_blob_bytes(dir: &Path) -> (PathBuf, Vec<u8>) {
+    let (items, _) = sample_arenas(64, 1);
+    let path = dir.join("victim.omab");
+    items.write_blob(&path).expect("write");
+    let bytes = std::fs::read(&path).expect("read back");
+    (path, bytes)
+}
+
+#[test]
+fn truncation_at_any_section_is_rejected_even_in_quick_mode() {
+    let dir = tmp_dir("trunc");
+    let (path, bytes) = valid_blob_bytes(&dir);
+    // Cut inside the header, the ids, the data, and one byte short.
+    for cut in [0, 7, 39, 41, 40 + 64 * 2, bytes.len() / 2, bytes.len() - 1] {
+        std::fs::write(&path, &bytes[..cut]).expect("write truncated");
+        let err = ItemArena::load_blob(&path, Verify::Quick)
+            .err()
+            .unwrap_or_else(|| panic!("truncation at {cut} accepted"));
+        assert!(
+            matches!(err, BlobError::Truncated { .. } | BlobError::HeaderCrc | BlobError::BadMagic),
+            "cut at {cut}: unexpected error {err:?}"
+        );
+    }
+}
+
+#[test]
+fn trailing_bytes_are_rejected_even_in_quick_mode() {
+    let dir = tmp_dir("trailing");
+    let (path, bytes) = valid_blob_bytes(&dir);
+    for extra in [1usize, 8, 4096] {
+        let mut grown = bytes.clone();
+        grown.extend(std::iter::repeat_n(0xAAu8, extra));
+        std::fs::write(&path, &grown).expect("write grown");
+        match ItemArena::load_blob(&path, Verify::Quick).err() {
+            Some(BlobError::TrailingBytes { expected, actual }) => {
+                assert_eq!(expected as usize, bytes.len());
+                assert_eq!(actual as usize, bytes.len() + extra);
+            }
+            other => panic!("{extra} trailing bytes: expected TrailingBytes, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn header_corruption_fails_the_header_crc() {
+    let dir = tmp_dir("hdr");
+    let (path, bytes) = valid_blob_bytes(&dir);
+    // Flip one bit in each header field behind the CRC: version, kind,
+    // dim, n, ids_crc, data_crc.
+    for off in [4usize, 8, 12, 16, 24, 28] {
+        let mut bad = bytes.clone();
+        bad[off] ^= 0x10;
+        std::fs::write(&path, &bad).expect("write corrupted");
+        assert_eq!(
+            ItemArena::load_blob(&path, Verify::Quick).err(),
+            Some(BlobError::HeaderCrc),
+            "flip at {off}"
+        );
+    }
+    // The magic is checked before the CRC.
+    let mut bad = bytes.clone();
+    bad[1] ^= 0x01;
+    std::fs::write(&path, &bad).expect("write corrupted");
+    assert_eq!(ItemArena::load_blob(&path, Verify::Quick).err(), Some(BlobError::BadMagic));
+    // A corrupted header CRC itself also fails.
+    let mut bad = bytes;
+    bad[33] ^= 0x80;
+    std::fs::write(&path, &bad).expect("write corrupted");
+    assert_eq!(ItemArena::load_blob(&path, Verify::Quick).err(), Some(BlobError::HeaderCrc));
+}
+
+#[test]
+fn payload_corruption_fails_the_section_crcs_in_full_mode() {
+    let dir = tmp_dir("payload");
+    let (path, bytes) = valid_blob_bytes(&dir);
+
+    // Ids section: byte 40 + k.
+    let mut bad = bytes.clone();
+    bad[45] ^= 0x04;
+    std::fs::write(&path, &bad).expect("write corrupted");
+    assert_eq!(ItemArena::load_blob(&path, Verify::Full).err(), Some(BlobError::IdsCrc));
+
+    // Data section: last byte of the file.
+    let mut bad = bytes.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 0x80;
+    std::fs::write(&path, &bad).expect("write corrupted");
+    assert_eq!(ItemArena::load_blob(&path, Verify::Full).err(), Some(BlobError::DataCrc));
+
+    // Quick mode deliberately skips payload CRCs (cold start touches
+    // O(1) pages) — the frame still matches, so this loads. The tradeoff
+    // is documented in DESIGN.md; this pin makes it explicit.
+    assert!(ItemArena::load_blob(&path, Verify::Quick).is_ok());
+}
+
+#[test]
+fn loading_a_blob_as_the_wrong_arena_kind_is_an_error() {
+    let dir = tmp_dir("kind");
+    let (items, users) = sample_arenas(8, 8);
+    let ipath = dir.join("items.omab");
+    let upath = dir.join("users.omab");
+    items.write_blob(&ipath).expect("write items");
+    users.write_blob(&upath).expect("write users");
+    assert_eq!(
+        UserArena::load_blob(&ipath, Verify::Full).err(),
+        Some(BlobError::WrongKind { expected: BlobKind::Users, found: BlobKind::Items })
+    );
+    assert_eq!(
+        ItemArena::load_blob(&upath, Verify::Full).err(),
+        Some(BlobError::WrongKind { expected: BlobKind::Items, found: BlobKind::Users })
+    );
+}
+
+#[test]
+fn empty_arenas_roundtrip_and_missing_files_error() {
+    let dir = tmp_dir("edges");
+    let empty = ItemArena::from_raw(Vec::new(), Vec::new(), ITEM_DIM);
+    let path = dir.join("empty.omab");
+    empty.write_blob(&path).expect("write empty");
+    let back = ItemArena::load_blob(&path, Verify::Full).expect("load empty");
+    assert!(back.is_empty());
+    assert_eq!(back.dim(), ITEM_DIM);
+    assert!(matches!(
+        ItemArena::load_blob(&dir.join("nope.omab"), Verify::Quick),
+        Err(BlobError::Io(_))
+    ));
+}
