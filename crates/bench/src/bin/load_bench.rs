@@ -249,7 +249,8 @@ fn main() {
             },
             fopts,
             tx,
-        );
+        )
+        .expect("spawn front-end worker");
         let handle = fe.handle();
         let n = trace.len();
         // Warmup: the worker is still building its engine when the first
@@ -282,7 +283,7 @@ fn main() {
             done += 1;
         }
         let wall_s = t0.elapsed().as_secs_f64();
-        let stats = fe.shutdown();
+        let stats = fe.shutdown().expect("front-end worker panicked");
         // +1 for the warmup request.
         assert_eq!(stats.served, n as u64 + 1, "closed loop dropped requests");
         closed_lat_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));

@@ -123,7 +123,7 @@ pub fn replay_trace<S: BatchScorer>(
         let mut served = 0usize;
         let mut flush = |reqs: Vec<Request>, virtual_now: u64| {
             let t = Instant::now();
-            let responses = scorer.serve_batch(&reqs);
+            let responses = scorer.serve_batch(&reqs).expect("replay scorer failed");
             let dt = t.elapsed().as_secs_f64();
             served += responses.len();
             if warmup {

@@ -295,6 +295,8 @@ impl OmniMatchModel {
             .map(|i| {
                 (0..n)
                     .map(|k| d[i * n + k] * (k + 1) as f32)
+                    // om-lint: reduction-ok(serial sum over the 5 rating
+                    // classes in fixed k order, per row — deterministic)
                     .sum()
             })
             .collect()

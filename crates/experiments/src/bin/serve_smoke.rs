@@ -52,7 +52,7 @@ fn main() {
 
     // ---- engine scores == trainer predict, bitwise ----------------------
     for &u in &users {
-        let scores = engine.score_user(u);
+        let scores = engine.score_user(u).expect("score user");
         let pairs: Vec<_> = items.iter().map(|&i| (u, i)).collect();
         let preds = trained.predict(&pairs);
         assert_eq!(scores.len(), preds.len());
@@ -69,8 +69,10 @@ fn main() {
     // ---- sharded top-K == full-sort oracle ------------------------------
     let k = engine.options().topk;
     for &u in &users {
-        let oracle = engine.oracle_rank(u);
-        let resp = engine.serve_one(Request { id: 0, user: u, arrive_us: 0 });
+        let oracle = engine.oracle_rank(u).expect("oracle rank");
+        let resp = engine
+            .serve_one(Request { id: 0, user: u, arrive_us: 0 })
+            .expect("serve one");
         assert_eq!(resp.top.len(), k.min(oracle.len()));
         for ((ia, sa), (ib, sb)) in resp.top.iter().zip(&oracle) {
             assert_eq!(ia, ib, "sharded top-K diverged from the oracle for {u:?}");
@@ -86,19 +88,21 @@ fn main() {
     for (i, &u) in users.iter().enumerate() {
         let now = i as u64 * 700; // arrivals 700us apart → mixed flush causes
         if let Some(due) = batcher.poll(now) {
-            batched.extend(engine.serve_batch(&due));
+            batched.extend(engine.serve_batch(&due).expect("serve batch"));
         }
         let req = Request { id: i as u64, user: u, arrive_us: now };
         if let Some(full) = batcher.submit(req, now) {
-            batched.extend(engine.serve_batch(&full));
+            batched.extend(engine.serve_batch(&full).expect("serve batch"));
         }
     }
     if let Some(rest) = batcher.drain() {
-        batched.extend(engine.serve_batch(&rest));
+        batched.extend(engine.serve_batch(&rest).expect("serve batch"));
     }
     assert_eq!(batched.len(), users.len());
     for (i, (&u, resp)) in users.iter().zip(&batched).enumerate() {
-        let solo = engine.serve_one(Request { id: i as u64, user: u, arrive_us: 0 });
+        let solo = engine
+            .serve_one(Request { id: i as u64, user: u, arrive_us: 0 })
+            .expect("serve one");
         assert_eq!(resp.user, u);
         assert_eq!(solo.top.len(), resp.top.len());
         for ((ia, sa), (ib, sb)) in resp.top.iter().zip(&solo.top) {

@@ -1,14 +1,16 @@
 //! A small line-aware Rust lexer — just enough structure for the lint
-//! passes: identifiers and punctuation with line numbers, plus a record of
-//! which lines carry comments (and their text, for `SAFETY:` /
-//! `om-lint:` markers).
+//! passes: identifiers, string/number literals and punctuation with line
+//! numbers, plus a record of which lines carry comments (and their text,
+//! for `SAFETY:` / `om-lint:` markers).
 //!
-//! Crucially, the lexer *consumes* string literals, char literals,
-//! lifetimes and comments, so an identifier like `unsafe` or `HashMap`
-//! inside a string or a doc comment never reaches a pass. The full
-//! language is deliberately out of scope; anything that is not an
-//! identifier, a comment or a literal is emitted as single-character
-//! punctuation.
+//! Crucially, the lexer keeps string literals, char literals, lifetimes
+//! and comments *opaque*: an identifier like `unsafe` or `HashMap` inside
+//! a string or a doc comment never reaches a pass as an [`TokenKind::Ident`].
+//! String and number literals are emitted as single [`TokenKind::Str`] /
+//! [`TokenKind::Num`] tokens (the env-var registry pass matches `"OM_*"`
+//! literals; the float-reduction pass inspects literal accumulator
+//! seeds). The full language is deliberately out of scope; anything else
+//! is emitted as single-character punctuation.
 
 /// One lexical token with its 1-based source line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,6 +26,12 @@ pub struct Token {
 pub enum TokenKind {
     /// An identifier or keyword.
     Ident(String),
+    /// A string literal (plain, raw or byte), with delimiters stripped and
+    /// escapes left as written — passes match prefixes, not exact decoded
+    /// values.
+    Str(String),
+    /// A numeric literal, verbatim (`0`, `1.5f32`, `0xFF`, `1_000`).
+    Num(String),
     /// A single punctuation character (also covers operator parts).
     Punct(char),
 }
@@ -144,14 +152,13 @@ pub fn lex(src: &str) -> LexedFile {
         }
         // String literal.
         if c == '"' {
+            let first_line = line;
+            let start = i + 1;
             i += 1;
             while i < n {
                 match chars[i] {
                     '\\' => i += 2,
-                    '"' => {
-                        i += 1;
-                        break;
-                    }
+                    '"' => break,
                     '\n' => {
                         line += 1;
                         i += 1;
@@ -159,6 +166,14 @@ pub fn lex(src: &str) -> LexedFile {
                     _ => i += 1,
                 }
             }
+            let end = i.min(n);
+            if i < n {
+                i += 1; // closing quote
+            }
+            out.tokens.push(Token {
+                line: first_line,
+                kind: TokenKind::Str(chars[start..end].iter().collect()),
+            });
             continue;
         }
         // Char literal or lifetime.
@@ -205,6 +220,9 @@ pub fn lex(src: &str) -> LexedFile {
                 }
                 if j < n && chars[j] == '"' {
                     j += 1;
+                    let content_start = j;
+                    let first_line = line;
+                    let mut content_end = n;
                     'scan: while j < n {
                         if chars[j] == '\n' {
                             line += 1;
@@ -212,6 +230,7 @@ pub fn lex(src: &str) -> LexedFile {
                         } else if chars[j] == '\\' && text == "b" {
                             j += 2; // escapes only in non-raw byte strings
                         } else if chars[j] == '"' {
+                            let quote = j;
                             j += 1;
                             let mut k = 0usize;
                             while k < hashes && j < n && chars[j] == '#' {
@@ -219,12 +238,19 @@ pub fn lex(src: &str) -> LexedFile {
                                 j += 1;
                             }
                             if k == hashes {
+                                content_end = quote;
                                 break 'scan;
                             }
                         } else {
                             j += 1;
                         }
                     }
+                    out.tokens.push(Token {
+                        line: first_line,
+                        kind: TokenKind::Str(
+                            chars[content_start..content_end.min(n)].iter().collect(),
+                        ),
+                    });
                     i = j;
                     continue;
                 }
@@ -238,6 +264,7 @@ pub fn lex(src: &str) -> LexedFile {
         // Number: digits/letters/underscores, dot only before another digit
         // (so `0..n` and `0.max(x)` don't swallow what follows).
         if c.is_ascii_digit() {
+            let start = i;
             i += 1;
             while i < n {
                 let d = chars[i];
@@ -249,6 +276,10 @@ pub fn lex(src: &str) -> LexedFile {
                 }
                 i += 1;
             }
+            out.tokens.push(Token {
+                line,
+                kind: TokenKind::Num(chars[start..i].iter().collect()),
+            });
             continue;
         }
         out.tokens.push(Token {
@@ -318,5 +349,34 @@ mod tests {
     fn numbers_do_not_eat_method_calls() {
         let ids = idents("let x = 0.max(1); let r = 0..10; let f = 1.5f32;");
         assert!(ids.contains(&"max".to_string()));
+    }
+
+    #[test]
+    fn string_and_number_literals_become_tokens() {
+        let src = r##"
+            let a = std::env::var("OM_THREADS");
+            let b = r#"OM_RAW"#;
+            let c = 0.0f32;
+            let d = 1_000;
+        "##;
+        let lexed = lex(src);
+        let strs: Vec<String> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec!["OM_THREADS".to_string(), "OM_RAW".to_string()]);
+        let nums: Vec<String> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Num(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["0.0f32".to_string(), "1_000".to_string()]);
     }
 }

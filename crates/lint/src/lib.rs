@@ -4,7 +4,7 @@
 //! workspace. Run it as `cargo lint` (alias for `cargo run -p om-lint`),
 //! or in CI, where it is a required job.
 //!
-//! Four token-level passes over every first-party `.rs` file plus one
+//! Token-level passes over every first-party `.rs` file plus one
 //! manifest pass (see [`passes`]):
 //!
 //! | rule | guarantee |
@@ -18,18 +18,35 @@
 //! | `kernel-parity` | every kernel has a `_serial` twin in the parity suite |
 //! | `workspace-lints` | all crates opt into `[workspace.lints.rust]` |
 //!
+//! Semantic passes over the [`ast`] item tree (see [`semantic`] and
+//! [`env_registry`] for policies and escape markers):
+//!
+//! | rule | guarantee |
+//! |---|---|
+//! | `determinism` | no wall-clock time / OS randomness in model-path + serving crates |
+//! | `panic-freedom` | no `unwrap`/`expect`/panicking macros/indexing in the serving hot path |
+//! | `float-reduction` | no ad-hoc float reductions outside the kernel suite |
+//! | `simd-ulp-tolerance` | `// om-lint: simd` kernels register a ULP tolerance in parity.rs |
+//! | `env-registry` | every `OM_*` literal is declared; every declaration is used |
+//!
 //! The companion [`interleave`] module is the explicit-state model checker
-//! used by `tests/pool_model.rs` to verify the worker pool's dispatch/join
-//! protocol over every interleaving.
+//! used by `tests/pool_model.rs` (worker-pool latch protocol) and
+//! `tests/frontend_model.rs` (bounded-queue shutdown protocol) to verify
+//! every interleaving.
 
+pub mod ast;
+pub mod env_registry;
 pub mod interleave;
 pub mod lexer;
 pub mod passes;
+pub mod semantic;
 
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 
 pub use passes::Violation;
+pub use semantic::Policy;
 
 /// Directories never descended into.
 const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", ".github"];
@@ -75,9 +92,11 @@ pub fn lint_repo(root: &Path) -> LintReport {
     let mut files = Vec::new();
     rs_files(root, &mut files);
 
+    let policy = Policy::default_policy();
     let mut violations = Vec::new();
     let mut kernels: Option<(String, lexer::LexedFile)> = None;
     let mut parity: Option<lexer::LexedFile> = None;
+    let mut env_used: BTreeSet<String> = BTreeSet::new();
 
     for path in &files {
         let rel = rel_of(root, path);
@@ -90,6 +109,11 @@ pub fn lint_repo(root: &Path) -> LintReport {
         violations.extend(passes::check_thread_spawn(&rel, &lexed));
         violations.extend(passes::check_print(&rel, &lexed));
         violations.extend(passes::check_kill_points(&rel, &lexed));
+        let parsed = ast::parse(&lexed);
+        violations.extend(semantic::check_determinism(&rel, &lexed, &parsed, &policy));
+        violations.extend(semantic::check_panic_freedom(&rel, &lexed, &parsed, &policy));
+        violations.extend(semantic::check_float_reduction(&rel, &lexed, &parsed, &policy));
+        violations.extend(env_registry::scan_file(&rel, &lexed, &mut env_used));
         if rel == "crates/tensor/src/kernels.rs" {
             kernels = Some((rel, lexed));
         } else if rel == "crates/tensor/tests/parity.rs" {
@@ -97,9 +121,12 @@ pub fn lint_repo(root: &Path) -> LintReport {
         }
     }
 
+    violations.extend(env_registry::check_stale(&env_used));
+
     match (&kernels, &parity) {
         (Some((rel, k)), Some(p)) => {
             violations.extend(passes::check_kernel_parity(rel, k, p));
+            violations.extend(semantic::check_simd_tolerance(rel, k, p));
         }
         _ => violations.push(Violation {
             file: "crates/tensor".to_string(),

@@ -1,19 +1,58 @@
 //! `om-lint` binary: lint the workspace, exit non-zero on violations.
 //!
-//! Usage: `cargo lint` (alias), `cargo run -p om-lint -- [ROOT]`.
+//! Usage:
+//!   `cargo lint` (alias) / `cargo run -p om-lint -- [ROOT]` — run every pass;
+//!   `cargo lint -- --env-table` — print the registry's markdown table
+//!   (paste between README's `om-env-table` markers);
+//!   `cargo lint -- --env-table --check` — fail if README's embedded
+//!   table has drifted from the registry (the CI drift gate).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+fn workspace_root() -> PathBuf {
+    // crates/lint/ → workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("om-lint manifest has a workspace root")
+        .to_path_buf()
+}
+
 fn main() -> ExitCode {
-    let root = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(|| {
-        // crates/lint/ → workspace root.
-        Path::new(env!("CARGO_MANIFEST_DIR"))
-            .ancestors()
-            .nth(2)
-            .expect("om-lint manifest has a workspace root")
-            .to_path_buf()
-    });
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let env_table = args.iter().any(|a| a == "--env-table");
+    let check = args.iter().any(|a| a == "--check");
+    let root = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(PathBuf::from)
+        .unwrap_or_else(workspace_root);
+
+    if env_table {
+        if !check {
+            print!("{}", om_lint::env_registry::render_table());
+            return ExitCode::SUCCESS;
+        }
+        let readme = match std::fs::read_to_string(root.join("README.md")) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("om-lint: cannot read README.md under {}: {err}", root.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        return match om_lint::env_registry::check_readme(&readme) {
+            Ok(()) => {
+                println!("om-lint: README env-var table matches the registry");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("om-lint: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let report = om_lint::lint_repo(&root);
     if report.violations.is_empty() {
         println!("om-lint: clean ({} files checked)", report.files);

@@ -81,10 +81,10 @@ impl fmt::Display for Violation {
     }
 }
 
-fn idents_of(lexed: &LexedFile) -> impl Iterator<Item = (usize, &str)> {
+pub(crate) fn idents_of(lexed: &LexedFile) -> impl Iterator<Item = (usize, &str)> {
     lexed.tokens.iter().filter_map(|t| match &t.kind {
         TokenKind::Ident(s) => Some((t.line, s.as_str())),
-        TokenKind::Punct(_) => None,
+        _ => None,
     })
 }
 
@@ -251,7 +251,7 @@ pub fn check_kill_points(rel: &str, lexed: &LexedFile) -> Vec<Violation> {
 }
 
 /// Top-level `pub fn` names of a lexed file, with their lines, in order.
-fn top_level_pub_fns(lexed: &LexedFile) -> Vec<(usize, String)> {
+pub(crate) fn top_level_pub_fns(lexed: &LexedFile) -> Vec<(usize, String)> {
     let mut fns = Vec::new();
     let mut depth = 0i32;
     let toks = &lexed.tokens;

@@ -1,0 +1,259 @@
+//! Exhaustive model check of the serving front-end's bounded-queue
+//! shutdown protocol (`crates/serve/src/frontend.rs`), driven by
+//! `om_lint::interleave` — the repo's loom stand-in.
+//!
+//! The modelled protocol, step for step:
+//!
+//! * each **producer** submits one request via `try_send`: lock the
+//!   admission gate, check `closed`, and (when open) `try_send` into the
+//!   bounded channel — the whole sequence runs under the gate mutex, so
+//!   it is one atomic model step (the fusion rule `interleave` documents);
+//!   a full queue or a closed gate is a typed rejection, never a block;
+//! * the **stopper** (`shutdown`) first sets `closed` under the gate (one
+//!   atomic step), then — *outside* the gate — blocking-sends the `Stop`
+//!   marker, which waits for queue space behind the accepted backlog;
+//! * the **worker** pulls messages in FIFO order: a request is served
+//!   (batching is orthogonal to the drain property, so the model flushes
+//!   immediately), `Stop` switches it to the final `try_recv` sweep; when
+//!   the sweep sees `Empty` the worker drops the receiver and exits.
+//!
+//! Verified for every interleaving, across producer counts and queue
+//! bounds: no deadlock, a bounded queue, and **drain completeness** —
+//! every accepted request is served before the worker exits, even with
+//! submits racing the stop.
+//!
+//! A deliberately broken variant — `try_send` without the gate, exactly
+//! the code shape before the gate existed — must be caught: a producer
+//! can land a request *after* `Stop`, after the worker's final sweep
+//! already saw `Empty` but before the receiver drops. The request is
+//! accepted and never served. The explorer finds that window, which
+//! demonstrates the model is strong enough to see the bug class the gate
+//! closes.
+
+use om_lint::interleave::{explore, Model};
+
+/// Thread id 0 is the stopper, 1 the worker, `2..` the producers.
+const STOPPER: usize = 0;
+const WORKER: usize = 1;
+
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Msg {
+    Req,
+    Stop,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum ProducerPc {
+    /// About to run `try_send` (gate + check + send fused: one critical
+    /// section in the real code, one step here).
+    Submit,
+    /// Submit returned (accepted or rejected — the outcome is tallied in
+    /// `accepted`; a rejected producer simply finishes).
+    Done,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum StopperPc {
+    /// `shutdown` part 1: set `closed` under the gate.
+    CloseGate,
+    /// `shutdown` part 2: blocking-send `Stop` (outside the gate; waits
+    /// for queue space).
+    SendStop,
+    Done,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum WorkerPc {
+    /// Blocking `recv` loop: serve requests, break on `Stop`.
+    Recv,
+    /// Post-stop `try_recv` sweep: serve until `Empty`.
+    Sweep,
+    /// Sweep saw `Empty`; the receiver drops when the thread returns —
+    /// a separate step, because that gap is the broken variant's window.
+    DropRx,
+    Done,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct FrontendModel {
+    /// Whether `try_send` checks the admission gate (the shipped
+    /// protocol) or not (the broken pre-gate shape).
+    gated: bool,
+    /// Queue bound of the `sync_channel`.
+    cap: usize,
+    producers: Vec<ProducerPc>,
+    stopper: StopperPc,
+    worker: WorkerPc,
+    /// The admission gate flag (`*closed` in the real code).
+    closed: bool,
+    /// The bounded channel, FIFO.
+    queue: Vec<Msg>,
+    /// Whether the worker still holds the receiver.
+    rx_alive: bool,
+    accepted: usize,
+    served: usize,
+}
+
+impl FrontendModel {
+    fn new(gated: bool, producers: usize, cap: usize) -> FrontendModel {
+        FrontendModel {
+            gated,
+            cap,
+            producers: vec![ProducerPc::Submit; producers],
+            stopper: if gated { StopperPc::CloseGate } else { StopperPc::SendStop },
+            worker: WorkerPc::Recv,
+            closed: false,
+            queue: Vec::new(),
+            rx_alive: true,
+            accepted: 0,
+            served: 0,
+        }
+    }
+}
+
+impl Model for FrontendModel {
+    fn runnable(&self) -> Vec<usize> {
+        let mut r = Vec::new();
+        match self.stopper {
+            StopperPc::CloseGate => r.push(STOPPER),
+            // A blocking send needs queue space — unless the receiver is
+            // gone, in which case it returns Err immediately.
+            StopperPc::SendStop if self.queue.len() < self.cap || !self.rx_alive => {
+                r.push(STOPPER);
+            }
+            _ => {}
+        }
+        match self.worker {
+            // Blocking recv: runnable only with a message waiting. (The
+            // disconnect path never fires here — shutdown always delivers
+            // `Stop` before the senders drop.)
+            WorkerPc::Recv if !self.queue.is_empty() => r.push(WORKER),
+            // try_recv and the thread-exit receiver drop never block.
+            WorkerPc::Sweep | WorkerPc::DropRx => r.push(WORKER),
+            _ => {}
+        }
+        for (i, p) in self.producers.iter().enumerate() {
+            if *p == ProducerPc::Submit {
+                r.push(2 + i);
+            }
+        }
+        r
+    }
+
+    fn step(&self, tid: usize) -> FrontendModel {
+        let mut s = self.clone();
+        match tid {
+            STOPPER => match s.stopper {
+                StopperPc::CloseGate => {
+                    s.closed = true;
+                    s.stopper = StopperPc::SendStop;
+                }
+                StopperPc::SendStop => {
+                    if s.rx_alive {
+                        s.queue.push(Msg::Stop);
+                    }
+                    s.stopper = StopperPc::Done;
+                }
+                StopperPc::Done => unreachable!("stopper done"),
+            },
+            WORKER => match s.worker {
+                WorkerPc::Recv => match s.queue.remove(0) {
+                    Msg::Req => s.served += 1,
+                    Msg::Stop => s.worker = WorkerPc::Sweep,
+                },
+                WorkerPc::Sweep => {
+                    if s.queue.is_empty() {
+                        s.worker = WorkerPc::DropRx;
+                    } else {
+                        match s.queue.remove(0) {
+                            Msg::Req => s.served += 1,
+                            Msg::Stop => unreachable!("one stop marker per run"),
+                        }
+                    }
+                }
+                WorkerPc::DropRx => {
+                    s.rx_alive = false;
+                    s.worker = WorkerPc::Done;
+                }
+                WorkerPc::Done => unreachable!("worker done"),
+            },
+            p => {
+                // try_send: the whole gate-check-send critical section.
+                let accept = s.rx_alive
+                    && !(s.gated && s.closed)
+                    && s.queue.len() < s.cap;
+                if accept {
+                    s.queue.push(Msg::Req);
+                    s.accepted += 1;
+                }
+                s.producers[p - 2] = ProducerPc::Done;
+            }
+        }
+        s
+    }
+
+    fn is_terminal_ok(&self) -> bool {
+        self.stopper == StopperPc::Done
+            && self.worker == WorkerPc::Done
+            && self.producers.iter().all(|p| *p == ProducerPc::Done)
+            && self.served == self.accepted
+    }
+
+    fn invariant(&self) -> Result<(), String> {
+        if self.queue.len() > self.cap {
+            return Err(format!(
+                "queue grew past its bound: {} > {}",
+                self.queue.len(),
+                self.cap
+            ));
+        }
+        if self.served > self.accepted {
+            return Err(format!(
+                "served {} of only {} accepted requests",
+                self.served, self.accepted
+            ));
+        }
+        // Drain completeness, as a state property: once the receiver is
+        // gone nothing can ever serve a queued request.
+        if !self.rx_alive && self.queue.contains(&Msg::Req) {
+            return Err("accepted request stranded behind a dropped receiver".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn gated_shutdown_serves_every_accepted_request_in_every_interleaving() {
+    for producers in 1..=3 {
+        for cap in 1..=3 {
+            let stats = explore(FrontendModel::new(true, producers, cap))
+                .unwrap_or_else(|e| panic!("{producers} producers, cap {cap}: {e}"));
+            assert!(
+                stats.states > producers * cap,
+                "suspiciously small exploration: {stats:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn submits_racing_the_stop_are_either_served_or_typed_rejections() {
+    // The adversarial shape: more producers than queue slots, all racing
+    // the stopper. Every interleaving must end with served == accepted —
+    // the losers got SubmitError, not silence.
+    let stats = explore(FrontendModel::new(true, 3, 1)).expect("gated protocol verified");
+    assert!(stats.transitions > stats.states, "explorer did not branch");
+}
+
+#[test]
+fn ungated_shutdown_loses_a_request_and_the_explorer_finds_the_window() {
+    // Remove the admission gate and the protocol is broken: a submit can
+    // land after Stop, after the final sweep saw Empty, just before the
+    // receiver drops. Accepted, never served.
+    let err = explore(FrontendModel::new(false, 1, 2))
+        .expect_err("the ungated protocol must fail model checking");
+    assert!(
+        err.contains("stranded behind a dropped receiver"),
+        "expected the lost-request window, got: {err}"
+    );
+}

@@ -378,6 +378,9 @@ impl Adadelta {
 }
 
 impl Optimizer for Adadelta {
+    // om-lint: reduction-ok(five f64 telemetry accumulators over params in
+    // fixed registration order, single-threaded — the update itself is
+    // element-wise; the sums only feed StepStats observability)
     fn step(&mut self) {
         // om-fault: kill-point
         om_obs::fault::kill_point("optim-step");

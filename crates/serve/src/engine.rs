@@ -24,6 +24,7 @@ use omnimatch_core::model::DomainSide;
 use omnimatch_core::{CorpusViews, OmniMatchModel};
 
 use crate::arena::{ItemArena, UserArena};
+use crate::error::ServeError;
 
 /// Engine knobs; [`ServeOptions::from_env`] reads the `OM_SERVE_*`
 /// variables documented in the README.
@@ -122,14 +123,14 @@ impl ServeEngine {
         warm: &[UserId],
         opts: ServeOptions,
     ) -> ServeEngine {
-        let t0 = std::time::Instant::now();
+        let t0 = om_obs::clock::now_ns();
         let items = ItemArena::build(&model, &views, opts.arena_batch);
         let users = UserArena::build(&model, &views, warm, opts.arena_batch);
         om_obs::info!(
             "serve: arenas ready — {} items, {} warm users, {} ms",
             items.len(),
             users.len(),
-            t0.elapsed().as_millis()
+            om_obs::clock::now_ns().saturating_sub(t0) / 1_000_000
         );
         om_obs::metrics::counter("serve.arena.items").add(items.len() as u64);
         om_obs::metrics::counter("serve.arena.warm_users").add(users.len() as u64);
@@ -168,26 +169,26 @@ impl ServeEngine {
     /// Expected-star scores of `user` against the whole arena, in arena
     /// (dense item) order. Single-request path; [`ServeEngine::serve_batch`]
     /// produces bitwise-identical rows for any grouping.
-    pub fn score_user(&self, user: UserId) -> Vec<f32> {
+    pub fn score_user(&self, user: UserId) -> Result<Vec<f32>, ServeError> {
         let req = [Request { id: 0, user, arrive_us: 0 }];
-        self.score_batch(&req)
+        self.score_batch(&req)?
             .pop()
-            .expect("one request yields one score row")
+            .ok_or(ServeError::ScoreShape { expected: 1, got: 0 })
     }
 
     /// Serve one request (unbatched path — used as the parity oracle).
-    pub fn serve_one(&self, req: Request) -> Response {
-        let scores = self.score_user(req.user);
-        self.respond(req, &scores)
+    pub fn serve_one(&self, req: Request) -> Result<Response, ServeError> {
+        let scores = self.score_user(req.user)?;
+        Ok(self.respond(req, &scores))
     }
 
     /// Serve a microbatch: one fused forward, then per-request top-K.
-    pub fn serve_batch(&self, reqs: &[Request]) -> Vec<Response> {
+    pub fn serve_batch(&self, reqs: &[Request]) -> Result<Vec<Response>, ServeError> {
         if reqs.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
-        let t0 = std::time::Instant::now();
-        let rows = self.score_batch(reqs);
+        let t0 = om_obs::clock::now_ns();
+        let rows = self.score_batch(reqs)?;
         let out: Vec<Response> = reqs
             .iter()
             .zip(&rows)
@@ -196,8 +197,8 @@ impl ServeEngine {
         om_obs::metrics::counter("serve.requests").add(reqs.len() as u64);
         om_obs::metrics::counter("serve.flushes").add(1);
         om_obs::metrics::histogram("serve.flush_ns")
-            .record(t0.elapsed().as_nanos() as u64);
-        out
+            .record(om_obs::clock::now_ns().saturating_sub(t0));
+        Ok(out)
     }
 
     /// Per-request combined user feature rows, `[reqs.len(), user_dim]`:
@@ -207,18 +208,24 @@ impl ServeEngine {
     pub(crate) fn user_rows_for(&self, reqs: &[Request]) -> Vec<f32> {
         let user_dim = self.users.dim();
         let mut user_rows = vec![0.0f32; reqs.len() * user_dim];
-        let cold: Vec<usize> = (0..reqs.len())
-            .filter(|&i| self.users.row(reqs[i].user).is_none())
-            .collect();
-        for (i, req) in reqs.iter().enumerate() {
-            if let Some(row) = self.users.row(req.user) {
-                user_rows[i * user_dim..(i + 1) * user_dim].copy_from_slice(row);
+        if user_dim == 0 {
+            return user_rows;
+        }
+        let mut cold: Vec<(usize, UserId)> = Vec::new();
+        for ((i, req), dst) in reqs
+            .iter()
+            .enumerate()
+            .zip(user_rows.chunks_exact_mut(user_dim))
+        {
+            match self.users.row(req.user) {
+                Some(row) => dst.copy_from_slice(row),
+                None => cold.push((i, req.user)),
             }
         }
         if !cold.is_empty() {
             let docs: Vec<&[usize]> = cold
                 .iter()
-                .map(|&i| self.views.target_doc(reqs[i].user))
+                .map(|&(_, user)| self.views.target_doc(user))
                 .collect();
             // Inference mode: nothing is drawn from this RNG.
             let mut rng = seeded_rng(0);
@@ -226,9 +233,10 @@ impl ServeEngine {
                 .model
                 .user_features(&docs, DomainSide::Target, false, &mut rng);
             let combined = feats.combined.data();
-            for (c, &i) in cold.iter().enumerate() {
-                user_rows[i * user_dim..(i + 1) * user_dim]
-                    .copy_from_slice(&combined[c * user_dim..(c + 1) * user_dim]);
+            for (&(i, _), src) in cold.iter().zip(combined.chunks_exact(user_dim)) {
+                if let Some(dst) = user_rows.get_mut(i * user_dim..(i + 1) * user_dim) {
+                    dst.copy_from_slice(src);
+                }
             }
         }
         user_rows
@@ -236,9 +244,11 @@ impl ServeEngine {
 
     /// Per-request score rows against the arena (arena order). Shared by
     /// the batched and unbatched paths, under inference mode throughout.
-    fn score_batch(&self, reqs: &[Request]) -> Vec<Vec<f32>> {
+    fn score_batch(&self, reqs: &[Request]) -> Result<Vec<Vec<f32>>, ServeError> {
         let _mode = om_nn::inference_mode();
-        assert!(!self.items.is_empty(), "serve: empty item arena");
+        if self.items.is_empty() {
+            return Err(ServeError::EmptyArena);
+        }
         let user_dim = self.users.dim();
         let n = self.items.len();
 
@@ -252,14 +262,20 @@ impl ServeEngine {
         let mut rng = seeded_rng(0);
         let logits = self.model.rating_logits_from_pairs(&pairs, false, &mut rng);
         let stars = OmniMatchModel::expected_stars(&logits);
-        stars.chunks(n).map(|row| row.to_vec()).collect()
+        if stars.len() != reqs.len() * n {
+            return Err(ServeError::ScoreShape {
+                expected: reqs.len() * n,
+                got: stars.len(),
+            });
+        }
+        Ok(stars.chunks(n).map(|row| row.to_vec()).collect())
     }
 
     /// Sharded top-K over one score row → a [`Response`].
     fn respond(&self, req: Request, scores: &[f32]) -> Response {
         let top = om_metrics::top_k_indices(scores, self.opts.topk)
             .into_iter()
-            .map(|i| (self.items.id_at(i), scores[i]))
+            .filter_map(|i| scores.get(i).map(|&s| (self.items.id_at(i), s)))
             .collect();
         Response { id: req.id, user: req.user, top }
     }
@@ -267,12 +283,14 @@ impl ServeEngine {
     /// Naive oracle for tests/smoke: score, then *full* stable sort by
     /// `cmp_nan_last_desc` — the pre-topk code path. The engine's sharded
     /// selection must reproduce its prefix exactly.
-    pub fn oracle_rank(&self, user: UserId) -> Vec<(ItemId, f32)> {
-        let scores = self.score_user(user);
-        let mut ranked: Vec<(ItemId, f32)> = (0..scores.len())
-            .map(|i| (self.items.id_at(i), scores[i]))
+    pub fn oracle_rank(&self, user: UserId) -> Result<Vec<(ItemId, f32)>, ServeError> {
+        let scores = self.score_user(user)?;
+        let mut ranked: Vec<(ItemId, f32)> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (self.items.id_at(i), s))
             .collect();
         ranked.sort_by(|a, b| om_metrics::cmp_nan_last_desc(a.1, b.1));
-        ranked
+        Ok(ranked)
     }
 }

@@ -1,0 +1,51 @@
+//! Typed serving errors — the panic-freedom contract of the hot path.
+//!
+//! om-lint's `panic-freedom` pass bans `unwrap`/`expect`, panicking macros
+//! and direct indexing in `engine.rs`/`shard.rs`/`frontend.rs`/
+//! `batcher.rs`: a panic there kills the worker thread and with it every
+//! queued request. Every fallible step in those modules returns a
+//! [`ServeError`] instead, so one malformed request (or a scorer bug)
+//! degrades exactly one response and the worker keeps draining.
+
+use std::fmt;
+
+/// Why scoring or the front-end failed, without panicking the worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The item arena is empty (or zero-width) — there is no catalogue to
+    /// rank.
+    EmptyArena,
+    /// The scoring forward produced a different number of rows than the
+    /// batch requested — a model/arena shape mismatch.
+    ScoreShape {
+        /// Rows the batch expected.
+        expected: usize,
+        /// Rows the forward produced.
+        got: usize,
+    },
+    /// The OS refused to spawn the front-end worker thread.
+    WorkerSpawn(String),
+    /// The front-end worker panicked before reporting its tallies — a bug
+    /// by definition, surfaced as an error so shutdown still returns.
+    WorkerPanicked,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::EmptyArena => write!(f, "serve: empty item arena — nothing to rank"),
+            ServeError::ScoreShape { expected, got } => write!(
+                f,
+                "serve: scoring returned {got} row(s) for a batch of {expected}"
+            ),
+            ServeError::WorkerSpawn(err) => {
+                write!(f, "serve: cannot spawn front-end worker: {err}")
+            }
+            ServeError::WorkerPanicked => {
+                write!(f, "serve: front-end worker panicked before reporting stats")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -14,23 +14,34 @@
 //!   and are not `Send`, so the worker *builds* the scorer itself from a
 //!   `Send` factory closure), pumps arrivals into a microbatcher, and
 //!   flushes on size or deadline exactly like the synchronous loop;
-//! * [`Frontend::shutdown`] enqueues a stop marker **behind** every
-//!   accepted request, so in-flight work drains — every accepted request
-//!   gets a response before the worker exits — and returns the tallies.
+//! * [`Frontend::shutdown`] closes the admission gate, then enqueues a
+//!   stop marker **behind** every accepted request, so in-flight work
+//!   drains — every accepted request gets a response before the worker
+//!   exits — and returns the tallies.
+//!
+//! The shutdown protocol needs the gate, not just the marker: without it
+//! a producer's `try_send` can race `shutdown` and land a request *after*
+//! the stop marker, where the worker's final sweep may already have run —
+//! an accepted-but-never-served request. [`FrontendHandle::try_send`]
+//! therefore sends while holding a shared `closed` lock that `shutdown`
+//! flips before it enqueues the marker; channel FIFO then guarantees
+//! every accepted request precedes the marker. Every interleaving of this
+//! protocol is model-checked in `crates/lint/tests/frontend_model.rs`.
 //!
 //! Backpressure, then, is the queue bound itself: a slow consumer can
 //! hold at most `queue_cap` requests plus one in-progress microbatch in
 //! memory, and everything beyond that is rejected at submit time where
-//! the caller can retry, degrade, or shed. `tests/frontend.rs` pins all
-//! three behaviours.
+//! the caller can retry, degrade, or shed. `tests/frontend_backpressure.rs`
+//! pins the queue behaviours.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{RecvTimeoutError, Sender, SyncSender, TrySendError};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
 
 use crate::batcher::Microbatcher;
 use crate::engine::{Request, Response, ServeEngine};
+use crate::error::ServeError;
 use crate::shard::ShardedEngine;
 
 /// Anything that can score a microbatch of requests. Both engines
@@ -38,18 +49,19 @@ use crate::shard::ShardedEngine;
 /// model.
 pub trait BatchScorer {
     /// Score a flushed microbatch, one [`Response`] per request, in
-    /// request order.
-    fn serve_batch(&self, reqs: &[Request]) -> Vec<Response>;
+    /// request order. A scoring failure degrades that flush, not the
+    /// worker: the front-end counts it and keeps draining.
+    fn serve_batch(&self, reqs: &[Request]) -> Result<Vec<Response>, ServeError>;
 }
 
 impl BatchScorer for ServeEngine {
-    fn serve_batch(&self, reqs: &[Request]) -> Vec<Response> {
+    fn serve_batch(&self, reqs: &[Request]) -> Result<Vec<Response>, ServeError> {
         ServeEngine::serve_batch(self, reqs)
     }
 }
 
 impl BatchScorer for ShardedEngine {
-    fn serve_batch(&self, reqs: &[Request]) -> Vec<Response> {
+    fn serve_batch(&self, reqs: &[Request]) -> Result<Vec<Response>, ServeError> {
         ShardedEngine::serve_batch(self, reqs)
     }
 }
@@ -127,11 +139,24 @@ pub struct FrontendStats {
     pub flushes: u64,
     /// Submits rejected by admission control.
     pub rejected: u64,
+    /// Flushes whose scorer returned an error (those requests got no
+    /// response; the worker kept draining).
+    pub scorer_errors: u64,
 }
 
 enum Msg {
     Req(Request),
     Stop,
+}
+
+/// Lock the admission gate, recovering from a poisoned mutex: the gate
+/// holds a plain `bool`, which cannot be left in a torn state, so the
+/// poison flag carries no information here.
+fn gate_lock(gate: &Mutex<bool>) -> MutexGuard<'_, bool> {
+    match gate.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
 }
 
 /// A producer's handle: clone freely, submit from any thread.
@@ -140,12 +165,22 @@ pub struct FrontendHandle {
     tx: SyncSender<Msg>,
     capacity: usize,
     rejected: Arc<AtomicU64>,
+    /// The admission gate: once `shutdown` sets it, no further request
+    /// can enter the channel, so the stop marker is provably last.
+    closed: Arc<Mutex<bool>>,
 }
 
 impl FrontendHandle {
     /// Try to enqueue `req`. Never blocks: a full queue or a stopped
-    /// worker returns a typed error immediately.
+    /// worker returns a typed error immediately. The send happens under
+    /// the admission gate so it cannot land behind the stop marker
+    /// (`try_send` on a bounded channel with free space never blocks, so
+    /// the critical section is a check plus an enqueue).
     pub fn try_send(&self, req: Request) -> Result<(), SubmitError> {
+        let closed = gate_lock(&self.closed);
+        if *closed {
+            return Err(SubmitError::Shutdown);
+        }
         match self.tx.try_send(Msg::Req(req)) {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(_)) => {
@@ -167,20 +202,21 @@ impl FrontendHandle {
 /// and joins it.
 pub struct Frontend {
     handle: FrontendHandle,
-    worker: std::thread::JoinHandle<(u64, u64)>,
+    worker: std::thread::JoinHandle<(u64, u64, u64)>,
 }
 
 impl Frontend {
     /// Spawn the consumer thread. `factory` runs *on the worker* to build
     /// the scorer there (engines are not `Send`); `responses` receives
-    /// every scored [`Response`] in flush order.
+    /// every scored [`Response`] in flush order. Errors only if the OS
+    /// refuses the thread.
     // om-lint: allow(thread-spawn) — this *is* the sanctioned spawn point:
     // the one long-lived consumer thread of the serving front-end.
     pub fn spawn<S, F>(
         factory: F,
         opts: FrontendOptions,
         responses: Sender<Response>,
-    ) -> Frontend
+    ) -> Result<Frontend, ServeError>
     where
         S: BatchScorer,
         F: FnOnce() -> S + Send + 'static,
@@ -196,24 +232,38 @@ impl Frontend {
             .spawn(move || {
                 let scorer = factory();
                 let mut batcher = Microbatcher::new(batch, wait_us);
-                let start = Instant::now();
+                // All deadlines are relative to the process clock anchor,
+                // so the sanctioned monotonic clock suffices.
+                let now_us = || om_obs::clock::now_ns() / 1_000;
                 let mut served: u64 = 0;
                 let mut flushes: u64 = 0;
+                let mut scorer_errors: u64 = 0;
                 let mut flush = |reqs: Vec<Request>| {
-                    let out = scorer.serve_batch(&reqs);
-                    served += out.len() as u64;
                     flushes += 1;
-                    for resp in out {
-                        // A dropped receiver just discards responses; the
-                        // worker still drains so shutdown stays orderly.
-                        let _ = responses.send(resp);
+                    match scorer.serve_batch(&reqs) {
+                        Ok(out) => {
+                            served += out.len() as u64;
+                            for resp in out {
+                                // A dropped receiver just discards
+                                // responses; the worker still drains so
+                                // shutdown stays orderly.
+                                let _ = responses.send(resp);
+                            }
+                        }
+                        Err(err) => {
+                            scorer_errors += 1;
+                            om_obs::error!(
+                                "serve: front-end flush of {} request(s) failed: {err}",
+                                reqs.len()
+                            );
+                            om_obs::metrics::counter("serve.frontend.scorer_errors").add(1);
+                        }
                     }
                 };
                 loop {
-                    let now_us = start.elapsed().as_micros() as u64;
                     let timeout = if batcher.pending() > 0 {
                         let deadline = batcher.oldest_us().saturating_add(wait_us);
-                        Duration::from_micros(deadline.saturating_sub(now_us))
+                        Duration::from_micros(deadline.saturating_sub(now_us()))
                     } else {
                         // Idle: nothing is pending, so nothing can time
                         // out; wake occasionally to stay responsive to a
@@ -222,26 +272,24 @@ impl Frontend {
                     };
                     match rx.recv_timeout(timeout) {
                         Ok(Msg::Req(req)) => {
-                            let now_us = start.elapsed().as_micros() as u64;
-                            if let Some(batch) = batcher.submit(req, now_us) {
+                            if let Some(batch) = batcher.submit(req, now_us()) {
                                 flush(batch);
                             }
                         }
                         Ok(Msg::Stop) => break,
                         Err(RecvTimeoutError::Timeout) => {
-                            let now_us = start.elapsed().as_micros() as u64;
-                            if let Some(batch) = batcher.poll(now_us) {
+                            if let Some(batch) = batcher.poll(now_us()) {
                                 flush(batch);
                             }
                         }
                         Err(RecvTimeoutError::Disconnected) => break,
                     }
                 }
-                // Handle clones may race a submit past the stop marker;
-                // anything already accepted still gets served.
+                // The admission gate means nothing can follow the stop
+                // marker; this sweep is belt-and-braces for the
+                // disconnected-exit path.
                 while let Ok(Msg::Req(req)) = rx.try_recv() {
-                    let now_us = start.elapsed().as_micros() as u64;
-                    if let Some(batch) = batcher.submit(req, now_us) {
+                    if let Some(batch) = batcher.submit(req, now_us()) {
                         flush(batch);
                     }
                 }
@@ -249,15 +297,16 @@ impl Frontend {
                     flush(rest);
                 }
                 om_obs::metrics::counter("serve.frontend.served").add(served);
-                (served, flushes)
+                (served, flushes, scorer_errors)
             })
-            .expect("spawn serve front-end worker");
+            .map_err(|err| ServeError::WorkerSpawn(err.to_string()))?;
         let handle = FrontendHandle {
             tx,
             capacity: opts.queue_cap.max(1),
             rejected: Arc::new(AtomicU64::new(0)),
+            closed: Arc::new(Mutex::new(false)),
         };
-        Frontend { handle, worker }
+        Ok(Frontend { handle, worker })
     }
 
     /// A producer handle (clone per producer thread).
@@ -266,15 +315,22 @@ impl Frontend {
     }
 
     /// Stop accepting work, drain everything already accepted, join the
-    /// worker, and return the tallies. The stop marker queues *behind*
-    /// accepted requests, so none are dropped.
-    pub fn shutdown(self) -> FrontendStats {
+    /// worker, and return the tallies. Closing the admission gate first
+    /// and *then* enqueueing the stop marker guarantees the marker queues
+    /// behind every accepted request — none are dropped. Errors only if
+    /// the worker itself panicked.
+    pub fn shutdown(self) -> Result<FrontendStats, ServeError> {
+        {
+            let mut closed = gate_lock(&self.handle.closed);
+            *closed = true;
+        }
         // A blocking send: waits for queue space behind the accepted
         // backlog. If the worker already exited (disconnected), join
         // anyway.
         let _ = self.handle.tx.send(Msg::Stop);
         let rejected = self.handle.rejected();
-        let (served, flushes) = self.worker.join().expect("serve front-end worker panicked");
-        FrontendStats { served, flushes, rejected }
+        let (served, flushes, scorer_errors) =
+            self.worker.join().map_err(|_| ServeError::WorkerPanicked)?;
+        Ok(FrontendStats { served, flushes, rejected, scorer_errors })
     }
 }

@@ -34,6 +34,11 @@
 //!    control: full queue means a typed rejection, shutdown drains every
 //!    accepted request.
 //!
+//! The hot path (`engine`/`shard`/`frontend`/`batcher`) is panic-free by
+//! policy — om-lint's `panic-freedom` pass bans `unwrap`/`expect`/
+//! panicking macros/direct indexing there — so every fallible step
+//! surfaces as a typed [`ServeError`] instead of killing the worker.
+//!
 //! Everything runs under [`om_nn::inference_mode`]: no autograd tape, no
 //! dropout masks, nothing drawn from any RNG — which is also why batched
 //! results are **bitwise identical** to one-request-at-a-time results at
@@ -46,6 +51,7 @@ pub mod arena;
 pub mod batcher;
 pub mod blob;
 pub mod engine;
+pub mod error;
 pub mod frontend;
 pub mod loader;
 pub mod mmap;
@@ -55,6 +61,7 @@ pub use arena::{ItemArena, UserArena};
 pub use batcher::Microbatcher;
 pub use blob::{ArenaBlob, BlobError, BlobKind, Verify};
 pub use engine::{Request, Response, ServeEngine, ServeOptions};
+pub use error::ServeError;
 pub use frontend::{
     BatchScorer, Frontend, FrontendHandle, FrontendOptions, FrontendStats, SubmitError,
 };

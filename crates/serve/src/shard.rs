@@ -28,6 +28,7 @@ use om_data::types::UserId;
 use om_tensor::{kernels, seeded_rng, Tensor};
 
 use crate::engine::{Request, Response, ServeEngine};
+use crate::error::ServeError;
 
 /// A [`ServeEngine`] that scores the catalogue shard by shard. Same
 /// requests in, bitwise-identical responses out; only the peak pair-buffer
@@ -85,24 +86,26 @@ impl ShardedEngine {
     }
 
     /// Serve one request through the sharded path.
-    pub fn serve_one(&self, req: Request) -> Response {
-        self.serve_batch(std::slice::from_ref(&req))
+    pub fn serve_one(&self, req: Request) -> Result<Response, ServeError> {
+        self.serve_batch(std::slice::from_ref(&req))?
             .pop()
-            .expect("one request yields one response")
+            .ok_or(ServeError::ScoreShape { expected: 1, got: 0 })
     }
 
     /// Serve a microbatch: per shard, one fused forward and a bounded
     /// top-K per request; then one merge per request.
-    pub fn serve_batch(&self, reqs: &[Request]) -> Vec<Response> {
+    pub fn serve_batch(&self, reqs: &[Request]) -> Result<Vec<Response>, ServeError> {
         if reqs.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
-        let t0 = std::time::Instant::now();
+        let t0 = om_obs::clock::now_ns();
         let _mode = om_nn::inference_mode();
         let items = &self.inner.items;
-        assert!(!items.is_empty(), "serve: empty item arena");
-        let user_dim = self.inner.users.dim();
         let item_dim = items.dim();
+        if items.is_empty() || item_dim == 0 {
+            return Err(ServeError::EmptyArena);
+        }
+        let user_dim = self.inner.users.dim();
         let pair_dim = user_dim + item_dim;
         let k = self.inner.opts.topk;
 
@@ -124,11 +127,17 @@ impl ShardedEngine {
                 .model
                 .rating_logits_from_pairs(&pairs, false, &mut rng);
             let stars = omnimatch_core::OmniMatchModel::expected_stars(&logits);
-            for (b, row) in stars.chunks(sn).enumerate() {
-                candidates[b].extend(
+            if stars.len() != reqs.len() * sn {
+                return Err(ServeError::ScoreShape {
+                    expected: reqs.len() * sn,
+                    got: stars.len(),
+                });
+            }
+            for (pool, row) in candidates.iter_mut().zip(stars.chunks(sn)) {
+                pool.extend(
                     om_metrics::top_k_indices(row, k)
                         .into_iter()
-                        .map(|i| (row[i], base + i)),
+                        .filter_map(|i| row.get(i).map(|&s| (s, base + i))),
                 );
             }
         }
@@ -147,19 +156,21 @@ impl ShardedEngine {
         om_obs::metrics::counter("serve.shard.requests").add(reqs.len() as u64);
         om_obs::metrics::counter("serve.shard.flushes").add(1);
         om_obs::metrics::histogram("serve.shard.flush_ns")
-            .record(t0.elapsed().as_nanos() as u64);
-        out
+            .record(om_obs::clock::now_ns().saturating_sub(t0));
+        Ok(out)
     }
 
     /// Expected-star scores of `user` against the whole arena, in arena
     /// order, assembled shard by shard — bitwise equal to
     /// [`ServeEngine::score_user`].
-    pub fn score_user(&self, user: UserId) -> Vec<f32> {
+    pub fn score_user(&self, user: UserId) -> Result<Vec<f32>, ServeError> {
         let _mode = om_nn::inference_mode();
         let items = &self.inner.items;
-        assert!(!items.is_empty(), "serve: empty item arena");
-        let user_dim = self.inner.users.dim();
         let item_dim = items.dim();
+        if items.is_empty() || item_dim == 0 {
+            return Err(ServeError::EmptyArena);
+        }
+        let user_dim = self.inner.users.dim();
         let pair_dim = user_dim + item_dim;
         let req = [Request { id: 0, user, arrive_us: 0 }];
         let user_rows = self.inner.user_rows_for(&req);
@@ -175,6 +186,6 @@ impl ShardedEngine {
                 .rating_logits_from_pairs(&pairs, false, &mut rng);
             scores.extend(omnimatch_core::OmniMatchModel::expected_stars(&logits));
         }
-        scores
+        Ok(scores)
     }
 }

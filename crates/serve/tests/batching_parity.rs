@@ -48,11 +48,13 @@ fn build_ctx() -> Ctx {
             .iter()
             .enumerate()
             .map(|(i, &u)| {
-                engine.serve_one(Request {
-                    id: i as u64,
-                    user: u,
-                    arrive_us: 0,
-                })
+                engine
+                    .serve_one(Request {
+                        id: i as u64,
+                        user: u,
+                        arrive_us: 0,
+                    })
+                    .expect("serve one")
             })
             .collect();
         runtime::set_threads(prev);
@@ -123,7 +125,7 @@ proptest! {
             let prev = runtime::set_threads(threads);
             let got: Vec<Response> = groups
                 .iter()
-                .flat_map(|g| ctx.engine.serve_batch(g))
+                .flat_map(|g| ctx.engine.serve_batch(g).expect("serve batch"))
                 .collect();
             runtime::set_threads(prev);
 
@@ -157,7 +159,7 @@ fn inference_mode_never_perturbs_a_subsequent_training_run() {
         .enumerate()
         .map(|(i, &u)| Request { id: i as u64, user: u, arrive_us: 0 })
         .collect();
-    let responses = engine.serve_batch(&reqs);
+    let responses = engine.serve_batch(&reqs).expect("serve batch");
     assert_eq!(responses.len(), reqs.len());
 
     // ...so a training run *after* serving reproduces the reference

@@ -14,7 +14,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use om_data::types::UserId;
-use om_serve::{BatchScorer, Frontend, FrontendOptions, Request, Response, SubmitError};
+use om_serve::{BatchScorer, Frontend, FrontendOptions, Request, Response, ServeError, SubmitError};
 
 /// A scorer that blocks inside `serve_batch` until the test releases it:
 /// `entered` fires once per flush as the worker goes busy; each flush
@@ -25,14 +25,15 @@ struct GatedScorer {
 }
 
 impl BatchScorer for GatedScorer {
-    fn serve_batch(&self, reqs: &[Request]) -> Vec<Response> {
+    fn serve_batch(&self, reqs: &[Request]) -> Result<Vec<Response>, ServeError> {
         // The test may have stopped listening for entry signals.
         let _ = self.entered.send(reqs.len());
         // Err means the test dropped the gate: everything is released.
         let _ = self.gate.lock().expect("gate").recv();
-        reqs.iter()
+        Ok(reqs
+            .iter()
             .map(|r| Response { id: r.id, user: r.user, top: Vec::new() })
-            .collect()
+            .collect())
     }
 }
 
@@ -55,7 +56,8 @@ fn gated_frontend(
         move || GatedScorer { entered: entered_tx, gate: Mutex::new(gate_rx) },
         opts,
         resp_tx,
-    );
+    )
+    .expect("spawn front-end");
     (fe, resp_rx, entered_rx, gate_tx)
 }
 
@@ -90,7 +92,7 @@ fn full_queue_is_a_typed_rejection_not_a_panic_or_a_block() {
 
     // Release the scorer; every *accepted* request is served.
     drop(gate_tx);
-    let stats = fe.shutdown();
+    let stats = fe.shutdown().expect("shutdown");
     assert_eq!(stats.served, 1 + cap as u64);
     assert_eq!(stats.rejected, 2);
     let mut got: Vec<u64> = resp_rx.iter().map(|r| r.id).collect();
@@ -112,7 +114,7 @@ fn shutdown_drains_every_accepted_request() {
     for id in 0..10 {
         handle.try_send(req(id)).expect("submit");
     }
-    let stats = fe.shutdown();
+    let stats = fe.shutdown().expect("shutdown");
     assert_eq!(stats.served, 10, "shutdown must drain accepted requests");
     assert_eq!(stats.flushes, 1, "a single drain flush");
     let mut got: Vec<u64> = resp_rx.iter().map(|r| r.id).collect();
@@ -149,7 +151,7 @@ fn slow_consumer_bounds_accepted_backlog_to_queue_plus_in_flight() {
     // Every accepted request still completes once the consumer recovers.
     drop(gate_tx);
     drop(entered_rx);
-    let stats = fe.shutdown();
+    let stats = fe.shutdown().expect("shutdown");
     assert_eq!(stats.served, accepted);
     assert_eq!(resp_rx.iter().count() as u64, accepted);
 }
@@ -164,7 +166,7 @@ fn handles_outliving_the_frontend_get_a_shutdown_error() {
     drop(gate_tx);
     let handle = fe.handle();
     handle.try_send(req(1)).expect("submit while alive");
-    let stats = fe.shutdown();
+    let stats = fe.shutdown().expect("shutdown");
     assert_eq!(stats.served, 1);
     assert_eq!(
         handle.try_send(req(2)).expect_err("front-end is gone"),

@@ -114,8 +114,8 @@ fn mapped_and_in_memory_arenas_serve_bitwise_identical_responses() {
     let reqs: Vec<Request> = (0..17)
         .map(|i| Request { id: i as u64, user: UserId(i as u32), arrive_us: 0 })
         .collect();
-    let a = in_memory.serve_batch(&reqs);
-    let b = mapped.serve_batch(&reqs);
+    let a = in_memory.serve_batch(&reqs).expect("serve batch");
+    let b = mapped.serve_batch(&reqs).expect("serve batch");
     assert_eq!(a.len(), b.len());
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(x.id, y.id);
@@ -127,8 +127,8 @@ fn mapped_and_in_memory_arenas_serve_bitwise_identical_responses() {
     }
     // And the full score rows, not just the page.
     for req in &reqs {
-        let ra = in_memory.score_user(req.user);
-        let rb = mapped.score_user(req.user);
+        let ra = in_memory.score_user(req.user).expect("score user");
+        let rb = mapped.score_user(req.user).expect("score user");
         assert!(ra.iter().zip(&rb).all(|(x, y)| x.to_bits() == y.to_bits()));
     }
 }

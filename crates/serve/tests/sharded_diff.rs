@@ -76,7 +76,11 @@ fn build_ctx() -> Ctx {
         let r = users
             .iter()
             .enumerate()
-            .map(|(i, &u)| engine.serve_one(Request { id: i as u64, user: u, arrive_us: 0 }))
+            .map(|(i, &u)| {
+                engine
+                    .serve_one(Request { id: i as u64, user: u, arrive_us: 0 })
+                    .expect("serve one")
+            })
             .collect();
         runtime::set_threads(prev);
         r
@@ -132,7 +136,7 @@ proptest! {
             let prev = runtime::set_threads(threads);
             let got: Vec<Response> = groups
                 .iter()
-                .flat_map(|g| sharded.serve_batch(g))
+                .flat_map(|g| sharded.serve_batch(g).expect("serve batch"))
                 .collect();
             runtime::set_threads(prev);
 
@@ -251,14 +255,16 @@ proptest! {
             let _g = thread_lock();
             let prev = runtime::set_threads(threads);
             // Oracle: the wrapped single-arena engine over the same arenas.
-            let want: Vec<Response> =
-                reqs.iter().map(|&r| engine.inner().serve_one(r)).collect();
-            let got = engine.serve_batch(&reqs);
+            let want: Vec<Response> = reqs
+                .iter()
+                .map(|&r| engine.inner().serve_one(r).expect("serve one"))
+                .collect();
+            let got = engine.serve_batch(&reqs).expect("serve batch");
 
             // Full score rows must match bitwise too, shard by shard.
             for req in &reqs {
-                let a = engine.score_user(req.user);
-                let b = engine.inner().score_user(req.user);
+                let a = engine.score_user(req.user).expect("score user");
+                let b = engine.inner().score_user(req.user).expect("score user");
                 assert_eq!(a.len(), b.len());
                 for (x, y) in a.iter().zip(&b) {
                     prop_assert_eq!(x.to_bits(), y.to_bits());

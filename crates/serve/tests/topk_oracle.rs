@@ -42,8 +42,10 @@ fn sharded_topk_matches_the_full_sort_oracle_and_rank_items() {
     let engine = ServeEngine::new(model, views, &warm, ServeOptions::default());
     let k = engine.options().topk;
     for &u in &users {
-        let oracle = engine.oracle_rank(u);
-        let resp = engine.serve_one(Request { id: 0, user: u, arrive_us: 0 });
+        let oracle = engine.oracle_rank(u).expect("oracle rank");
+        let resp = engine
+            .serve_one(Request { id: 0, user: u, arrive_us: 0 })
+            .expect("serve one");
         assert_eq!(resp.top.len(), k.min(oracle.len()));
         for ((ia, sa), (ib, sb)) in resp.top.iter().zip(&oracle) {
             assert_eq!(ia, ib, "top-K diverged from oracle for user {u:?}");
@@ -75,8 +77,8 @@ fn checkpoint_roundtrip_serves_bitwise_identical_responses() {
 
     for (i, &u) in users.iter().enumerate() {
         let req = Request { id: i as u64, user: u, arrive_us: 0 };
-        let a = live.serve_one(req);
-        let b = reloaded.serve_one(req);
+        let a = live.serve_one(req).expect("serve one");
+        let b = reloaded.serve_one(req).expect("serve one");
         assert_eq!(a.top.len(), b.top.len());
         for ((ia, sa), (ib, sb)) in a.top.iter().zip(&b.top) {
             assert_eq!(ia, ib, "reloaded engine ranked differently for {u:?}");

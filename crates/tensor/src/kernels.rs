@@ -145,6 +145,8 @@ fn gemm_rows(a: &[f32], b: &[f32], c_block: &mut [f32], row0: usize, rows: usize
 ///
 /// Bitwise identical to [`gemm_serial`] for finite inputs at any thread
 /// count (see module docs).
+// om-lint: simd — inner-product kernel; a vectorised port must register
+// its ULP tolerance in tests/parity.rs (ulp_tolerance("gemm")).
 pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
@@ -219,6 +221,8 @@ fn chunk_sum(x: &[f32]) -> f32 {
 ///
 /// The input is cut into fixed [`REDUCE_CHUNK`]-element chunks; partials
 /// are computed (possibly in parallel) and combined left-to-right.
+// om-lint: simd — reduction kernel; a vectorised port must register its
+// ULP tolerance in tests/parity.rs (ulp_tolerance("sum")).
 pub fn sum(x: &[f32]) -> f32 {
     if x.len() <= REDUCE_CHUNK {
         return chunk_sum(x);

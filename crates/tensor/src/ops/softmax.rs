@@ -6,6 +6,8 @@ use crate::kernels;
 use crate::Tensor;
 
 /// Numerically-stable log-softmax of one row, written into `out`.
+// om-lint: reduction-ok(serial per-row max/sum in element order; fill_rows
+// partitions by whole rows, so the order never depends on thread count)
 fn log_softmax_row(row: &[f32], out: &mut [f32]) {
     let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let mut sum = 0.0f32;
@@ -21,6 +23,8 @@ fn log_softmax_row(row: &[f32], out: &mut [f32]) {
 impl Tensor {
     /// Log-softmax over the last axis of a 2-D view: each row becomes a
     /// log-probability distribution.
+    // om-lint: reduction-ok(backward's per-row grad sum runs serially in
+    // element order inside a fill_rows row callback — rows never split)
     pub fn log_softmax_rows(&self) -> Tensor {
         let _span = crate::obs_span("ops.softmax");
         let (m, n) = self.shape().as_2d();
@@ -62,6 +66,8 @@ impl Tensor {
     /// Fused NLL gather: given row-wise log-probabilities `[m, n]` and one
     /// target class per row, return the mean negative log-likelihood as a
     /// scalar. This is the second half of softmax cross-entropy.
+    // om-lint: reduction-ok(single serial sum over rows in index order on
+    // one thread — the scalar loss has exactly one reduction order)
     pub fn nll_gather(&self, targets: &[usize]) -> Tensor {
         let (m, n) = self.shape().as_2d();
         assert_eq!(targets.len(), m, "nll_gather: one target per row required");

@@ -38,6 +38,8 @@ impl Tensor {
     /// Projected user–item pair embeddings are normalised before the
     /// supervised contrastive loss so the dot products of Eq. 13 are cosine
     /// similarities bounded by 1/τ, which keeps the loss well-conditioned.
+    // om-lint: reduction-ok(per-row serial norm sums in element order
+    // inside fill_rows row callbacks — partitioning never splits a row)
     pub fn l2_normalize_rows(&self) -> Tensor {
         const EPS: f32 = 1e-8;
         let (m, n) = self.shape().as_2d();
@@ -80,6 +82,8 @@ impl Tensor {
     /// standardised to zero mean and unit variance. Affine gain/bias, when
     /// wanted, compose via [`Tensor::mul_row`] and
     /// [`Tensor::add_row`].
+    // om-lint: reduction-ok(per-row serial mean/variance sums in element
+    // order inside fill_rows row callbacks — partitioning never splits a row)
     pub fn layer_norm_rows(&self) -> Tensor {
         const EPS: f32 = 1e-5;
         let (m, n) = self.shape().as_2d();

@@ -273,3 +273,78 @@ fn pair_rows_matches_serial_reference_bitwise() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// ULP tolerances for `// om-lint: simd` kernels.
+//
+// om-lint's `simd-ulp-tolerance` pass requires every kernel carrying the
+// simd marker in `src/kernels.rs` to register a tolerance here via a
+// literal `ulp_tolerance("<name>")` call. Today every kernel is scalar and
+// the registered tolerance is 0 ULP — the bitwise contract above. A future
+// vectorised port widens its entry (with an argued bound) instead of
+// silently abandoning bit parity.
+// ---------------------------------------------------------------------------
+
+/// `(kernel, max ULP distance vs the serial twin)` for simd-marked kernels.
+const ULP_TOLERANCES: &[(&str, u32)] = &[("gemm", 0), ("sum", 0)];
+
+/// Look up a registered tolerance; unregistered names are a test bug (and
+/// an om-lint violation at the kernel's marker).
+fn ulp_tolerance(name: &str) -> u32 {
+    ULP_TOLERANCES
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, t)| t)
+        .unwrap_or_else(|| panic!("kernel `{name}` has no registered ULP tolerance"))
+}
+
+/// Distance in representable-float steps between two finite f32 values
+/// (the standard monotonic bits mapping; equal bits → 0).
+fn ulp_distance(a: f32, b: f32) -> u32 {
+    fn key(x: f32) -> i64 {
+        let bits = x.to_bits() as i32;
+        if bits < 0 { i64::from(i32::MIN) - i64::from(bits) } else { i64::from(bits) }
+    }
+    key(a).abs_diff(key(b)).try_into().unwrap_or(u32::MAX)
+}
+
+fn assert_within_ulp(name: &str, tol: u32, got: &[f32], want: &[f32]) {
+    assert_eq!(got.len(), want.len(), "{name}: length mismatch");
+    for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+        let d = ulp_distance(g, w);
+        assert!(
+            d <= tol,
+            "{name}[{i}]: {g} vs {w} is {d} ULP apart (tolerance {tol})"
+        );
+    }
+}
+
+#[test]
+fn simd_marked_kernels_meet_their_registered_ulp_tolerance() {
+    let (m, k, n) = (61usize, 53usize, 47usize);
+    let a: Vec<f32> = (0..m * k).map(|i| ((i * 37) % 101) as f32 * 0.173 - 8.0).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| ((i * 53) % 89) as f32 * 0.211 - 9.0).collect();
+    let mut serial = vec![0.0f32; m * n];
+    kernels::gemm_serial(&a, &b, &mut serial, m, k, n);
+    let mut parallel = vec![0.0f32; m * n];
+    kernels::gemm(&a, &b, &mut parallel, m, k, n);
+    assert_within_ulp("gemm", ulp_tolerance("gemm"), &parallel, &serial);
+
+    let x: Vec<f32> = (0..10_007).map(|i| ((i * 29) % 97) as f32 * 0.131 - 6.0).collect();
+    assert_within_ulp(
+        "sum",
+        ulp_tolerance("sum"),
+        &[kernels::sum(&x)],
+        &[kernels::sum_serial(&x)],
+    );
+
+    // The scalar kernels are bitwise-equal today, so the registered
+    // tolerances must be exactly 0 — widening one requires a vectorised
+    // port plus an argued bound, not a quiet constant bump.
+    for &(name, tol) in ULP_TOLERANCES {
+        assert_eq!(tol, 0, "kernel `{name}` widened its ULP tolerance without a SIMD port");
+    }
+    assert_eq!(ulp_distance(1.0, 1.0), 0);
+    assert_eq!(ulp_distance(1.0, f32::from_bits(1.0f32.to_bits() + 1)), 1);
+    assert_eq!(ulp_distance(-0.0, 0.0), 0);
+}
