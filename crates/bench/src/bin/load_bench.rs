@@ -308,6 +308,36 @@ fn main() {
         load.insert("closed".to_string(), Json::Obj(closed));
     }
 
+    // ---- per-stage latency attribution -----------------------------------
+    // The serving layers record per-request stage timings into the live
+    // plane as they run (the same series `/metrics` scrapes): score/merge
+    // from every engine flush, queue/batch-wait/e2e from the front-end.
+    // Report them as an informational block — outside `benches`, so the
+    // regression gate keys on end-to-end medians only.
+    let mut stages = BTreeMap::new();
+    for (key, series) in [
+        ("queue_wait", "serve.queue_wait"),
+        ("batch_wait", "serve.batch_wait"),
+        ("score", "serve.score"),
+        ("merge", "serve.merge"),
+        ("e2e", "serve.e2e"),
+    ] {
+        let snap = om_obs::live::histogram(series).snapshot();
+        if snap.count == 0 {
+            continue;
+        }
+        let q = |p: f64| snap.quantile(p).unwrap_or(0) as f64 / 1e6;
+        let mut s = BTreeMap::new();
+        s.insert("count".to_string(), Json::Num(snap.count as f64));
+        s.insert("p50_ms".to_string(), Json::Num(q(0.50)));
+        s.insert("p95_ms".to_string(), Json::Num(q(0.95)));
+        s.insert("p99_ms".to_string(), Json::Num(q(0.99)));
+        stages.insert(key.to_string(), Json::Obj(s));
+    }
+    if !stages.is_empty() {
+        load.insert("stages".to_string(), Json::Obj(stages));
+    }
+
     // ---- report ----------------------------------------------------------
     load.insert("preset".to_string(), Json::Str(preset.name.to_string()));
     load.insert("users".to_string(), Json::Num(preset.users as f64));

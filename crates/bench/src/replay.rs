@@ -119,7 +119,7 @@ pub fn replay_trace<S: BatchScorer>(
     };
     for replay in 0..=replays {
         let warmup = replay == 0;
-        let mut batcher = Microbatcher::new(batch, wait_us);
+        let mut batcher: Microbatcher<Request> = Microbatcher::new(batch, wait_us);
         let mut served = 0usize;
         let mut flush = |reqs: Vec<Request>, virtual_now: u64| {
             let t = Instant::now();

@@ -1,0 +1,176 @@
+//! CI smoke test for the live serving telemetry plane: train a tiny
+//! model, serve it through the threaded front-end with the stats endpoint
+//! up, then scrape `/metrics`, `/healthz` and `/statz` over real TCP and
+//! assert the five per-request stage histograms and the admission
+//! counters are present and consistent.
+//!
+//! The scraped bodies are written into the run's artifact directory
+//! (`metrics.txt`, `healthz.txt`, `statz.json`) and the directory is the
+//! last stdout line, so CI can upload the scrape alongside
+//! `events.jsonl`.
+//!
+//! This binary is also the chaos target for the flight recorder:
+//! `OM_FAULT=scorer:2` kills it on the second microbatch flush, which
+//! dumps `flightrec.jsonl` (the last N per-request records) into the run
+//! directory before exiting 86 — `crates/experiments/tests/obs_chaos.rs`
+//! asserts that postmortem from the outside.
+//!
+//! The endpoint binds `OM_OBS_ADDR` when set, else an ephemeral loopback
+//! port. Usage: `serve_obs_smoke [checkpoint_path]`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc::channel;
+use std::time::{Duration, Instant};
+
+use om_data::{SplitConfig, SynthConfig, SynthWorld};
+use om_obs::http::StatsServer;
+use om_serve::{
+    load_model_file, Frontend, FrontendOptions, Request, ServeEngine, ServeOptions,
+};
+use om_tensor::seeded_rng;
+use omnimatch_core::{CorpusViews, OmniMatchConfig, Trainer};
+
+/// One blocking HTTP/1.0 GET against the stats endpoint; returns
+/// `(status line, body)`.
+fn get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect stats endpoint");
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+        .expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("response has a header block");
+    let status = head.lines().next().unwrap_or_default().to_string();
+    (status, body.to_string())
+}
+
+fn main() {
+    om_obs::set_enabled(true);
+    assert!(om_obs::run_begin("serve_obs_smoke"), "serve_obs_smoke must own the run");
+    let ckpt_path = std::env::args()
+        .nth(1)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("serve_obs_smoke.omck"));
+
+    // ---- train + export --------------------------------------------------
+    let world = SynthWorld::generate(SynthConfig::tiny(), &["Books", "Movies"]);
+    let scenario = world.scenario("Books", "Movies", SplitConfig::default());
+    let cfg = OmniMatchConfig::fast().with_seed(7);
+    let trained = Trainer::new(cfg.clone()).fit(&scenario);
+    trained.write_checkpoint(&ckpt_path).expect("write checkpoint");
+    let users = trained.views().users().to_vec();
+    let vocab_size = trained.views().vocab.len();
+    drop(trained);
+    om_obs::manifest_set("serve.users", (users.len() as u64).into());
+
+    // ---- front-end + stats endpoint --------------------------------------
+    let (resp_tx, resp_rx) = channel();
+    let factory_ckpt = ckpt_path.clone();
+    // om-lint: allow(thread-spawn) — the front-end consumer thread is the
+    // serving shape under smoke; the factory reloads the checkpoint there
+    // (the real deployment path — engines are built on the worker).
+    let fe = Frontend::spawn(
+        move || {
+            let model =
+                load_model_file(&cfg, vocab_size, &factory_ckpt).expect("reload checkpoint");
+            let views = CorpusViews::build(&scenario, &cfg, &mut seeded_rng(cfg.seed));
+            let warm = scenario.train_users.clone();
+            ServeEngine::new(model, views, &warm, ServeOptions::default())
+        },
+        FrontendOptions { queue_cap: 256, batch: 8, wait_us: 200 },
+        resp_tx,
+    )
+    .expect("spawn front-end");
+    fe.register_health();
+
+    let server = StatsServer::spawn_from_env().unwrap_or_else(|| {
+        // om-lint: allow(thread-spawn) — no OM_OBS_ADDR: the smoke still
+        // needs an endpoint, so bind an ephemeral loopback port.
+        StatsServer::spawn("127.0.0.1:0").expect("bind loopback stats endpoint")
+    });
+    let addr = server.local_addr();
+    om_obs::info!("serve obs smoke: stats endpoint on {addr}");
+
+    // ---- drive a request stream ------------------------------------------
+    let handle = fe.handle();
+    let rounds = 3u64;
+    let mut sent = 0u64;
+    for round in 0..rounds {
+        for (i, &user) in users.iter().enumerate() {
+            let id = round * users.len() as u64 + i as u64;
+            // The queue outlives any burst here; every submit must land.
+            while handle.try_send(Request { id, user, arrive_us: 0 }).is_err() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            sent += 1;
+        }
+    }
+    // om-lint: nondeterminism-ok(wall-clock timeout around a real
+    // threaded front-end; nothing model-facing depends on it)
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while handle.stats_snapshot().served < sent {
+        // om-lint: nondeterminism-ok(same liveness timeout as above)
+        assert!(Instant::now() < deadline, "front-end did not serve {sent} requests in time");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // ---- scrape and assert -----------------------------------------------
+    let (status, metrics) = get(addr, "/metrics");
+    assert!(status.contains("200"), "/metrics: {status}");
+    for hist in
+        ["serve_queue_wait", "serve_batch_wait", "serve_score", "serve_merge", "serve_e2e"]
+    {
+        assert!(
+            metrics.contains(&format!("# TYPE {hist} histogram")),
+            "/metrics is missing the `{hist}` stage histogram:\n{metrics}"
+        );
+        assert!(metrics.contains(&format!("{hist}_count")), "no `{hist}_count`:\n{metrics}");
+    }
+    for counter in ["serve_frontend_admitted", "serve_frontend_rejected", "serve_frontend_served"]
+    {
+        assert!(metrics.contains(counter), "/metrics is missing `{counter}`:\n{metrics}");
+    }
+    assert!(
+        metrics.contains(&format!("serve_frontend_served {sent}")),
+        "served counter must read {sent}:\n{metrics}"
+    );
+
+    let (status, healthz) = get(addr, "/healthz");
+    assert!(status.contains("200"), "/healthz while serving: {status}\n{healthz}");
+    for probe in ["serve.scorer_ready ok", "serve.worker_alive ok", "serve.queue_room ok"] {
+        assert!(healthz.contains(probe), "/healthz is missing `{probe}`:\n{healthz}");
+    }
+
+    let (status, statz) = get(addr, "/statz");
+    assert!(status.contains("200"), "/statz: {status}");
+    let json = om_obs::json::Json::parse(statz.trim()).expect("/statz parses as JSON");
+    assert_eq!(
+        json.get("serve.frontend.served").and_then(om_obs::json::Json::as_u64),
+        Some(sent),
+        "/statz served counter must read {sent}"
+    );
+
+    // The live snapshot and the shutdown stats read the same atomics.
+    let snap = fe.stats_snapshot();
+    let stats = fe.shutdown().expect("shutdown front-end");
+    assert_eq!(snap.stats(), stats, "snapshot and shutdown stats diverged");
+    assert_eq!(stats.served, sent);
+    assert_eq!(stats.scorer_errors, 0);
+    assert_eq!(resp_rx.iter().count() as u64, sent, "every request got a response");
+
+    // Once the front-end deregisters its probes, /healthz turns green-empty.
+    let (status, _) = get(addr, "/healthz");
+    assert!(status.contains("200"), "/healthz after shutdown: {status}");
+    server.shutdown();
+    om_obs::manifest_set("serve.smoke_ok", true.into());
+
+    // ---- artifacts --------------------------------------------------------
+    let dir = om_obs::run_finish().expect("run artifacts written");
+    std::fs::write(dir.join("metrics.txt"), &metrics).expect("write metrics.txt");
+    std::fs::write(dir.join("healthz.txt"), &healthz).expect("write healthz.txt");
+    std::fs::write(dir.join("statz.json"), &statz).expect("write statz.json");
+    let _ = std::fs::remove_file(&ckpt_path);
+    // Machine-readable: CI captures this line to locate the artifact.
+    println!("{}", dir.display());
+}

@@ -1,0 +1,120 @@
+//! Chaos coverage for the serving telemetry plane, from the outside: run
+//! the `serve_obs_smoke` binary as a child process and assert
+//!
+//! * a clean run exits 0 and leaves the scraped `/metrics` body (with all
+//!   five per-request stage histograms) in its artifact directory;
+//! * a run killed by `OM_FAULT=scorer:2` — the injected fault on the
+//!   second microbatch flush — exits with the fault code and dumps a
+//!   parseable `flightrec.jsonl` postmortem holding the requests the
+//!   first flush served.
+//!
+//! Fault injection is configured purely through the child's environment,
+//! so this test never mutates its own process env and is safe under the
+//! parallel test runner. Each child gets its own working directory, so
+//! their `results/` trees cannot collide.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_serve_obs_smoke")
+}
+
+fn tmp_root(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("om-obs-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Recursively find `name` under `dir`.
+fn find_file(dir: &Path, name: &str) -> Option<PathBuf> {
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.file_name().is_some_and(|f| f == name) {
+                return Some(p);
+            }
+        }
+    }
+    None
+}
+
+#[test]
+fn clean_smoke_exits_zero_and_archives_the_scrape() {
+    let root = tmp_root("clean");
+    let out = Command::new(bin())
+        .arg(root.join("smoke.omck"))
+        .current_dir(&root)
+        .env("OM_OBS_ADDR", "127.0.0.1:0")
+        .env_remove("OM_FAULT")
+        .output()
+        .expect("spawn clean smoke");
+    assert!(
+        out.status.success(),
+        "clean smoke failed: {:?}\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The last stdout line is the artifact directory, relative to the
+    // child's working directory.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let rel = stdout.lines().last().expect("smoke prints its artifact dir");
+    let dir = root.join(rel);
+    let metrics = std::fs::read_to_string(dir.join("metrics.txt")).expect("archived scrape");
+    for hist in
+        ["serve_queue_wait", "serve_batch_wait", "serve_score", "serve_merge", "serve_e2e"]
+    {
+        assert!(
+            metrics.contains(&format!("# TYPE {hist} histogram")),
+            "archived /metrics is missing `{hist}`"
+        );
+    }
+    assert!(dir.join("statz.json").is_file());
+    assert!(dir.join("healthz.txt").is_file());
+    assert!(
+        find_file(&dir, "flightrec.jsonl").is_none(),
+        "a clean run must not leave a postmortem"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn faulted_smoke_exits_86_and_dumps_the_flight_recorder() {
+    let root = tmp_root("fault");
+    let status = Command::new(bin())
+        .arg(root.join("smoke.omck"))
+        .current_dir(&root)
+        .env("OM_OBS_ADDR", "127.0.0.1:0")
+        // The 2nd flush dies, so the 1st flush's served records are in
+        // the ring when the postmortem is written.
+        .env("OM_FAULT", "scorer:2")
+        .status()
+        .expect("spawn faulted smoke");
+    assert_eq!(
+        status.code(),
+        Some(om_obs::fault::EXIT_CODE),
+        "faulted smoke must die with the fault-injection exit code"
+    );
+
+    let dump = find_file(&root, "flightrec.jsonl").expect("fault must dump flightrec.jsonl");
+    let text = std::fs::read_to_string(&dump).expect("read postmortem");
+    let (reason, records) =
+        om_obs::flightrec::parse_dump(&text).expect("postmortem parses as flightrec JSONL");
+    assert_eq!(reason, "fault:scorer");
+    assert!(!records.is_empty(), "the first flush's records must be retained");
+    assert!(
+        records.iter().all(|r| {
+            r.get("event").and_then(om_obs::json::Json::as_str) == Some("served")
+                && r.get("e2e_ns").and_then(om_obs::json::Json::as_u64).is_some()
+        }),
+        "postmortem records carry the served event and stage timings:\n{text}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -75,6 +75,12 @@ pub const REGISTRY: &[EnvVar] = &[
         doc: "enable telemetry artifacts (events.jsonl, trace.json, manifest.json)",
     },
     EnvVar {
+        name: "OM_OBS_ADDR",
+        default: "unset",
+        consumer: "om-obs",
+        doc: "`host:port` to serve `/metrics`, `/healthz` and `/statz` over HTTP (unset: no socket)",
+    },
+    EnvVar {
         name: "OM_OBS_DIR",
         default: "results/obs",
         consumer: "om-obs",

@@ -28,6 +28,7 @@
 //! | `float-reduction` | no ad-hoc float reductions outside the kernel suite |
 //! | `simd-ulp-tolerance` | `// om-lint: simd` kernels register a ULP tolerance in parity.rs |
 //! | `env-registry` | every `OM_*` literal is declared; every declaration is used |
+//! | `metric-registry` | every `serve.*`/`train.*`/`load.*` metric name is declared; every declaration is emitted |
 //!
 //! The companion [`interleave`] module is the explicit-state model checker
 //! used by `tests/pool_model.rs` (worker-pool latch protocol) and
@@ -38,6 +39,7 @@ pub mod ast;
 pub mod env_registry;
 pub mod interleave;
 pub mod lexer;
+pub mod metric_registry;
 pub mod passes;
 pub mod semantic;
 
@@ -97,6 +99,7 @@ pub fn lint_repo(root: &Path) -> LintReport {
     let mut kernels: Option<(String, lexer::LexedFile)> = None;
     let mut parity: Option<lexer::LexedFile> = None;
     let mut env_used: BTreeSet<String> = BTreeSet::new();
+    let mut metric_used: BTreeSet<String> = BTreeSet::new();
 
     for path in &files {
         let rel = rel_of(root, path);
@@ -114,6 +117,7 @@ pub fn lint_repo(root: &Path) -> LintReport {
         violations.extend(semantic::check_panic_freedom(&rel, &lexed, &parsed, &policy));
         violations.extend(semantic::check_float_reduction(&rel, &lexed, &parsed, &policy));
         violations.extend(env_registry::scan_file(&rel, &lexed, &mut env_used));
+        violations.extend(metric_registry::scan_file(&rel, &lexed, &mut metric_used));
         if rel == "crates/tensor/src/kernels.rs" {
             kernels = Some((rel, lexed));
         } else if rel == "crates/tensor/tests/parity.rs" {
@@ -122,6 +126,7 @@ pub fn lint_repo(root: &Path) -> LintReport {
     }
 
     violations.extend(env_registry::check_stale(&env_used));
+    violations.extend(metric_registry::check_stale(&metric_used));
 
     match (&kernels, &parity) {
         (Some((rel, k)), Some(p)) => {

@@ -2,10 +2,13 @@
 //!
 //! Usage:
 //!   `cargo lint` (alias) / `cargo run -p om-lint -- [ROOT]` — run every pass;
-//!   `cargo lint -- --env-table` — print the registry's markdown table
+//!   `cargo lint -- --env-table` — print the env registry's markdown table
 //!   (paste between README's `om-env-table` markers);
-//!   `cargo lint -- --env-table --check` — fail if README's embedded
-//!   table has drifted from the registry (the CI drift gate).
+//!   `cargo lint -- --metric-table` — print the metric registry's markdown
+//!   table (paste between README's `om-metric-table` markers);
+//!   `cargo lint -- --env-table --check` / `--metric-table --check` — fail
+//!   if README's embedded table has drifted from the registry (the CI
+//!   drift gates).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -19,9 +22,41 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
+/// Print a registry table, or with `check`, diff it against README.
+fn table_mode(
+    root: &Path,
+    check: bool,
+    what: &str,
+    rendered: String,
+    check_readme: impl Fn(&str) -> Result<(), String>,
+) -> ExitCode {
+    if !check {
+        print!("{rendered}");
+        return ExitCode::SUCCESS;
+    }
+    let readme = match std::fs::read_to_string(root.join("README.md")) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("om-lint: cannot read README.md under {}: {err}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match check_readme(&readme) {
+        Ok(()) => {
+            println!("om-lint: README {what} table matches the registry");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("om-lint: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let env_table = args.iter().any(|a| a == "--env-table");
+    let metric_table = args.iter().any(|a| a == "--metric-table");
     let check = args.iter().any(|a| a == "--check");
     let root = args
         .iter()
@@ -30,27 +65,22 @@ fn main() -> ExitCode {
         .unwrap_or_else(workspace_root);
 
     if env_table {
-        if !check {
-            print!("{}", om_lint::env_registry::render_table());
-            return ExitCode::SUCCESS;
-        }
-        let readme = match std::fs::read_to_string(root.join("README.md")) {
-            Ok(text) => text,
-            Err(err) => {
-                eprintln!("om-lint: cannot read README.md under {}: {err}", root.display());
-                return ExitCode::FAILURE;
-            }
-        };
-        return match om_lint::env_registry::check_readme(&readme) {
-            Ok(()) => {
-                println!("om-lint: README env-var table matches the registry");
-                ExitCode::SUCCESS
-            }
-            Err(msg) => {
-                eprintln!("om-lint: {msg}");
-                ExitCode::FAILURE
-            }
-        };
+        return table_mode(
+            &root,
+            check,
+            "env-var",
+            om_lint::env_registry::render_table(),
+            om_lint::env_registry::check_readme,
+        );
+    }
+    if metric_table {
+        return table_mode(
+            &root,
+            check,
+            "metric",
+            om_lint::metric_registry::render_table(),
+            om_lint::metric_registry::check_readme,
+        );
     }
 
     let report = om_lint::lint_repo(&root);

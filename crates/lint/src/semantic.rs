@@ -80,6 +80,9 @@ pub const PANIC_FREE_FILES: &[&str] = &[
     "crates/serve/src/shard.rs",
     "crates/serve/src/frontend.rs",
     "crates/serve/src/batcher.rs",
+    "crates/obs/src/live.rs",
+    "crates/obs/src/http.rs",
+    "crates/obs/src/flightrec.rs",
 ];
 
 /// Crates whose float math feeds model outputs.

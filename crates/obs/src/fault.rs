@@ -10,10 +10,13 @@
 //! | `ckpt-save` | after a checkpoint tmp file is written, **before** the atomic rename |
 //! | `optim-step` | entry of `Adadelta::step` (once per batch) |
 //! | `trial` | start of each experiment trial in the runner |
+//! | `scorer` | the serving front-end, just before a microbatch flush scores |
 //!
 //! Before exiting, the injected fault is mirrored into the om-obs event
-//! stream (`kind: "fault"`) and the active run is flushed, so `obs-report`
-//! shows exactly where a chaos run died. When `OM_FAULT` is unset every
+//! stream (`kind: "fault"`), the flight recorder is dumped
+//! (`flightrec.jsonl` — the last N per-request records, the serving
+//! postmortem), and the active run is flushed, so `obs-report` shows
+//! exactly where a chaos run died. When `OM_FAULT` is unset every
 //! kill point is a single relaxed atomic load.
 //!
 //! Every `kill_point` call site outside this crate must carry a
@@ -112,9 +115,10 @@ pub fn should_kill(site: &str) -> bool {
 }
 
 /// A named kill point. When `OM_FAULT=<site>:<nth>` targets this site and
-/// this is the `nth` hit: emit a `fault` event, flush the active om-obs
-/// run, and terminate the process with [`EXIT_CODE`]. Otherwise (the
-/// overwhelmingly common case) this is one relaxed atomic load.
+/// this is the `nth` hit: emit a `fault` event, dump the flight recorder,
+/// flush the active om-obs run, and terminate the process with
+/// [`EXIT_CODE`]. Otherwise (the overwhelmingly common case) this is one
+/// relaxed atomic load.
 pub fn kill_point(site: &str) {
     if !should_kill(site) {
         return;
@@ -128,6 +132,9 @@ pub fn kill_point(site: &str) {
             ("nth", crate::Value::U64(nth)),
         ],
     );
+    // Dump before `run_finish` so the postmortem lands in the same run
+    // directory the event stream is about to be written to.
+    let _ = crate::flightrec::dump(&format!("fault:{site}"));
     let _ = crate::run_finish();
     std::process::exit(EXIT_CODE);
 }

@@ -22,7 +22,13 @@
 //! | `OM_OBS=1` | enable tracing/metrics/telemetry (default off) |
 //! | `OM_LOG=error…trace` | stderr log level of the [`info!`]-family macros (default `info`) |
 //! | `OM_OBS_DIR=path` | sink root (default `results/obs/`) |
+//! | `OM_OBS_ADDR=host:port` | serve `/metrics`, `/healthz`, `/statz` over HTTP (see [`http`]; default: no socket) |
 //! | `OM_FAULT=site:nth` | fault injection: kill the process at a named kill point (see [`fault`]) |
+//!
+//! Independent of `OM_OBS`, the **live stats plane** ([`live`]) is always
+//! on: cheap atomic counters/gauges and seqlock histograms readable at
+//! any moment, exposed over HTTP by [`http`] and complemented by the
+//! [`flightrec`] crash flight recorder.
 //!
 //! Tests override all three programmatically ([`set_enabled`],
 //! [`logger::set_level`], [`set_out_root`]) — environment reads happen
@@ -40,7 +46,10 @@
 
 pub mod clock;
 pub mod fault;
+pub mod flightrec;
+pub mod http;
 pub mod json;
+pub mod live;
 pub mod logger;
 pub mod metrics;
 pub mod report;

@@ -1,0 +1,528 @@
+//! The live stats plane: always-on counters, integer gauges and
+//! seqlock-snapshot histograms that can be read *while the server runs*.
+//!
+//! [`crate::metrics`] is a run-scoped registry: [`crate::metrics::snapshot`]
+//! reads **and resets**, which is right for per-run artifacts but wrong
+//! for a `/metrics` endpoint that must observe monotone totals at any
+//! moment. This module is its live twin:
+//!
+//! * updates are single relaxed atomic ops (counters, gauges) or a short
+//!   seqlock-guarded run of atomic adds (histograms) — no OS lock is ever
+//!   taken on the update path, and there is nothing to configure: the
+//!   plane is always on, because its cost is a handful of uncontended
+//!   atomics per request;
+//! * reads never reset: [`snapshot_all`] is non-destructive, so scraping
+//!   `/metrics` twice, or scraping while `run_finish` drains the offline
+//!   registry, cannot steal samples from anyone;
+//! * histogram snapshots cannot tear. Each histogram carries a sequence
+//!   word that writers hold odd for the duration of their three bucket /
+//!   count / sum increments; [`LiveHistogram::snapshot`] retries until it
+//!   reads the same *even* sequence on both sides of its bucket copy, at
+//!   which point `count == Σ buckets` and `sum` matches exactly (the
+//!   argument is spelled out in DESIGN.md § Live telemetry).
+//!
+//! Rendering: [`render_prometheus`] produces Prometheus text exposition
+//! (dots become underscores; power-of-two buckets become cumulative
+//! `le` buckets), [`render_statz`] the JSON form — both consumed by the
+//! [`crate::http`] endpoint.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json::Json;
+use crate::metrics::{bucket_bounds, bucket_index, HIST_BUCKETS};
+
+/// A monotone live counter (never reset).
+#[derive(Clone)]
+pub struct LiveCounter(Arc<AtomicU64>);
+
+impl LiveCounter {
+    /// Add `v`.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An integer live gauge (queue depths, in-flight counts, 0/1 liveness).
+#[derive(Clone)]
+pub struct LiveGauge(Arc<AtomicU64>);
+
+impl LiveGauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Increment (e.g. a request entered the queue).
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrement, saturating at zero.
+    #[inline]
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Raise the gauge to `v` if it is below (high-water marks).
+    #[inline]
+    pub fn raise(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+struct LiveHisto {
+    /// Seqlock word: odd while a writer is mid-update. Writers serialise
+    /// on it with a CAS (uncontended in the serving shape: one worker
+    /// thread feeds each stage histogram); readers never write it.
+    seq: AtomicU64,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A live histogram over `u64` samples (nanoseconds, in practice) with
+/// tear-free snapshots. Same 64 power-of-two buckets as
+/// [`crate::metrics::Histogram`].
+#[derive(Clone)]
+pub struct LiveHistogram(Arc<LiveHisto>);
+
+/// One tear-free histogram snapshot: `count` always equals the sum of
+/// `buckets`, and `sum` was produced by exactly those samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: u64,
+    /// Dense per-bucket counts, `HIST_BUCKETS` long.
+    pub buckets: Vec<u64>,
+}
+
+impl HistSnapshot {
+    /// Nearest-rank quantile estimate (bucket midpoint, ≤ 2× relative
+    /// error); `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        crate::metrics::quantile_of(&self.buckets, q)
+    }
+
+    /// Exact mean of the recorded samples; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+}
+
+impl LiveHistogram {
+    fn new() -> LiveHistogram {
+        LiveHistogram(Arc::new(LiveHisto {
+            seq: AtomicU64::new(0),
+            buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// Record one sample. Writers serialise on the sequence word (a CAS
+    /// even→odd, then three relaxed adds, then a release store back to
+    /// even); with the single-writer-per-histogram serving shape the CAS
+    /// never spins.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let h = &self.0;
+        let mut seq = h.seq.load(Ordering::Relaxed);
+        loop {
+            if seq & 1 == 1 {
+                std::hint::spin_loop();
+                seq = h.seq.load(Ordering::Relaxed);
+                continue;
+            }
+            match h
+                .seq
+                .compare_exchange_weak(seq, seq + 1, Ordering::Acquire, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(cur) => seq = cur,
+            }
+        }
+        if let Some(b) = h.buckets.get(bucket_index(v)) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(v, Ordering::Relaxed);
+        h.seq.store(seq + 2, Ordering::Release);
+    }
+
+    /// A consistent snapshot: retries the bucket copy until the sequence
+    /// word is even and unchanged across it, so the returned counts
+    /// reflect a quiescent point (`count == Σ buckets`, `sum` exact).
+    pub fn snapshot(&self) -> HistSnapshot {
+        let h = &self.0;
+        loop {
+            let s1 = h.seq.load(Ordering::Acquire);
+            if s1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let buckets: Vec<u64> = h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+            let count = h.count.load(Ordering::Relaxed);
+            let sum = h.sum.load(Ordering::Relaxed);
+            std::sync::atomic::fence(Ordering::Acquire);
+            if h.seq.load(Ordering::Relaxed) == s1 {
+                return HistSnapshot { count, sum, buckets };
+            }
+        }
+    }
+
+    /// Samples recorded so far (monotone; may be mid-update relative to
+    /// the buckets — use [`LiveHistogram::snapshot`] for consistency).
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+}
+
+enum LiveMetric {
+    Counter(LiveCounter),
+    Gauge(LiveGauge),
+    Histogram(LiveHistogram),
+}
+
+static REGISTRY: OnceLock<Mutex<BTreeMap<String, LiveMetric>>> = OnceLock::new();
+
+fn registry() -> &'static Mutex<BTreeMap<String, LiveMetric>> {
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn lock_registry() -> std::sync::MutexGuard<'static, BTreeMap<String, LiveMetric>> {
+    // The map only ever grows and every value is Arc-backed, so a panic
+    // mid-insert cannot leave torn state worth poisoning over.
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Look up (or create) the live counter `name`. A name registered with a
+/// different kind returns a fresh detached handle (and a WARN log) rather
+/// than panicking — the live plane must never take a serving thread down.
+pub fn counter(name: &str) -> LiveCounter {
+    let mut reg = lock_registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| LiveMetric::Counter(LiveCounter(Arc::new(AtomicU64::new(0)))))
+    {
+        LiveMetric::Counter(c) => c.clone(),
+        _ => {
+            crate::warn!("live metric `{name}` already registered with a different kind");
+            LiveCounter(Arc::new(AtomicU64::new(0)))
+        }
+    }
+}
+
+/// Look up (or create) the live gauge `name`; see [`counter`] on kind
+/// mismatches.
+pub fn gauge(name: &str) -> LiveGauge {
+    let mut reg = lock_registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| LiveMetric::Gauge(LiveGauge(Arc::new(AtomicU64::new(0)))))
+    {
+        LiveMetric::Gauge(g) => g.clone(),
+        _ => {
+            crate::warn!("live metric `{name}` already registered with a different kind");
+            LiveGauge(Arc::new(AtomicU64::new(0)))
+        }
+    }
+}
+
+/// Look up (or create) the live histogram `name`; see [`counter`] on kind
+/// mismatches.
+pub fn histogram(name: &str) -> LiveHistogram {
+    let mut reg = lock_registry();
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| LiveMetric::Histogram(LiveHistogram::new()))
+    {
+        LiveMetric::Histogram(h) => h.clone(),
+        _ => {
+            crate::warn!("live metric `{name}` already registered with a different kind");
+            LiveHistogram::new()
+        }
+    }
+}
+
+/// One live metric's state, as captured by [`snapshot_all`].
+#[derive(Debug, Clone)]
+pub enum LiveSnapshot {
+    /// Counter value.
+    Counter {
+        /// Registered name.
+        name: String,
+        /// Monotone total.
+        value: u64,
+    },
+    /// Gauge value.
+    Gauge {
+        /// Registered name.
+        name: String,
+        /// Last written value.
+        value: u64,
+    },
+    /// Histogram state.
+    Histogram {
+        /// Registered name.
+        name: String,
+        /// Tear-free state.
+        hist: HistSnapshot,
+    },
+}
+
+impl LiveSnapshot {
+    /// The metric's registered name.
+    pub fn name(&self) -> &str {
+        match self {
+            LiveSnapshot::Counter { name, .. }
+            | LiveSnapshot::Gauge { name, .. }
+            | LiveSnapshot::Histogram { name, .. } => name,
+        }
+    }
+}
+
+/// Non-destructive snapshot of every live metric, sorted by name. Empty
+/// metrics are included: a registered-but-unsampled histogram is still a
+/// fact worth exposing (`/metrics` scrapes want stable series).
+pub fn snapshot_all() -> Vec<LiveSnapshot> {
+    let reg = lock_registry();
+    reg.iter()
+        .map(|(name, metric)| match metric {
+            LiveMetric::Counter(c) => LiveSnapshot::Counter {
+                name: name.clone(),
+                value: c.get(),
+            },
+            LiveMetric::Gauge(g) => LiveSnapshot::Gauge {
+                name: name.clone(),
+                value: g.get(),
+            },
+            LiveMetric::Histogram(h) => LiveSnapshot::Histogram {
+                name: name.clone(),
+                hist: h.snapshot(),
+            },
+        })
+        .collect()
+}
+
+/// A metric name in Prometheus form: every character outside
+/// `[a-zA-Z0-9_]` becomes `_` (so `serve.queue_wait` →
+/// `serve_queue_wait`).
+pub fn prometheus_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+/// Render snapshots as Prometheus text exposition (version 0.0.4):
+/// counters and gauges as single samples, histograms as cumulative
+/// `_bucket{le="…"}` series plus `_sum` / `_count`.
+pub fn render_prometheus(snaps: &[LiveSnapshot]) -> String {
+    let mut out = String::new();
+    for snap in snaps {
+        let pname = prometheus_name(snap.name());
+        match snap {
+            LiveSnapshot::Counter { value, .. } => {
+                out.push_str(&format!("# TYPE {pname} counter\n{pname} {value}\n"));
+            }
+            LiveSnapshot::Gauge { value, .. } => {
+                out.push_str(&format!("# TYPE {pname} gauge\n{pname} {value}\n"));
+            }
+            LiveSnapshot::Histogram { hist, .. } => {
+                out.push_str(&format!("# TYPE {pname} histogram\n"));
+                // Render up to the highest non-empty bucket, cumulative,
+                // then the mandatory `+Inf` catch-all.
+                let last = hist
+                    .buckets
+                    .iter()
+                    .rposition(|&c| c > 0)
+                    .map(|i| i + 1)
+                    .unwrap_or(0);
+                let mut cum = 0u64;
+                for (i, c) in hist.buckets.iter().take(last).enumerate() {
+                    cum += c;
+                    let (_, hi) = bucket_bounds(i);
+                    out.push_str(&format!("{pname}_bucket{{le=\"{hi}\"}} {cum}\n"));
+                }
+                out.push_str(&format!(
+                    "{pname}_bucket{{le=\"+Inf\"}} {}\n{pname}_sum {}\n{pname}_count {}\n",
+                    hist.count, hist.sum, hist.count
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Render snapshots as the `/statz` JSON object: one key per metric;
+/// histograms carry count/sum/quantile estimates plus the sparse buckets.
+pub fn render_statz(snaps: &[LiveSnapshot]) -> Json {
+    let mut obj = BTreeMap::new();
+    for snap in snaps {
+        let value = match snap {
+            LiveSnapshot::Counter { value, .. } | LiveSnapshot::Gauge { value, .. } => {
+                Json::Num(*value as f64)
+            }
+            LiveSnapshot::Histogram { hist, .. } => {
+                let mut h = BTreeMap::new();
+                h.insert("count".to_string(), Json::Num(hist.count as f64));
+                h.insert("sum".to_string(), Json::Num(hist.sum as f64));
+                for (key, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+                    if let Some(est) = hist.quantile(q) {
+                        h.insert(key.to_string(), Json::Num(est as f64));
+                    }
+                }
+                let buckets: Vec<Json> = hist
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, &c)| Json::Arr(vec![Json::Num(i as f64), Json::Num(c as f64)]))
+                    .collect();
+                h.insert("buckets".to_string(), Json::Arr(buckets));
+                Json::Obj(h)
+            }
+        };
+        obj.insert(snap.name().to_string(), value);
+    }
+    Json::Obj(obj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_are_live_and_non_resetting() {
+        let c = counter("test.live.counter");
+        c.add(3);
+        let _ = snapshot_all();
+        c.add(2);
+        assert_eq!(counter("test.live.counter").get(), 5, "snapshots must not reset");
+        let g = gauge("test.live.gauge");
+        g.set(7);
+        g.inc();
+        g.dec();
+        g.dec();
+        g.dec();
+        assert_eq!(g.get(), 5);
+        g.raise(9);
+        g.raise(4);
+        assert_eq!(g.get(), 9, "raise keeps the high-water mark");
+        let z = gauge("test.live.zero");
+        z.dec();
+        assert_eq!(z.get(), 0, "dec saturates at zero");
+    }
+
+    #[test]
+    fn histogram_snapshot_is_internally_consistent() {
+        let h = histogram("test.live.hist");
+        for v in [0u64, 1, 5, 1000, 123_456] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 124_462);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+        assert!(snap.quantile(0.5).is_some());
+        assert_eq!(snap.buckets.len(), HIST_BUCKETS);
+    }
+
+    #[test]
+    fn concurrent_writers_never_produce_a_torn_snapshot() {
+        let h = histogram("test.live.torn");
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let h = h.clone();
+                // om-lint: allow(thread-spawn) — test thread, not pool work.
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        h.record(w * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        // Read continuously while the writers hammer: every snapshot must
+        // satisfy count == Σ buckets (the no-tear invariant).
+        for _ in 0..200 {
+            let snap = h.snapshot();
+            assert_eq!(
+                snap.buckets.iter().sum::<u64>(),
+                snap.count,
+                "torn snapshot observed"
+            );
+        }
+        for w in writers {
+            w.join().expect("writer");
+        }
+        let final_snap = h.snapshot();
+        assert_eq!(final_snap.count, 8_000);
+        assert_eq!(final_snap.buckets.iter().sum::<u64>(), 8_000);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative_and_named() {
+        let h = histogram("test.live.prom");
+        h.record(1);
+        h.record(3);
+        let snaps: Vec<LiveSnapshot> = snapshot_all()
+            .into_iter()
+            .filter(|s| s.name() == "test.live.prom" || s.name() == "test.live.counter")
+            .collect();
+        let text = render_prometheus(&snaps);
+        assert!(text.contains("# TYPE test_live_prom histogram"), "{text}");
+        assert!(text.contains("test_live_prom_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("test_live_prom_count 2"), "{text}");
+        assert!(text.contains("test_live_prom_sum 4"), "{text}");
+        // le="1" covers the sample 1; le="3" covers [2,3] cumulatively.
+        assert!(text.contains("test_live_prom_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("test_live_prom_bucket{le=\"3\"} 2"), "{text}");
+    }
+
+    #[test]
+    fn statz_rendering_parses_back() {
+        let c = counter("test.live.statz");
+        c.add(1);
+        let h = histogram("test.live.statz_h");
+        h.record(42);
+        let json = render_statz(&snapshot_all());
+        let parsed = Json::parse(&json.to_string()).expect("statz JSON parses");
+        assert_eq!(
+            parsed.get("test.live.statz_h").and_then(|h| h.get("count")).and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn kind_mismatch_degrades_instead_of_panicking() {
+        let _ = counter("test.live.kind");
+        let g = gauge("test.live.kind");
+        g.set(5);
+        assert_eq!(g.get(), 5, "detached handle still works");
+        assert_eq!(counter("test.live.kind").get(), 0, "registry keeps the original");
+    }
+}

@@ -64,7 +64,7 @@ pub(crate) struct Histo {
 }
 
 /// Bucket index of a sample: 0 for 0, else `64 - leading_zeros`, capped.
-fn bucket_index(v: u64) -> usize {
+pub(crate) fn bucket_index(v: u64) -> usize {
     if v == 0 {
         0
     } else {

@@ -408,6 +408,45 @@ pub fn summarize(dir: &Path) -> Result<String, String> {
         }
     }
 
+    // ---- serving stage attribution ----
+    // When the front-end's end-to-end histogram is in the stream, break
+    // the request lifecycle down by stage. `share` is total stage ns over
+    // total e2e ns — a rough attribution: queue/batch-wait/e2e are
+    // per-request series while score/merge are per-flush, so shares need
+    // not sum to 100.
+    let find_hist = |name: &str| hists.iter().find(|(n, ..)| n == name);
+    if let Some((_, e2e_count, e2e_sum, _)) = find_hist("serve.e2e") {
+        if *e2e_count > 0 && *e2e_sum > 0 {
+            out.push_str("\n-- serving stage attribution --\n");
+            out.push_str(&format!(
+                "{:<18}  {:>10}  {:>10}  {:>10}  {:>10}  {:>7}\n",
+                "stage", "count", "mean", "p50", "p99", "share"
+            ));
+            for stage in [
+                "serve.queue_wait",
+                "serve.batch_wait",
+                "serve.score",
+                "serve.merge",
+                "serve.e2e",
+            ] {
+                let Some((name, count, sum, buckets)) = find_hist(stage) else {
+                    continue;
+                };
+                if *count == 0 {
+                    continue;
+                }
+                let q = |q: f64| quantile_of(buckets, q).map(fmt_ns).unwrap_or_default();
+                out.push_str(&format!(
+                    "{name:<18}  {count:>10}  {:>10}  {:>10}  {:>10}  {:>6.1}%\n",
+                    fmt_ns(sum / count),
+                    q(0.5),
+                    q(0.99),
+                    100.0 * *sum as f64 / *e2e_sum as f64,
+                ));
+            }
+        }
+    }
+
     // ---- counters & gauges ----
     if !counters.is_empty() || !gauges.is_empty() {
         out.push_str("\n-- counters & gauges --\n");
@@ -527,6 +566,34 @@ mod tests {
         let report = summarize(&dir).unwrap();
         assert!(report.contains("injected faults"), "{report}");
         assert!(report.contains("ckpt-save"), "{report}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summarize_renders_stage_attribution() {
+        let dir = std::env::temp_dir().join(format!("om-obs-report-stages-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let text = concat!(
+            "{\"kind\":\"run\",\"t\":0,\"name\":\"serve\",\"schema\":1}\n",
+            "{\"kind\":\"hist\",\"t\":10,\"name\":\"serve.e2e\",\"count\":2,\"sum\":2000,\
+             \"buckets\":[[10,2]]}\n",
+            "{\"kind\":\"hist\",\"t\":10,\"name\":\"serve.queue_wait\",\"count\":2,\"sum\":500,\
+             \"buckets\":[[8,2]]}\n",
+        );
+        std::fs::write(dir.join("events.jsonl"), text).unwrap();
+        let report = summarize(&dir).unwrap();
+        assert!(report.contains("serving stage attribution"), "{report}");
+        assert!(report.contains("serve.queue_wait"), "{report}");
+        assert!(report.contains("25.0%"), "{report}");
+        // Without the e2e series there is no attribution to render.
+        let no_e2e = concat!(
+            "{\"kind\":\"run\",\"t\":0,\"name\":\"serve\",\"schema\":1}\n",
+            "{\"kind\":\"hist\",\"t\":10,\"name\":\"serve.queue_wait\",\"count\":2,\"sum\":500,\
+             \"buckets\":[[8,2]]}\n",
+        );
+        std::fs::write(dir.join("events.jsonl"), no_e2e).unwrap();
+        let report = summarize(&dir).unwrap();
+        assert!(!report.contains("serving stage attribution"), "{report}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

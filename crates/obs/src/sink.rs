@@ -101,6 +101,7 @@ struct Event {
 
 static EVENTS: Mutex<Vec<Event>> = Mutex::new(Vec::new());
 static RUN: Mutex<Option<String>> = Mutex::new(None);
+static RUN_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
 static OUT_ROOT: Mutex<Option<PathBuf>> = Mutex::new(None);
 static MANIFEST: Mutex<Option<BTreeMap<String, Value>>> = Mutex::new(None);
 
@@ -164,6 +165,31 @@ pub fn run_active() -> bool {
     lock(&RUN).is_some()
 }
 
+/// The directory mid-run artifacts (e.g. the flight recorder's
+/// `flightrec.jsonl`) should land in. With a run active this resolves —
+/// and **pins** — the run's output directory, so a dump written now and
+/// the `events.jsonl` written by [`run_finish`] later end up side by
+/// side. With no run active, a fresh unique directory named `fallback`
+/// under [`out_root`].
+pub(crate) fn artifact_dir(fallback: &str) -> PathBuf {
+    let run_name = lock(&RUN).clone();
+    match run_name {
+        Some(name) => {
+            let mut pinned = lock(&RUN_DIR);
+            if let Some(dir) = pinned.clone() {
+                return dir;
+            }
+            let dir = unique_dir(&out_root(), &name);
+            // Reserve it on disk so a concurrent `unique_dir` probe can
+            // never hand the same name to someone else.
+            let _ = std::fs::create_dir_all(&dir);
+            *pinned = Some(dir.clone());
+            dir
+        }
+        None => unique_dir(&out_root(), fallback),
+    }
+}
+
 /// Open a run named `name`. Returns `true` if this call took ownership
 /// (observability enabled and no run was active); the owner must
 /// eventually call [`run_finish`] — or hold the [`RunScope`] from
@@ -224,7 +250,11 @@ pub fn run_finish() -> Option<PathBuf> {
     let metric_snaps = metrics::snapshot();
     let meta = lock(&MANIFEST).take().unwrap_or_default();
 
-    let dir = unique_dir(&out_root(), &name);
+    // Reuse the directory a mid-run artifact dump already pinned, so the
+    // flight recorder and the event stream describe the same run dir.
+    let dir = lock(&RUN_DIR)
+        .take()
+        .unwrap_or_else(|| unique_dir(&out_root(), &name));
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("[WARN  om_obs] cannot create {}: {e}", dir.display());
         return None;

@@ -11,22 +11,29 @@
 //! inside the kernels via `om_tensor::runtime` — and time is passed in by
 //! the caller, so a replay under a virtual clock is exactly reproducible
 //! (and testable) while production callers pass a monotonic clock.
+//!
+//! The batcher is generic over its item type (defaulting to [`Request`]):
+//! the threaded front-end batches requests *wrapped with their telemetry
+//! stamps* (admission and dequeue timestamps for the per-stage latency
+//! attribution), while the synchronous replay paths keep batching plain
+//! [`Request`]s. Batching policy cannot depend on the payload, so the
+//! wrapper provably changes no flush boundary.
 
 use crate::engine::Request;
 
-/// Accumulates [`Request`]s and decides when a batch is due.
-pub struct Microbatcher {
-    pending: Vec<Request>,
+/// Accumulates items and decides when a batch is due.
+pub struct Microbatcher<T = Request> {
+    pending: Vec<T>,
     batch: usize,
     wait_us: u64,
     oldest_us: u64,
 }
 
-impl Microbatcher {
+impl<T> Microbatcher<T> {
     /// A batcher flushing at `batch` pending requests or `wait_us`
     /// microseconds of queueing, whichever comes first. `batch == 1`
     /// degenerates to unbatched serving.
-    pub fn new(batch: usize, wait_us: u64) -> Microbatcher {
+    pub fn new(batch: usize, wait_us: u64) -> Microbatcher<T> {
         Microbatcher {
             pending: Vec::with_capacity(batch.max(1)),
             batch: batch.max(1),
@@ -37,7 +44,7 @@ impl Microbatcher {
 
     /// Enqueue a request arriving at `now_us`. Returns the batch to score
     /// when this arrival filled it.
-    pub fn submit(&mut self, req: Request, now_us: u64) -> Option<Vec<Request>> {
+    pub fn submit(&mut self, req: T, now_us: u64) -> Option<Vec<T>> {
         if self.pending.is_empty() {
             self.oldest_us = now_us;
         }
@@ -50,7 +57,7 @@ impl Microbatcher {
     }
 
     /// Flush if the oldest pending request has waited out the deadline.
-    pub fn poll(&mut self, now_us: u64) -> Option<Vec<Request>> {
+    pub fn poll(&mut self, now_us: u64) -> Option<Vec<T>> {
         if !self.pending.is_empty() && now_us.saturating_sub(self.oldest_us) >= self.wait_us {
             self.take()
         } else {
@@ -59,7 +66,7 @@ impl Microbatcher {
     }
 
     /// Unconditionally flush whatever is pending (end of trace/shutdown).
-    pub fn drain(&mut self) -> Option<Vec<Request>> {
+    pub fn drain(&mut self) -> Option<Vec<T>> {
         if self.pending.is_empty() {
             None
         } else {
@@ -78,7 +85,7 @@ impl Microbatcher {
         self.oldest_us
     }
 
-    fn take(&mut self) -> Option<Vec<Request>> {
+    fn take(&mut self) -> Option<Vec<T>> {
         Some(std::mem::take(&mut self.pending))
     }
 }
@@ -134,5 +141,16 @@ mod tests {
     fn batch_of_one_is_unbatched_serving() {
         let mut b = Microbatcher::new(1, 1_000);
         assert_eq!(b.submit(req(9), 5).expect("immediate flush").len(), 1);
+    }
+
+    #[test]
+    fn generic_items_batch_identically_to_requests() {
+        // The front-end batches a stamped wrapper; same policy, any T.
+        let mut b: Microbatcher<(u64, &str)> = Microbatcher::new(2, 100);
+        assert!(b.submit((1, "a"), 0).is_none());
+        let batch = b.submit((2, "b"), 1).expect("fills at 2");
+        assert_eq!(batch, vec![(1, "a"), (2, "b")]);
+        assert!(b.submit((3, "c"), 10).is_none());
+        assert_eq!(b.poll(110).expect("deadline flush").len(), 1);
     }
 }

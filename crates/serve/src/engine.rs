@@ -189,15 +189,24 @@ impl ServeEngine {
         }
         let t0 = om_obs::clock::now_ns();
         let rows = self.score_batch(reqs)?;
+        let t_scored = om_obs::clock::now_ns();
         let out: Vec<Response> = reqs
             .iter()
             .zip(&rows)
             .map(|(&req, scores)| self.respond(req, scores))
             .collect();
+        let t_merged = om_obs::clock::now_ns();
         om_obs::metrics::counter("serve.requests").add(reqs.len() as u64);
         om_obs::metrics::counter("serve.flushes").add(1);
-        om_obs::metrics::histogram("serve.flush_ns")
-            .record(om_obs::clock::now_ns().saturating_sub(t0));
+        om_obs::metrics::histogram("serve.flush_ns").record(t_merged.saturating_sub(t0));
+        // Stage attribution, into both planes (see frontend.rs docs):
+        // score = the fused forward; merge = per-request top-K selection.
+        let score_ns = t_scored.saturating_sub(t0);
+        let merge_ns = t_merged.saturating_sub(t_scored);
+        om_obs::metrics::histogram("serve.score").record(score_ns);
+        om_obs::live::histogram("serve.score").record(score_ns);
+        om_obs::metrics::histogram("serve.merge").record(merge_ns);
+        om_obs::live::histogram("serve.merge").record(merge_ns);
         Ok(out)
     }
 

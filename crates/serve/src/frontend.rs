@@ -33,11 +33,32 @@
 //! memory, and everything beyond that is rejected at submit time where
 //! the caller can retry, degrade, or shed. `tests/frontend_backpressure.rs`
 //! pins the queue behaviours.
+//!
+//! ## Telemetry
+//!
+//! Every accepted request is stamped with a monotone admission sequence
+//! number and clock readings at admission, dequeue, batch close and
+//! reply; the deltas feed the per-stage latency histograms
+//! `serve.queue_wait`, `serve.batch_wait` and `serve.e2e` (the engines
+//! record `serve.score` / `serve.merge` inside the flush), each recorded
+//! into **both** the run-scoped [`om_obs::metrics`] registry (for
+//! `events.jsonl` / `obs-report`) and the always-on [`om_obs::live`]
+//! plane (for `/metrics`). All tallies live in one set of shared atomics
+//! ([`StatsSnapshot`] via [`FrontendHandle::stats_snapshot`]), and the
+//! shutdown [`FrontendStats`] is derived from the *same* atomics, so the
+//! two views cannot disagree. Served, rejected and scorer-error events
+//! also land in the [`om_obs::flightrec`] ring, which is dumped on a
+//! scorer error, on [`Frontend::shutdown`] with errors, and when the
+//! `scorer` kill point fires. None of this touches the scoring inputs:
+//! responses are bitwise identical with telemetry enabled or disabled
+//! (`tests/obs_parity.rs`).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
+
+use om_obs::flightrec::FlightRecord;
 
 use crate::batcher::Microbatcher;
 use crate::engine::{Request, Response, ServeEngine};
@@ -144,8 +165,169 @@ pub struct FrontendStats {
     pub scorer_errors: u64,
 }
 
+/// A point-in-time view of the front-end, readable from any thread at any
+/// moment via [`FrontendHandle::stats_snapshot`] — no shutdown required.
+/// Backed by the same atomics the shutdown [`FrontendStats`] is built
+/// from, so the two can never disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Requests accepted past the admission gate (equal to the highest
+    /// admission sequence number handed out).
+    pub admitted: u64,
+    /// Requests scored and replied to.
+    pub served: u64,
+    /// Microbatch flushes executed.
+    pub flushes: u64,
+    /// Submits rejected because the bounded queue was at capacity.
+    pub rejected_full: u64,
+    /// Submits rejected because the front-end was shut (or shutting) down.
+    pub rejected_shutdown: u64,
+    /// Flushes whose scorer returned an error.
+    pub scorer_errors: u64,
+    /// Accepted requests that never got a response (their flush errored).
+    pub dropped: u64,
+    /// Accepted requests not yet replied to (queued, batching or scoring).
+    pub in_flight: u64,
+    /// Requests currently sitting in the bounded queue.
+    pub queue_depth: u64,
+    /// High-water mark of `queue_depth` over the front-end's lifetime.
+    pub queue_hwm: u64,
+    /// Is the worker thread still running?
+    pub worker_alive: bool,
+    /// Has the factory finished building the scorer (for engine scorers:
+    /// model loaded, item arena mapped)?
+    pub scorer_ready: bool,
+}
+
+impl StatsSnapshot {
+    /// The shutdown-shaped view of this snapshot ([`FrontendStats`] keeps
+    /// its historical field set; `rejected` counts queue-full rejections).
+    pub fn stats(&self) -> FrontendStats {
+        FrontendStats {
+            served: self.served,
+            flushes: self.flushes,
+            rejected: self.rejected_full,
+            scorer_errors: self.scorer_errors,
+        }
+    }
+}
+
+/// The shared tallies behind both [`StatsSnapshot`] and the shutdown
+/// [`FrontendStats`]: plain per-front-end atomics, updated on the
+/// admission and worker paths with relaxed ordering (each field is an
+/// independent monotone tally or gauge; cross-field consistency is not
+/// promised and not needed).
+struct FrontendLive {
+    admitted: AtomicU64,
+    served: AtomicU64,
+    flushes: AtomicU64,
+    rejected_full: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    scorer_errors: AtomicU64,
+    dropped: AtomicU64,
+    in_flight: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_hwm: AtomicU64,
+    worker_alive: AtomicBool,
+    scorer_ready: AtomicBool,
+    health_registered: AtomicBool,
+}
+
+impl FrontendLive {
+    fn new() -> FrontendLive {
+        FrontendLive {
+            admitted: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            rejected_full: AtomicU64::new(0),
+            rejected_shutdown: AtomicU64::new(0),
+            scorer_errors: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_hwm: AtomicU64::new(0),
+            worker_alive: AtomicBool::new(true),
+            scorer_ready: AtomicBool::new(false),
+            health_registered: AtomicBool::new(false),
+        }
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            rejected_full: self.rejected_full.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            scorer_errors: self.scorer_errors.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_hwm: self.queue_hwm.load(Ordering::Relaxed),
+            worker_alive: self.worker_alive.load(Ordering::Relaxed),
+            scorer_ready: self.scorer_ready.load(Ordering::Relaxed),
+        }
+    }
+
+    fn sub_in_flight(&self, n: usize) {
+        let _ = self
+            .in_flight
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n as u64))
+            });
+    }
+}
+
+/// Cached handles into the process-global [`om_obs::live`] plane that
+/// mirrors the per-front-end tallies for `/metrics` (with several
+/// front-ends in one process — tests, mostly — the global series sum
+/// over them; [`StatsSnapshot`] stays per-front-end).
+#[derive(Clone)]
+struct Mirror {
+    admitted: om_obs::live::LiveCounter,
+    served: om_obs::live::LiveCounter,
+    flushes: om_obs::live::LiveCounter,
+    rejected: om_obs::live::LiveCounter,
+    rejected_shutdown: om_obs::live::LiveCounter,
+    scorer_errors: om_obs::live::LiveCounter,
+    in_flight: om_obs::live::LiveGauge,
+    queue_depth: om_obs::live::LiveGauge,
+    queue_hwm: om_obs::live::LiveGauge,
+}
+
+impl Mirror {
+    fn new() -> Mirror {
+        Mirror {
+            admitted: om_obs::live::counter("serve.frontend.admitted"),
+            served: om_obs::live::counter("serve.frontend.served"),
+            flushes: om_obs::live::counter("serve.frontend.flushes"),
+            rejected: om_obs::live::counter("serve.frontend.rejected"),
+            rejected_shutdown: om_obs::live::counter("serve.frontend.rejected_shutdown"),
+            scorer_errors: om_obs::live::counter("serve.frontend.scorer_errors"),
+            in_flight: om_obs::live::gauge("serve.frontend.in_flight"),
+            queue_depth: om_obs::live::gauge("serve.frontend.queue_depth"),
+            queue_hwm: om_obs::live::gauge("serve.frontend.queue_hwm"),
+        }
+    }
+}
+
+/// An accepted request plus its admission stamps. Internal: the public
+/// [`Request`] is unchanged; stamps ride alongside it through the queue
+/// and the (generic) microbatcher, which provably cannot change a flush
+/// boundary based on them.
+struct Tracked {
+    req: Request,
+    /// Monotone admission sequence number, 1-based, gap-free (assigned
+    /// under the admission gate, only on successful enqueue).
+    seq: u64,
+    /// Clock at admission (ns since the process anchor).
+    admit_ns: u64,
+    /// Clock when the worker dequeued it; stamped by the worker.
+    dequeue_ns: u64,
+}
+
 enum Msg {
-    Req(Request),
+    Req(Tracked),
     Stop,
 }
 
@@ -164,7 +346,8 @@ fn gate_lock(gate: &Mutex<bool>) -> MutexGuard<'_, bool> {
 pub struct FrontendHandle {
     tx: SyncSender<Msg>,
     capacity: usize,
-    rejected: Arc<AtomicU64>,
+    live: Arc<FrontendLive>,
+    mirror: Mirror,
     /// The admission gate: once `shutdown` sets it, no further request
     /// can enter the channel, so the stop marker is provably last.
     closed: Arc<Mutex<bool>>,
@@ -175,26 +358,74 @@ impl FrontendHandle {
     /// worker returns a typed error immediately. The send happens under
     /// the admission gate so it cannot land behind the stop marker
     /// (`try_send` on a bounded channel with free space never blocks, so
-    /// the critical section is a check plus an enqueue).
+    /// the critical section is a check plus an enqueue). Accepted
+    /// requests are stamped here: admission sequence number and clock.
     pub fn try_send(&self, req: Request) -> Result<(), SubmitError> {
         let closed = gate_lock(&self.closed);
         if *closed {
+            self.live.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+            self.mirror.rejected_shutdown.add(1);
             return Err(SubmitError::Shutdown);
         }
-        match self.tx.try_send(Msg::Req(req)) {
-            Ok(()) => Ok(()),
+        let admit_ns = om_obs::clock::now_ns();
+        // All senders hold the gate, so load-then-store is race-free and
+        // the sequence stays gap-free: a seq is consumed only on accept.
+        let seq = self.live.admitted.load(Ordering::Relaxed) + 1;
+        let tracked = Tracked { req, seq, admit_ns, dequeue_ns: 0 };
+        // The depth gauge must go up *before* the send: once the message
+        // is in the channel the worker may dequeue-and-decrement it at any
+        // moment, and an increment landing after that decrement would wrap
+        // the gauge below zero. A rejected send rolls its increment back.
+        self.live.queue_depth.fetch_add(1, Ordering::Relaxed);
+        self.mirror.queue_depth.inc();
+        match self.tx.try_send(Msg::Req(tracked)) {
+            Ok(()) => {
+                self.live.admitted.store(seq, Ordering::Relaxed);
+                self.live.in_flight.fetch_add(1, Ordering::Relaxed);
+                let depth = self.live.queue_depth.load(Ordering::Relaxed);
+                self.live.queue_hwm.fetch_max(depth, Ordering::Relaxed);
+                self.mirror.admitted.add(1);
+                self.mirror.in_flight.inc();
+                self.mirror.queue_hwm.raise(depth);
+                Ok(())
+            }
             Err(TrySendError::Full(_)) => {
-                self.rejected.fetch_add(1, Ordering::Relaxed);
+                self.live.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                self.mirror.queue_depth.dec();
+                self.live.rejected_full.fetch_add(1, Ordering::Relaxed);
+                self.mirror.rejected.add(1);
                 om_obs::metrics::counter("serve.frontend.rejected").add(1);
+                om_obs::flightrec::record(FlightRecord {
+                    seq: 0,
+                    req_id: req.id,
+                    user: u64::from(req.user.0),
+                    event: "rejected",
+                    t_ns: admit_ns,
+                    stages: Vec::new(),
+                    detail: String::new(),
+                });
                 Err(SubmitError::QueueFull { capacity: self.capacity })
             }
-            Err(TrySendError::Disconnected(_)) => Err(SubmitError::Shutdown),
+            Err(TrySendError::Disconnected(_)) => {
+                self.live.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                self.mirror.queue_depth.dec();
+                self.live.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+                self.mirror.rejected_shutdown.add(1);
+                Err(SubmitError::Shutdown)
+            }
         }
     }
 
-    /// Submits rejected so far (shared across clones).
+    /// Submits rejected by admission control so far (shared across
+    /// clones).
     pub fn rejected(&self) -> u64 {
-        self.rejected.load(Ordering::Relaxed)
+        self.live.rejected_full.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time [`StatsSnapshot`], readable at any moment — before,
+    /// during or after shutdown (the handle outlives the worker).
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.live.snapshot()
     }
 }
 
@@ -202,7 +433,7 @@ impl FrontendHandle {
 /// and joins it.
 pub struct Frontend {
     handle: FrontendHandle,
-    worker: std::thread::JoinHandle<(u64, u64, u64)>,
+    worker: std::thread::JoinHandle<()>,
 }
 
 impl Frontend {
@@ -224,41 +455,122 @@ impl Frontend {
         let (tx, rx) = std::sync::mpsc::sync_channel::<Msg>(opts.queue_cap.max(1));
         let batch = opts.batch.max(1);
         let wait_us = opts.wait_us;
+        let live = Arc::new(FrontendLive::new());
+        let mirror = Mirror::new();
+        let worker_live = Arc::clone(&live);
+        let worker_mirror = mirror.clone();
         let worker = std::thread::Builder::new()
             .name("om-serve-frontend".into())
             // om-lint: allow(thread-spawn) — the front-end consumer is the
             // one long-lived thread the serving shape requires; scoring
             // inside it still fans out over the om_tensor::runtime pool.
             .spawn(move || {
+                let live = worker_live;
+                let mirror = worker_mirror;
                 let scorer = factory();
-                let mut batcher = Microbatcher::new(batch, wait_us);
+                live.scorer_ready.store(true, Ordering::Relaxed);
+                let mut batcher: Microbatcher<Tracked> = Microbatcher::new(batch, wait_us);
                 // All deadlines are relative to the process clock anchor,
                 // so the sanctioned monotonic clock suffices.
                 let now_us = || om_obs::clock::now_ns() / 1_000;
-                let mut served: u64 = 0;
-                let mut flushes: u64 = 0;
-                let mut scorer_errors: u64 = 0;
-                let mut flush = |reqs: Vec<Request>| {
-                    flushes += 1;
-                    match scorer.serve_batch(&reqs) {
+                // Stage histograms, recorded into both planes: the live
+                // seqlock histograms feed `/metrics`, the run-scoped ones
+                // feed `events.jsonl` / `obs-report`.
+                let q_wait_live = om_obs::live::histogram("serve.queue_wait");
+                let q_wait_run = om_obs::metrics::histogram("serve.queue_wait");
+                let b_wait_live = om_obs::live::histogram("serve.batch_wait");
+                let b_wait_run = om_obs::metrics::histogram("serve.batch_wait");
+                let e2e_live = om_obs::live::histogram("serve.e2e");
+                let e2e_run = om_obs::metrics::histogram("serve.e2e");
+                let flush = |reqs: Vec<Tracked>| {
+                    // om-fault: kill-point
+                    om_obs::fault::kill_point("scorer");
+                    let close_ns = om_obs::clock::now_ns();
+                    for t in &reqs {
+                        let wait = close_ns.saturating_sub(t.dequeue_ns);
+                        b_wait_live.record(wait);
+                        b_wait_run.record(wait);
+                    }
+                    live.flushes.fetch_add(1, Ordering::Relaxed);
+                    mirror.flushes.add(1);
+                    let plain: Vec<Request> = reqs.iter().map(|t| t.req).collect();
+                    match scorer.serve_batch(&plain) {
                         Ok(out) => {
-                            served += out.len() as u64;
-                            for resp in out {
+                            let reply_ns = om_obs::clock::now_ns();
+                            live.served.fetch_add(out.len() as u64, Ordering::Relaxed);
+                            mirror.served.add(out.len() as u64);
+                            for (t, resp) in reqs.iter().zip(out) {
                                 // A dropped receiver just discards
                                 // responses; the worker still drains so
                                 // shutdown stays orderly.
                                 let _ = responses.send(resp);
+                                let e2e = reply_ns.saturating_sub(t.admit_ns);
+                                e2e_live.record(e2e);
+                                e2e_run.record(e2e);
+                                om_obs::flightrec::record(FlightRecord {
+                                    seq: t.seq,
+                                    req_id: t.req.id,
+                                    user: u64::from(t.req.user.0),
+                                    event: "served",
+                                    t_ns: reply_ns,
+                                    stages: vec![
+                                        (
+                                            "queue_wait_ns",
+                                            t.dequeue_ns.saturating_sub(t.admit_ns),
+                                        ),
+                                        (
+                                            "batch_wait_ns",
+                                            close_ns.saturating_sub(t.dequeue_ns),
+                                        ),
+                                        ("e2e_ns", e2e),
+                                    ],
+                                    detail: String::new(),
+                                });
                             }
                         }
                         Err(err) => {
-                            scorer_errors += 1;
+                            live.scorer_errors.fetch_add(1, Ordering::Relaxed);
+                            live.dropped.fetch_add(reqs.len() as u64, Ordering::Relaxed);
+                            mirror.scorer_errors.add(1);
                             om_obs::error!(
                                 "serve: front-end flush of {} request(s) failed: {err}",
                                 reqs.len()
                             );
                             om_obs::metrics::counter("serve.frontend.scorer_errors").add(1);
+                            let err_ns = om_obs::clock::now_ns();
+                            let detail = err.to_string();
+                            for t in &reqs {
+                                om_obs::flightrec::record(FlightRecord {
+                                    seq: t.seq,
+                                    req_id: t.req.id,
+                                    user: u64::from(t.req.user.0),
+                                    event: "scorer_error",
+                                    t_ns: err_ns,
+                                    stages: vec![(
+                                        "queue_wait_ns",
+                                        t.dequeue_ns.saturating_sub(t.admit_ns),
+                                    )],
+                                    detail: detail.clone(),
+                                });
+                            }
+                            // Dump immediately: the postmortem should hold
+                            // the state *at* the failure, not at shutdown.
+                            let _ = om_obs::flightrec::dump("scorer_error");
                         }
                     }
+                    live.sub_in_flight(reqs.len());
+                    for _ in 0..reqs.len() {
+                        mirror.in_flight.dec();
+                    }
+                };
+                let dequeue = |mut t: Tracked| {
+                    t.dequeue_ns = om_obs::clock::now_ns();
+                    live.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    mirror.queue_depth.dec();
+                    let wait = t.dequeue_ns.saturating_sub(t.admit_ns);
+                    q_wait_live.record(wait);
+                    q_wait_run.record(wait);
+                    t
                 };
                 loop {
                     let timeout = if batcher.pending() > 0 {
@@ -271,8 +583,10 @@ impl Frontend {
                         Duration::from_millis(50)
                     };
                     match rx.recv_timeout(timeout) {
-                        Ok(Msg::Req(req)) => {
-                            if let Some(batch) = batcher.submit(req, now_us()) {
+                        Ok(Msg::Req(t)) => {
+                            let t = dequeue(t);
+                            let arrived_us = t.dequeue_ns / 1_000;
+                            if let Some(batch) = batcher.submit(t, arrived_us) {
                                 flush(batch);
                             }
                         }
@@ -288,22 +602,26 @@ impl Frontend {
                 // The admission gate means nothing can follow the stop
                 // marker; this sweep is belt-and-braces for the
                 // disconnected-exit path.
-                while let Ok(Msg::Req(req)) = rx.try_recv() {
-                    if let Some(batch) = batcher.submit(req, now_us()) {
+                while let Ok(Msg::Req(t)) = rx.try_recv() {
+                    let t = dequeue(t);
+                    let arrived_us = t.dequeue_ns / 1_000;
+                    if let Some(batch) = batcher.submit(t, arrived_us) {
                         flush(batch);
                     }
                 }
                 if let Some(rest) = batcher.drain() {
                     flush(rest);
                 }
-                om_obs::metrics::counter("serve.frontend.served").add(served);
-                (served, flushes, scorer_errors)
+                om_obs::metrics::counter("serve.frontend.served")
+                    .add(live.served.load(Ordering::Relaxed));
+                live.worker_alive.store(false, Ordering::Relaxed);
             })
             .map_err(|err| ServeError::WorkerSpawn(err.to_string()))?;
         let handle = FrontendHandle {
             tx,
             capacity: opts.queue_cap.max(1),
-            rejected: Arc::new(AtomicU64::new(0)),
+            live,
+            mirror,
             closed: Arc::new(Mutex::new(false)),
         };
         Ok(Frontend { handle, worker })
@@ -314,11 +632,44 @@ impl Frontend {
         self.handle.clone()
     }
 
+    /// A point-in-time [`StatsSnapshot`] (see
+    /// [`FrontendHandle::stats_snapshot`]).
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.handle.stats_snapshot()
+    }
+
+    /// Register this front-end's readiness probes with the
+    /// [`om_obs::http`] `/healthz` endpoint: `serve.scorer_ready` (the
+    /// factory finished — model loaded and item arena mapped, for engine
+    /// scorers), `serve.worker_alive`, and `serve.queue_room` (the
+    /// bounded queue is below capacity, i.e. admission control is not
+    /// currently shedding). [`Frontend::shutdown`] deregisters them.
+    pub fn register_health(&self) {
+        self.handle.live.health_registered.store(true, Ordering::Relaxed);
+        let ready = Arc::clone(&self.handle.live);
+        om_obs::http::set_health(
+            "serve.scorer_ready",
+            Box::new(move || ready.scorer_ready.load(Ordering::Relaxed)),
+        );
+        let alive = Arc::clone(&self.handle.live);
+        om_obs::http::set_health(
+            "serve.worker_alive",
+            Box::new(move || alive.worker_alive.load(Ordering::Relaxed)),
+        );
+        let depth = Arc::clone(&self.handle.live);
+        let cap = self.handle.capacity as u64;
+        om_obs::http::set_health(
+            "serve.queue_room",
+            Box::new(move || depth.queue_depth.load(Ordering::Relaxed) < cap),
+        );
+    }
+
     /// Stop accepting work, drain everything already accepted, join the
     /// worker, and return the tallies. Closing the admission gate first
     /// and *then* enqueueing the stop marker guarantees the marker queues
-    /// behind every accepted request — none are dropped. Errors only if
-    /// the worker itself panicked.
+    /// behind every accepted request — none are dropped. If any flush
+    /// errored, the flight recorder is dumped as a postmortem. Errors
+    /// only if the worker itself panicked.
     pub fn shutdown(self) -> Result<FrontendStats, ServeError> {
         {
             let mut closed = gate_lock(&self.handle.closed);
@@ -328,9 +679,16 @@ impl Frontend {
         // backlog. If the worker already exited (disconnected), join
         // anyway.
         let _ = self.handle.tx.send(Msg::Stop);
-        let rejected = self.handle.rejected();
-        let (served, flushes, scorer_errors) =
-            self.worker.join().map_err(|_| ServeError::WorkerPanicked)?;
-        Ok(FrontendStats { served, flushes, rejected, scorer_errors })
+        self.worker.join().map_err(|_| ServeError::WorkerPanicked)?;
+        if self.handle.live.health_registered.swap(false, Ordering::Relaxed) {
+            om_obs::http::clear_health("serve.scorer_ready");
+            om_obs::http::clear_health("serve.worker_alive");
+            om_obs::http::clear_health("serve.queue_room");
+        }
+        let snap = self.handle.stats_snapshot();
+        if snap.scorer_errors > 0 {
+            let _ = om_obs::flightrec::dump("shutdown_with_errors");
+        }
+        Ok(snap.stats())
     }
 }

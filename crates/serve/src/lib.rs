@@ -63,7 +63,8 @@ pub use blob::{ArenaBlob, BlobError, BlobKind, Verify};
 pub use engine::{Request, Response, ServeEngine, ServeOptions};
 pub use error::ServeError;
 pub use frontend::{
-    BatchScorer, Frontend, FrontendHandle, FrontendOptions, FrontendStats, SubmitError,
+    BatchScorer, Frontend, FrontendHandle, FrontendOptions, FrontendStats, StatsSnapshot,
+    SubmitError,
 };
 pub use loader::{load_model, load_model_file};
 pub use shard::ShardedEngine;

@@ -142,6 +142,7 @@ impl ShardedEngine {
             }
         }
 
+        let t_scored = om_obs::clock::now_ns();
         let out: Vec<Response> = reqs
             .iter()
             .zip(candidates)
@@ -153,10 +154,19 @@ impl ShardedEngine {
                 Response { id: req.id, user: req.user, top }
             })
             .collect();
+        let t_merged = om_obs::clock::now_ns();
         om_obs::metrics::counter("serve.shard.requests").add(reqs.len() as u64);
         om_obs::metrics::counter("serve.shard.flushes").add(1);
-        om_obs::metrics::histogram("serve.shard.flush_ns")
-            .record(om_obs::clock::now_ns().saturating_sub(t0));
+        om_obs::metrics::histogram("serve.shard.flush_ns").record(t_merged.saturating_sub(t0));
+        // Stage attribution (same series the single-arena engine feeds):
+        // score = the per-shard forwards + per-shard top-K, merge = the
+        // final per-request merge_top_k pass.
+        let score_ns = t_scored.saturating_sub(t0);
+        let merge_ns = t_merged.saturating_sub(t_scored);
+        om_obs::metrics::histogram("serve.score").record(score_ns);
+        om_obs::live::histogram("serve.score").record(score_ns);
+        om_obs::metrics::histogram("serve.merge").record(merge_ns);
+        om_obs::live::histogram("serve.merge").record(merge_ns);
         Ok(out)
     }
 

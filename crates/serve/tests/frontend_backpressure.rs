@@ -90,6 +90,14 @@ fn full_queue_is_a_typed_rejection_not_a_panic_or_a_block() {
     assert!(handle.try_send(req(100)).is_err());
     assert_eq!(handle.rejected(), 2);
 
+    // The live snapshot sees the same world, mid-run, without shutdown.
+    let snap = handle.stats_snapshot();
+    assert_eq!(snap.admitted, 1 + cap as u64);
+    assert_eq!(snap.rejected_full, 2);
+    assert_eq!(snap.in_flight, 1 + cap as u64, "accepted but not yet replied");
+    assert!(snap.worker_alive, "worker is alive (blocked in the scorer)");
+    assert!(snap.queue_hwm >= cap as u64, "queue reached its bound");
+
     // Release the scorer; every *accepted* request is served.
     drop(gate_tx);
     let stats = fe.shutdown().expect("shutdown");
@@ -98,6 +106,15 @@ fn full_queue_is_a_typed_rejection_not_a_panic_or_a_block() {
     let mut got: Vec<u64> = resp_rx.iter().map(|r| r.id).collect();
     got.sort_unstable();
     assert_eq!(got, vec![0, 1, 2, 3]);
+
+    // The handle outlives the front-end; its post-shutdown snapshot must
+    // agree with the shutdown stats *exactly* — both read the same
+    // atomics, so disagreement is impossible by construction.
+    let after = handle.stats_snapshot();
+    assert_eq!(after.stats(), stats);
+    assert_eq!(after.in_flight, 0, "everything accepted was replied to");
+    assert_eq!(after.queue_depth, 0);
+    assert!(!after.worker_alive, "worker exited at shutdown");
 }
 
 #[test]
@@ -114,6 +131,8 @@ fn shutdown_drains_every_accepted_request() {
     for id in 0..10 {
         handle.try_send(req(id)).expect("submit");
     }
+    let snapshot = fe.stats_snapshot();
+    assert_eq!(snapshot.admitted, 10);
     let stats = fe.shutdown().expect("shutdown");
     assert_eq!(stats.served, 10, "shutdown must drain accepted requests");
     assert_eq!(stats.flushes, 1, "a single drain flush");
