@@ -64,7 +64,7 @@ fn parse_flags() -> Result<Flags, String> {
         queue_cap: 256,
         inflight: 32,
         out: std::path::PathBuf::from("."),
-        opts: ServeOptions::from_env(),
+        opts: ServeOptions::from_env().map_err(|e| e.to_string())?,
     };
     let mut mean_gap_us = 650u64;
     let mut poisson = true;

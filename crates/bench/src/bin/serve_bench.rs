@@ -44,7 +44,7 @@ fn main() {
     let users = views.users().to_vec();
 
     let t0 = Instant::now();
-    let opts = ServeOptions::from_env();
+    let opts = ServeOptions::from_env().expect("serve env misconfigured");
     let engine = ServeEngine::new(model, views, &warm, opts.clone());
     let arena_ms = t0.elapsed().as_secs_f64() * 1e3;
 

@@ -214,6 +214,27 @@ impl OmniMatchModel {
         }
     }
 
+    /// Incremental user-tower encode entry point: combined target-side
+    /// feature rows (`[docs.len(), invariant_dim + specific_dim]`,
+    /// row-major) for already-encoded target documents, under
+    /// [`om_nn::inference_mode`] with nothing drawn from any RNG.
+    ///
+    /// This is the *one* code path all serving-side user rows flow
+    /// through — the offline `UserArena` precompute, the cold per-request
+    /// tower pass, and the online re-encode of a graduating user — so the
+    /// bitwise-parity contract between them reduces to the kernels'
+    /// row-independence, which `tests/` pin. Callers that batch documents
+    /// may chunk freely: each row depends only on its own document.
+    pub fn user_target_rows(&self, docs: &[&[usize]]) -> Vec<f32> {
+        let _mode = om_nn::inference_mode();
+        // Never drawn from under inference mode; the signature demands one.
+        let mut rng = om_tensor::seeded_rng(0);
+        self.user_features(docs, DomainSide::Target, false, &mut rng)
+            .combined
+            .data()
+            .to_vec()
+    }
+
     /// Extract item features (§4.2: items use only the shared-style head).
     pub fn item_features(&self, docs: &[&[usize]], training: bool, rng: &mut Rng) -> Tensor {
         let embedded = self.embed_docs(docs);

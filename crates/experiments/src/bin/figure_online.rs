@@ -1,0 +1,110 @@
+//! **Figure (online)** — the trajectory none of the related repos
+//! measure: recommendation quality as a cold-start user accumulates live
+//! target-domain interactions and graduates to warm inference.
+//!
+//! Setup: train on the synthetic Books→Movies scenario, then serve. Every
+//! cold-start user's held-back target reviews are replayed as streamed
+//! [`UserEvent`]s *except the last one*, which is held out for
+//! evaluation. At each step `t` (interactions seen per user) the engine's
+//! expected-star prediction for the held-out pair is scored against its
+//! true rating — RMSE/MAE over all cold users — using the live serving
+//! path: at `t = 0` that is the paper's auxiliary-review cold inference;
+//! from `t ≥ warm_after` (1 here, so the trajectory starts moving
+//! immediately) it is warm inference over a row re-encoded from the
+//! user's accumulated live texts, hot-swapped in generation by
+//! generation.
+//!
+//! Output: `results/figure_online.tsv` and a rendered table on stdout —
+//! `run_experiments.sh` tees it into `results_figure_online.log`.
+
+use om_data::types::UserId;
+use om_data::{SplitConfig, SynthConfig, SynthWorld};
+use om_experiments::report::Table;
+use om_serve::{ServeEngine, ServeOptions, UserEvent};
+use omnimatch_core::{OmniMatchConfig, Trainer};
+
+fn main() {
+    let _run = om_obs::run_scope("figure_online");
+    let world = SynthWorld::generate(SynthConfig::tiny(), &["Books", "Movies"]);
+    let scenario = world.scenario("Books", "Movies", SplitConfig::default());
+    let cfg = OmniMatchConfig::fast().with_seed(7);
+    let trained = Trainer::new(cfg.clone()).fit(&scenario);
+    let warm = scenario.train_users.clone();
+    let (model, views, _) = trained.into_parts();
+    let item_order = views.items();
+
+    // Graduate on the first interaction: the figure wants the whole
+    // trajectory, not a plateau before warm_after.
+    let opts = ServeOptions { warm_after: 1, ..ServeOptions::default() };
+    let engine = ServeEngine::new(model, views, &warm, opts);
+
+    // Per cold user: streamable events (all but the last target review)
+    // and the held-out (item, rating) pair.
+    let mut cold: Vec<UserId> = scenario.valid_users.clone();
+    cold.extend_from_slice(&scenario.test_users);
+    let mut streams: Vec<(UserId, Vec<UserEvent>, usize, f32)> = Vec::new();
+    for &u in &cold {
+        let recs: Vec<_> = scenario.target_full.user_records(u).collect();
+        let Some((held_out, feed)) = recs.split_last() else { continue };
+        let events: Vec<UserEvent> = feed
+            .iter()
+            .map(|it| UserEvent {
+                user: u,
+                item: it.item,
+                stars: it.rating.value(),
+                text: it.summary.clone(),
+            })
+            .collect();
+        let Some(item_row) = item_order.iter().position(|&i| i == held_out.item) else {
+            continue;
+        };
+        streams.push((u, events, item_row, held_out.rating.value()));
+    }
+    assert!(!streams.is_empty(), "no cold user has a held-out interaction");
+    let t_max = streams.iter().map(|(_, evs, _, _)| evs.len()).max().unwrap_or(0);
+    om_obs::manifest_set("experiment.trials", 1u64.into());
+
+    let mut table = Table::new(
+        "Figure (online) — quality vs interactions seen (Books -> Movies)".to_string(),
+        &["interactions_seen", "graduated_users", "RMSE", "MAE"],
+    );
+    for t in 0..=t_max {
+        // Feed each user's t-th event (users with shorter streams have
+        // simply finished graduating earlier — production traffic is
+        // exactly this ragged).
+        if t > 0 {
+            for (_, events, _, _) in &streams {
+                if let Some(ev) = events.get(t - 1) {
+                    engine.apply_event(ev).expect("apply event");
+                }
+            }
+        }
+        let graduated = streams
+            .iter()
+            .filter(|(u, _, _, _)| engine.is_warm(*u))
+            .count();
+        let pairs: Vec<(f32, f32)> = streams
+            .iter()
+            .map(|&(u, _, item_row, gold)| {
+                let scores = engine.score_user(u).expect("score user");
+                (scores[item_row], gold)
+            })
+            .collect();
+        let eval = om_metrics::Eval::of(&pairs);
+        table.row(vec![
+            format!("{t}"),
+            format!("{graduated}/{}", streams.len()),
+            format!("{:.3}", eval.rmse),
+            format!("{:.3}", eval.mae),
+        ]);
+    }
+    println!("{}", table.render());
+    table.write_tsv("figure_online.tsv").expect("write TSV");
+    println!(
+        "generation after replay: {} (cold users: {}, catalogue: {})",
+        engine.user_generation(),
+        streams.len(),
+        engine.catalogue_len()
+    );
+    println!("TSV written to results/figure_online.tsv");
+}

@@ -117,6 +117,12 @@ pub const REGISTRY: &[EnvVar] = &[
         doc: "max queueing delay before a partial batch flushes (microseconds)",
     },
     EnvVar {
+        name: "OM_SERVE_WARM_AFTER",
+        default: "5",
+        consumer: "om-serve",
+        doc: "streamed interactions after which a cold user graduates to warm inference",
+    },
+    EnvVar {
         name: "OM_THREADS",
         default: "available parallelism",
         consumer: "om-tensor",

@@ -119,6 +119,12 @@ pub const REGISTRY: &[Metric] = &[
         doc: "accepted requests not yet replied to",
     },
     Metric {
+        name: "serve.frontend.interactions",
+        kind: "counter",
+        emitter: "om-serve",
+        doc: "streamed interactions accepted through submit_interaction",
+    },
+    Metric {
         name: "serve.frontend.queue_depth",
         kind: "gauge",
         emitter: "om-serve",
@@ -155,6 +161,12 @@ pub const REGISTRY: &[Metric] = &[
         doc: "requests scored and replied to by the front-end",
     },
     Metric {
+        name: "serve.graduations",
+        kind: "counter",
+        emitter: "om-serve",
+        doc: "users graduated cold→warm by crossing OM_SERVE_WARM_AFTER interactions",
+    },
+    Metric {
         name: "serve.merge",
         kind: "histogram",
         emitter: "om-serve",
@@ -165,6 +177,12 @@ pub const REGISTRY: &[Metric] = &[
         kind: "counter",
         emitter: "om-serve",
         doc: "arena blobs memory-mapped",
+    },
+    Metric {
+        name: "serve.online_ok",
+        kind: "manifest",
+        emitter: "om-experiments",
+        doc: "the online-graduation smoke completed all its checks",
     },
     Metric {
         name: "serve.queue_room",
@@ -225,6 +243,30 @@ pub const REGISTRY: &[Metric] = &[
         kind: "manifest",
         emitter: "om-experiments",
         doc: "the serving smoke completed all its checks",
+    },
+    Metric {
+        name: "serve.update.errors",
+        kind: "counter",
+        emitter: "om-serve",
+        doc: "online updates refused (the old generation kept serving)",
+    },
+    Metric {
+        name: "serve.update.events",
+        kind: "counter",
+        emitter: "om-serve",
+        doc: "streamed interactions ingested by the engines",
+    },
+    Metric {
+        name: "serve.update.generation",
+        kind: "gauge",
+        emitter: "om-serve",
+        doc: "currently published user-arena generation number",
+    },
+    Metric {
+        name: "serve.update.swaps",
+        kind: "counter",
+        emitter: "om-serve",
+        doc: "user-arena generations hot-swapped in by online updates",
     },
     Metric {
         name: "serve.users",

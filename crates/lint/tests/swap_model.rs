@@ -1,0 +1,278 @@
+//! Exhaustive model check of the user-arena hot-swap protocol
+//! (`crates/serve/src/update.rs::ArenaSwap`), driven by
+//! `om_lint::interleave` — the repo's loom stand-in.
+//!
+//! The modelled protocol, step for step:
+//!
+//! * each **scorer** serves one microbatch: `Pin` (lock the generation
+//!   cell, clone the `Arc` — one critical section, one step), `Score`
+//!   (read the pinned arena, *outside* any lock — this is where a freed
+//!   arena would be a use-after-free), `Unpin` (drop the `Arc`; the last
+//!   reference of a superseded generation frees its arena — batch-close);
+//! * the **updater** publishes two generations: `Install` locks the cell
+//!   and replaces the held `Arc` (the cell's reference to the old
+//!   generation drops *inside* the swap; with no pins outstanding that
+//!   frees the old arena right there, otherwise the last pin does);
+//! * the **stopper** models shutdown: once the updater is done it drops
+//!   the cell itself, racing scorers still mid-batch — the current
+//!   generation must survive until their pins drain.
+//!
+//! Verified for every interleaving, across scorer counts: a scorer's
+//! pinned generation is alive for the entire time it scores no matter how
+//! many flips land mid-batch, no generation ever leaks (terminal states
+//! have every arena freed), and pins of superseded generations drain —
+//! exactly the `Arc`-refcount-as-epoch argument `update.rs` makes in
+//! prose.
+//!
+//! A deliberately broken variant — `install` frees the old generation's
+//! arena at flip time instead of deferring to the last pin, the classic
+//! premature-free swap bug — must be caught: the explorer finds a scorer
+//! reading a freed arena. That demonstrates the model is strong enough to
+//! see the bug class the pin protocol exists to prevent.
+
+use om_lint::interleave::{explore, Model};
+
+/// Thread id 0 is the updater, 1 the stopper, `2..` the scorers.
+const UPDATER: usize = 0;
+const STOPPER: usize = 1;
+
+/// Generations: 0 is live at engine build; the updater installs 1 then 2.
+const GENERATIONS: usize = 3;
+
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum ScorerPc {
+    /// About to pin: lock the cell, clone the `Arc` (one step).
+    Pin,
+    /// Holding a pin, about to read the arena — the use-after-free window
+    /// of the broken variant.
+    Score,
+    /// About to drop the pin (batch-close).
+    Unpin,
+    Done,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum UpdaterPc {
+    /// About to install generation 1 (shadow arena already built — the
+    /// build happens outside the critical section and is invisible to
+    /// readers, so it needs no step of its own).
+    Install1,
+    /// About to install generation 2.
+    Install2,
+    Done,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum StopperPc {
+    /// Engine shutdown: drop the cell's own reference.
+    DropCell,
+    Done,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct SwapModel {
+    /// Whether `install` defers freeing the superseded arena to its last
+    /// pin (the shipped protocol) or frees it at flip time (the broken
+    /// premature-free variant).
+    deferred_free: bool,
+    scorers: Vec<(ScorerPc, usize)>,
+    updater: UpdaterPc,
+    stopper: StopperPc,
+    /// The generation the cell currently publishes.
+    current: usize,
+    /// Does the cell still hold its reference (dropped at shutdown)?
+    cell_ref: bool,
+    /// Is each generation's arena still allocated?
+    alive: [bool; GENERATIONS],
+    /// Outstanding pins per generation (the `Arc` strong count minus the
+    /// cell's own reference).
+    pins: [usize; GENERATIONS],
+}
+
+impl SwapModel {
+    fn new(deferred_free: bool, scorers: usize) -> SwapModel {
+        SwapModel {
+            deferred_free,
+            scorers: vec![(ScorerPc::Pin, 0); scorers],
+            updater: UpdaterPc::Install1,
+            stopper: StopperPc::DropCell,
+            current: 0,
+            cell_ref: true,
+            alive: [true, false, false],
+            pins: [0; GENERATIONS],
+        }
+    }
+
+    /// Drop one reference to `gen` (a pin, or the cell's): the arena is
+    /// freed when the last reference goes. Under the broken variant the
+    /// arena may already be gone — dropping a dangling pin is modelled as
+    /// a no-op on `alive` (the invariant catches the *read*, which is the
+    /// actual crime).
+    fn drop_ref(&mut self, generation: usize, was_pin: bool) {
+        if was_pin {
+            self.pins[generation] = self.pins[generation].saturating_sub(1);
+        } else {
+            self.cell_ref = false;
+        }
+        let cell_holds = self.cell_ref && self.current == generation;
+        if self.pins[generation] == 0 && !cell_holds {
+            self.alive[generation] = false;
+        }
+    }
+}
+
+impl Model for SwapModel {
+    fn runnable(&self) -> Vec<usize> {
+        let mut r = Vec::new();
+        if self.updater != UpdaterPc::Done {
+            r.push(UPDATER);
+        }
+        // Shutdown happens after the update stream stops and after the
+        // last batch has *started* (the worker drains its queue before
+        // the engine drops — no batch can begin after shutdown), but
+        // races mid-batch scorers freely.
+        if self.stopper == StopperPc::DropCell
+            && self.updater == UpdaterPc::Done
+            && self.scorers.iter().all(|(pc, _)| *pc != ScorerPc::Pin)
+        {
+            r.push(STOPPER);
+        }
+        for (i, (pc, _)) in self.scorers.iter().enumerate() {
+            // Pinning needs the cell; shutdown is ordered after the last
+            // batch in the real code, so a scorer never pins a dropped
+            // cell — mid-batch steps keep racing everything.
+            let runnable = match pc {
+                ScorerPc::Pin => self.cell_ref,
+                ScorerPc::Score | ScorerPc::Unpin => true,
+                ScorerPc::Done => false,
+            };
+            if runnable {
+                r.push(2 + i);
+            }
+        }
+        r
+    }
+
+    fn step(&self, tid: usize) -> SwapModel {
+        let mut s = self.clone();
+        match tid {
+            UPDATER => {
+                let next = match s.updater {
+                    UpdaterPc::Install1 => 1,
+                    UpdaterPc::Install2 => 2,
+                    UpdaterPc::Done => unreachable!("updater done"),
+                };
+                // install(): one critical section — publish the new
+                // generation and drop the cell's reference to the old.
+                let old = s.current;
+                s.alive[next] = true;
+                s.current = next;
+                if s.deferred_free {
+                    s.drop_ref(old, false);
+                    s.cell_ref = true; // the cell now holds `next`
+                } else {
+                    // Broken variant: free the superseded arena at flip
+                    // time, pins notwithstanding.
+                    s.alive[old] = false;
+                }
+                s.updater = match s.updater {
+                    UpdaterPc::Install1 => UpdaterPc::Install2,
+                    _ => UpdaterPc::Done,
+                };
+            }
+            STOPPER => {
+                let current = s.current;
+                s.drop_ref(current, false);
+                s.stopper = StopperPc::Done;
+            }
+            t => {
+                let (pc, pinned) = s.scorers[t - 2].clone();
+                match pc {
+                    ScorerPc::Pin => {
+                        let g = s.current;
+                        s.pins[g] += 1;
+                        s.scorers[t - 2] = (ScorerPc::Score, g);
+                    }
+                    ScorerPc::Score => {
+                        // The read itself; the invariant below checks the
+                        // arena is alive while we sit in this state.
+                        s.scorers[t - 2] = (ScorerPc::Unpin, pinned);
+                    }
+                    ScorerPc::Unpin => {
+                        s.drop_ref(pinned, true);
+                        s.scorers[t - 2] = (ScorerPc::Done, pinned);
+                    }
+                    ScorerPc::Done => unreachable!("scorer done"),
+                }
+            }
+        }
+        s
+    }
+
+    fn is_terminal_ok(&self) -> bool {
+        self.updater == UpdaterPc::Done
+            && self.stopper == StopperPc::Done
+            && self.scorers.iter().all(|(pc, _)| *pc == ScorerPc::Done)
+            // Drain: every pin released, every generation freed — the
+            // superseded ones by their last pin, the final one by the
+            // cell drop. Anything still alive is a leak.
+            && self.pins.iter().all(|&p| p == 0)
+            && self.alive.iter().all(|&a| !a)
+    }
+
+    fn invariant(&self) -> Result<(), String> {
+        // The heart of the protocol: a scorer holding a pin must find its
+        // generation's arena alive, for the whole window between pin and
+        // unpin — no matter how many installs landed meanwhile.
+        for (i, (pc, pinned)) in self.scorers.iter().enumerate() {
+            let holding = matches!(pc, ScorerPc::Score | ScorerPc::Unpin);
+            if holding && !self.alive[*pinned] {
+                return Err(format!(
+                    "scorer {i} reading freed generation {pinned} (current: {})",
+                    self.current
+                ));
+            }
+        }
+        // A freed arena must have no outstanding pins (refcount sanity).
+        for g in 0..GENERATIONS {
+            if !self.alive[g] && self.pins[g] > 0 && self.deferred_free {
+                return Err(format!("generation {g} freed with {} pins live", self.pins[g]));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn pinned_generations_survive_every_flip_interleaving() {
+    for scorers in 1..=3 {
+        let stats = explore(SwapModel::new(true, scorers))
+            .unwrap_or_else(|e| panic!("{scorers} scorer(s): {e}"));
+        assert!(
+            stats.states > scorers * GENERATIONS,
+            "suspiciously small exploration: {stats:?}"
+        );
+    }
+}
+
+#[test]
+fn flips_racing_batch_close_and_shutdown_leak_nothing() {
+    // The adversarial shape: three scorers pinning/unpinning across both
+    // installs and the shutdown drop. Every terminal state must have all
+    // pins drained and all three generations freed.
+    let stats = explore(SwapModel::new(true, 3)).expect("swap protocol verified");
+    assert!(stats.transitions > stats.states, "explorer did not branch");
+}
+
+#[test]
+fn early_free_variant_is_caught_reading_a_freed_generation() {
+    // Free the superseded arena at install time instead of at the last
+    // pin and the protocol is broken: a scorer that pinned generation 0
+    // is still scoring when install #1 frees it.
+    let err = explore(SwapModel::new(false, 1))
+        .expect_err("the early-free variant must fail model checking");
+    assert!(
+        err.contains("reading freed generation"),
+        "expected the use-after-free window, got: {err}"
+    );
+}

@@ -11,6 +11,7 @@
 //! | `optim-step` | entry of `Adadelta::step` (once per batch) |
 //! | `trial` | start of each experiment trial in the runner |
 //! | `scorer` | the serving front-end, just before a microbatch flush scores |
+//! | `swap` | the online update path, after the shadow arena is built and **before** the generation install — a killed swap leaves the old generation serving |
 //!
 //! Before exiting, the injected fault is mirrored into the om-obs event
 //! stream (`kind: "fault"`), the flight recorder is dumped

@@ -162,14 +162,20 @@ impl UserArena {
         let _mode = om_nn::inference_mode();
         let cfg = model.config();
         let dim = cfg.invariant_dim + cfg.specific_dim;
+        // Dedupe preserving *first-occurrence* order: a BTreeSet collect
+        // would silently re-sort the arena by id, and a non-deduping pass
+        // would feed `from_rows` duplicate ids (redundant rows plus a
+        // last-write-wins index), skewing `len()` and
+        // `serve.arena.warm_users`.
         let known: Vec<UserId> = {
             let mut seen = BTreeMap::new();
+            let mut ordered = Vec::new();
             for &u in warm {
-                if views.user_idx(u).is_some() {
-                    seen.entry(u).or_insert(());
+                if views.user_idx(u).is_some() && seen.insert(u, ()).is_none() {
+                    ordered.push(u);
                 }
             }
-            seen.into_keys().collect()
+            ordered
         };
         let mut data = Vec::with_capacity(known.len() * dim);
         let mut rng = seeded_rng(0);
@@ -239,5 +245,26 @@ impl UserArena {
         self.index
             .get(&user)
             .map(|&i| &self.data.as_slice()[i * self.dim..(i + 1) * self.dim])
+    }
+
+    /// A copy of this arena with `user`'s row set to `row`: overwritten in
+    /// place if the user is already warm, appended (graduation) otherwise.
+    /// This is the shadow-arena build of the online update path — the live
+    /// arena is never mutated; callers publish the returned arena through
+    /// [`crate::update::ArenaSwap::install`]. `row.len()` must equal
+    /// [`UserArena::dim`] (the engine checks and refuses with a typed
+    /// error before calling).
+    pub fn with_row(&self, user: UserId, row: &[f32]) -> UserArena {
+        assert_eq!(row.len(), self.dim, "ragged user arena");
+        let mut ids = self.ids.clone();
+        let mut data = self.data.as_slice().to_vec();
+        match self.index.get(&user) {
+            Some(&i) => data[i * self.dim..(i + 1) * self.dim].copy_from_slice(row),
+            None => {
+                ids.push(user);
+                data.extend_from_slice(row);
+            }
+        }
+        UserArena::from_rows(ids, Rows::Owned(data), self.dim)
     }
 }

@@ -18,6 +18,8 @@
 //! `[serve_one(a), serve_one(b), serve_one(c)]` bit for bit, at any
 //! thread count — property-tested in `tests/batching_parity.rs`.
 
+use std::sync::{Arc, Mutex, MutexGuard};
+
 use om_data::types::{ItemId, UserId};
 use om_tensor::{kernels, seeded_rng, Tensor};
 use omnimatch_core::model::DomainSide;
@@ -25,6 +27,7 @@ use omnimatch_core::{CorpusViews, OmniMatchModel};
 
 use crate::arena::{ItemArena, UserArena};
 use crate::error::ServeError;
+use crate::update::{ArenaGeneration, ArenaSwap, InteractionStore, UpdateOutcome, UserEvent};
 
 /// Engine knobs; [`ServeOptions::from_env`] reads the `OM_SERVE_*`
 /// variables documented in the README.
@@ -43,6 +46,9 @@ pub struct ServeOptions {
     /// default 8192). Partitioning is a throughput/footprint knob only;
     /// it cannot affect any bit of the result.
     pub shard_items: usize,
+    /// Streamed target-domain interactions after which a cold user
+    /// graduates to warm inference (`OM_SERVE_WARM_AFTER`, default 5).
+    pub warm_after: usize,
 }
 
 impl Default for ServeOptions {
@@ -53,29 +59,38 @@ impl Default for ServeOptions {
             topk: 10,
             arena_batch: 64,
             shard_items: 8_192,
+            warm_after: 5,
         }
     }
 }
 
 impl ServeOptions {
-    /// Defaults overridden by `OM_SERVE_BATCH` / `OM_SERVE_WAIT_US` /
-    /// `OM_SERVE_TOPK`; unparsable values fall back to the default.
-    pub fn from_env() -> ServeOptions {
-        fn env_usize(key: &str, default: usize) -> usize {
-            std::env::var(key)
-                .ok()
-                .and_then(|v| v.trim().parse().ok())
-                .filter(|&v| v > 0)
-                .unwrap_or(default)
+    /// Defaults overridden by the `OM_SERVE_*` variables. A set variable
+    /// that does not parse — or parses to zero where the knob needs at
+    /// least 1 (`OM_SERVE_BATCH=0` would livelock the batcher,
+    /// `OM_SERVE_SHARD=0` would divide the arena into nothing) — is a
+    /// [`ServeError::BadEnv`] at parse time, not a panic deep in the
+    /// batcher an hour later. Only `OM_SERVE_WAIT_US` accepts 0 (flush
+    /// immediately — a duration, not a size).
+    pub fn from_env() -> Result<ServeOptions, ServeError> {
+        fn env_usize(key: &'static str, default: usize, min: usize) -> Result<usize, ServeError> {
+            match std::env::var(key) {
+                Ok(raw) => match raw.trim().parse::<usize>() {
+                    Ok(v) if v >= min => Ok(v),
+                    _ => Err(ServeError::BadEnv { var: key, value: raw }),
+                },
+                Err(_) => Ok(default),
+            }
         }
         let d = ServeOptions::default();
-        ServeOptions {
-            batch: env_usize("OM_SERVE_BATCH", d.batch),
-            wait_us: env_usize("OM_SERVE_WAIT_US", d.wait_us as usize) as u64,
-            topk: env_usize("OM_SERVE_TOPK", d.topk),
+        Ok(ServeOptions {
+            batch: env_usize("OM_SERVE_BATCH", d.batch, 1)?,
+            wait_us: env_usize("OM_SERVE_WAIT_US", d.wait_us as usize, 0)? as u64,
+            topk: env_usize("OM_SERVE_TOPK", d.topk, 1)?,
             arena_batch: d.arena_batch,
-            shard_items: env_usize("OM_SERVE_SHARD", d.shard_items),
-        }
+            shard_items: env_usize("OM_SERVE_SHARD", d.shard_items, 1)?,
+            warm_after: env_usize("OM_SERVE_WARM_AFTER", d.warm_after, 1)?,
+        })
     }
 }
 
@@ -104,12 +119,29 @@ pub struct Response {
 }
 
 /// A loaded model plus its precomputed arenas, ready to score.
+///
+/// The user arena lives behind an [`ArenaSwap`]: scoring pins one
+/// generation per microbatch, and [`ServeEngine::apply_event`] publishes
+/// re-encoded shadow arenas as new generations without ever blocking or
+/// tearing an in-flight batch. The item arena is immutable between model
+/// versions, so it stays a plain field.
 pub struct ServeEngine {
     pub(crate) model: OmniMatchModel,
     pub(crate) views: CorpusViews,
     pub(crate) items: ItemArena,
-    pub(crate) users: UserArena,
+    pub(crate) users: ArenaSwap,
     pub(crate) opts: ServeOptions,
+    store: Mutex<InteractionStore>,
+}
+
+/// Lock the interaction store, recovering from poison: the store is a
+/// map of append-only `Vec`s, every mutation of which completes or never
+/// happened, so the poison flag carries no information here.
+fn store_lock(cell: &Mutex<InteractionStore>) -> MutexGuard<'_, InteractionStore> {
+    match cell.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
 }
 
 impl ServeEngine {
@@ -134,7 +166,14 @@ impl ServeEngine {
         );
         om_obs::metrics::counter("serve.arena.items").add(items.len() as u64);
         om_obs::metrics::counter("serve.arena.warm_users").add(users.len() as u64);
-        ServeEngine { model, views, items, users, opts }
+        ServeEngine {
+            model,
+            views,
+            items,
+            users: ArenaSwap::new(users),
+            opts,
+            store: Mutex::new(InteractionStore::new()),
+        }
     }
 
     /// Assemble an engine from pre-built arenas — the path the serving
@@ -148,7 +187,14 @@ impl ServeEngine {
         users: UserArena,
         opts: ServeOptions,
     ) -> ServeEngine {
-        ServeEngine { model, views, items, users, opts }
+        ServeEngine {
+            model,
+            views,
+            items,
+            users: ArenaSwap::new(users),
+            opts,
+            store: Mutex::new(InteractionStore::new()),
+        }
     }
 
     /// The engine's options (the microbatcher is built from these).
@@ -161,9 +207,28 @@ impl ServeEngine {
         self.items.len()
     }
 
-    /// Is this user served from the warm-user cache?
+    /// Is this user served from the warm-user cache (of the generation
+    /// current at the time of the call)?
     pub fn is_warm(&self, user: UserId) -> bool {
-        self.users.row(user).is_some()
+        self.users.pin().arena().row(user).is_some()
+    }
+
+    /// Pin the current user-arena generation. Holding the returned handle
+    /// keeps that generation alive and unchanged across any number of
+    /// concurrent [`ServeEngine::apply_event`] installs.
+    pub fn pin_users(&self) -> Arc<ArenaGeneration> {
+        self.users.pin()
+    }
+
+    /// The currently published user-arena generation number (0 at build).
+    pub fn user_generation(&self) -> u64 {
+        self.users.generation()
+    }
+
+    /// Interactions seen from `user` so far via
+    /// [`ServeEngine::apply_event`].
+    pub fn interactions_seen(&self, user: UserId) -> usize {
+        store_lock(&self.store).seen(user)
     }
 
     /// Expected-star scores of `user` against the whole arena, in arena
@@ -213,9 +278,11 @@ impl ServeEngine {
     /// Per-request combined user feature rows, `[reqs.len(), user_dim]`:
     /// warm → arena copy; cold → one batched tower pass. Shared with the
     /// sharded engine, which must assemble user rows identically for the
-    /// bitwise-parity contract to hold.
-    pub(crate) fn user_rows_for(&self, reqs: &[Request]) -> Vec<f32> {
-        let user_dim = self.users.dim();
+    /// bitwise-parity contract to hold. `users` is the caller's pinned
+    /// generation — one pin per microbatch, so a batch never mixes
+    /// generations.
+    pub(crate) fn user_rows_for(&self, reqs: &[Request], users: &UserArena) -> Vec<f32> {
+        let user_dim = users.dim();
         let mut user_rows = vec![0.0f32; reqs.len() * user_dim];
         if user_dim == 0 {
             return user_rows;
@@ -226,7 +293,7 @@ impl ServeEngine {
             .enumerate()
             .zip(user_rows.chunks_exact_mut(user_dim))
         {
-            match self.users.row(req.user) {
+            match users.row(req.user) {
                 Some(row) => dst.copy_from_slice(row),
                 None => cold.push((i, req.user)),
             }
@@ -258,11 +325,17 @@ impl ServeEngine {
         if self.items.is_empty() {
             return Err(ServeError::EmptyArena);
         }
-        let user_dim = self.users.dim();
+        // Pin exactly one user-arena generation for the whole batch: an
+        // install racing this flush flips only *future* pins, so the
+        // batch can neither tear nor mix generations, and the pin keeps
+        // a superseded arena alive until this flush returns.
+        let pinned = self.users.pin();
+        let users = pinned.arena();
+        let user_dim = users.dim();
         let n = self.items.len();
 
         // 1. User rows: warm → arena copy; cold → one batched tower pass.
-        let user_rows = self.user_rows_for(reqs);
+        let user_rows = self.user_rows_for(reqs, users);
 
         // 2–3. Cross join + one rating-head forward over all B·N pairs.
         let pair_dim = user_dim + self.items.dim();
@@ -301,5 +374,66 @@ impl ServeEngine {
             .collect();
         ranked.sort_by(|a, b| om_metrics::cmp_nan_last_desc(a.1, b.1));
         Ok(ranked)
+    }
+
+    /// Ingest one streamed target-domain interaction — the online
+    /// cold→warm graduation path.
+    ///
+    /// The event's review text is buffered per user; once the user has
+    /// [`ServeOptions::warm_after`] interactions, every further event
+    /// re-encodes that user's row (user tower only, over the accumulated
+    /// texts through the *frozen* training vocabulary) into a shadow
+    /// arena, which is atomically published as the next generation.
+    /// In-flight batches keep their pinned generation; the superseded
+    /// arena is freed when its last pin drops. The first crossing of the
+    /// threshold is a graduation, counted in `serve.graduations`.
+    ///
+    /// Determinism: the re-encoded row flows through the same
+    /// `user_target_rows` entry point as the offline arena precompute,
+    /// so a post-swap engine is bitwise identical to a cold rebuild at
+    /// the same interaction state (`tests/online_update.rs`).
+    pub fn apply_event(&self, ev: &UserEvent) -> Result<UpdateOutcome, ServeError> {
+        om_obs::metrics::counter("serve.update.events").add(1);
+        om_obs::live::counter("serve.update.events").add(1);
+        let seen = store_lock(&self.store).record(ev);
+        if seen < self.opts.warm_after {
+            return Ok(UpdateOutcome { user: ev.user, seen, graduated: false, generation: None });
+        }
+        // Re-encode this user's combined target-side row over everything
+        // they have said so far. Clone the texts out so the store lock is
+        // not held across the tower forward.
+        let texts: Vec<String> = store_lock(&self.store).texts(ev.user).to_vec();
+        let text_refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let doc = self.views.encode_reviews(&text_refs);
+        let row = self.model.user_target_rows(&[&doc]);
+        let pinned = self.users.pin();
+        let live = pinned.arena();
+        if row.len() != live.dim() {
+            om_obs::metrics::counter("serve.update.errors").add(1);
+            om_obs::live::counter("serve.update.errors").add(1);
+            return Err(ServeError::UpdateDim { arena: live.dim(), row: row.len() });
+        }
+        let shadow = live.with_row(ev.user, &row);
+        // om-fault: kill-point — sits *before* the install so a killed
+        // swap provably leaves the old generation serving (CI chaos run).
+        om_obs::fault::kill_point("swap");
+        let generation = self.users.install(shadow);
+        let graduated = seen == self.opts.warm_after;
+        if graduated {
+            om_obs::metrics::counter("serve.graduations").add(1);
+            om_obs::live::counter("serve.graduations").add(1);
+        }
+        om_obs::metrics::counter("serve.update.swaps").add(1);
+        om_obs::live::counter("serve.update.swaps").add(1);
+        om_obs::metrics::gauge("serve.update.generation").set(generation as f64);
+        om_obs::live::gauge("serve.update.generation").set(generation);
+        om_obs::info!(
+            "serve: user {} row re-encoded at {} interaction(s) → generation {}{}",
+            ev.user.0,
+            seen,
+            generation,
+            if graduated { " (graduated cold→warm)" } else { "" }
+        );
+        Ok(UpdateOutcome { user: ev.user, seen, graduated, generation: Some(generation) })
     }
 }

@@ -28,6 +28,26 @@ pub enum ServeError {
     /// The front-end worker panicked before reporting its tallies — a bug
     /// by definition, surfaced as an error so shutdown still returns.
     WorkerPanicked,
+    /// An `OM_SERVE_*` environment variable was set to a degenerate value
+    /// (unparsable, or zero where the knob needs at least 1). Failing fast
+    /// at parse time beats the alternative: `OM_SERVE_BATCH=0` or
+    /// `OM_SERVE_QUEUE=0` would otherwise panic or livelock deep inside
+    /// the batcher/front-end, long after the misconfiguration happened.
+    BadEnv {
+        /// The variable that was set.
+        var: &'static str,
+        /// The rejected value, verbatim.
+        value: String,
+    },
+    /// An online user-row update produced a feature row whose width does
+    /// not match the live arena — a model/arena generation mismatch; the
+    /// update is refused and the current generation keeps serving.
+    UpdateDim {
+        /// Row width of the live user arena.
+        arena: usize,
+        /// Row width the re-encode produced.
+        row: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -44,6 +64,16 @@ impl fmt::Display for ServeError {
             ServeError::WorkerPanicked => {
                 write!(f, "serve: front-end worker panicked before reporting stats")
             }
+            ServeError::BadEnv { var, value } => write!(
+                f,
+                "serve: {var}={value:?} is not a positive integer — unset it \
+                 for the default, or set a value of at least 1"
+            ),
+            ServeError::UpdateDim { arena, row } => write!(
+                f,
+                "serve: online update produced a row of width {row} against a \
+                 user arena of width {arena}"
+            ),
         }
     }
 }

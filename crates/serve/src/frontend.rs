@@ -14,6 +14,13 @@
 //!   and are not `Send`, so the worker *builds* the scorer itself from a
 //!   `Send` factory closure), pumps arrivals into a microbatcher, and
 //!   flushes on size or deadline exactly like the synchronous loop;
+//! * producers can also stream interactions through
+//!   [`FrontendHandle::submit_interaction`] — events ride the same
+//!   bounded FIFO and the worker applies them via
+//!   [`BatchScorer::apply_event`], which on the engines re-encodes the
+//!   user's row and hot-swaps the user-arena generation (see
+//!   [`crate::update`]); accepted events are applied before shutdown for
+//!   the same gate + FIFO reason accepted requests are served;
 //! * [`Frontend::shutdown`] closes the admission gate, then enqueues a
 //!   stop marker **behind** every accepted request, so in-flight work
 //!   drains — every accepted request gets a response before the worker
@@ -64,6 +71,7 @@ use crate::batcher::Microbatcher;
 use crate::engine::{Request, Response, ServeEngine};
 use crate::error::ServeError;
 use crate::shard::ShardedEngine;
+use crate::update::{UpdateOutcome, UserEvent};
 
 /// Anything that can score a microbatch of requests. Both engines
 /// qualify; tests substitute stubs to pin queue behaviour without a
@@ -73,17 +81,32 @@ pub trait BatchScorer {
     /// request order. A scoring failure degrades that flush, not the
     /// worker: the front-end counts it and keeps draining.
     fn serve_batch(&self, reqs: &[Request]) -> Result<Vec<Response>, ServeError>;
+
+    /// Ingest one streamed interaction (the online graduation path).
+    /// Engines re-encode and hot-swap; the default no-op keeps stub
+    /// scorers compiling — they accept events and do nothing.
+    fn apply_event(&self, _ev: &UserEvent) -> Result<Option<UpdateOutcome>, ServeError> {
+        Ok(None)
+    }
 }
 
 impl BatchScorer for ServeEngine {
     fn serve_batch(&self, reqs: &[Request]) -> Result<Vec<Response>, ServeError> {
         ServeEngine::serve_batch(self, reqs)
     }
+
+    fn apply_event(&self, ev: &UserEvent) -> Result<Option<UpdateOutcome>, ServeError> {
+        ServeEngine::apply_event(self, ev).map(Some)
+    }
 }
 
 impl BatchScorer for ShardedEngine {
     fn serve_batch(&self, reqs: &[Request]) -> Result<Vec<Response>, ServeError> {
         ShardedEngine::serve_batch(self, reqs)
+    }
+
+    fn apply_event(&self, ev: &UserEvent) -> Result<Option<UpdateOutcome>, ServeError> {
+        ShardedEngine::apply_event(self, ev).map(Some)
     }
 }
 
@@ -108,19 +131,24 @@ impl Default for FrontendOptions {
 
 impl FrontendOptions {
     /// Batch/wait from `opts`, queue bound from `OM_SERVE_QUEUE` (default
-    /// 256; unparsable or zero values fall back).
-    pub fn from_serve(opts: &crate::ServeOptions) -> FrontendOptions {
-        let queue_cap = std::env::var("OM_SERVE_QUEUE")
-            .ok()
-            .and_then(|v| v.trim().parse().ok())
-            .filter(|&v| v > 0)
-            .unwrap_or(FrontendOptions::default().queue_cap);
-        FrontendOptions { queue_cap, batch: opts.batch, wait_us: opts.wait_us }
+    /// 256). A set `OM_SERVE_QUEUE` that does not parse to an integer of
+    /// at least 1 is a [`ServeError::BadEnv`]: a zero-capacity bounded
+    /// channel would reject every submit forever — fail at parse, not in
+    /// production.
+    pub fn from_serve(opts: &crate::ServeOptions) -> Result<FrontendOptions, ServeError> {
+        let queue_cap = match std::env::var("OM_SERVE_QUEUE") {
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(v) if v >= 1 => v,
+                _ => return Err(ServeError::BadEnv { var: "OM_SERVE_QUEUE", value: raw }),
+            },
+            Err(_) => FrontendOptions::default().queue_cap,
+        };
+        Ok(FrontendOptions { queue_cap, batch: opts.batch, wait_us: opts.wait_us })
     }
 
     /// Defaults overridden by the `OM_SERVE_*` environment.
-    pub fn from_env() -> FrontendOptions {
-        FrontendOptions::from_serve(&crate::ServeOptions::from_env())
+    pub fn from_env() -> Result<FrontendOptions, ServeError> {
+        FrontendOptions::from_serve(&crate::ServeOptions::from_env()?)
     }
 }
 
@@ -192,6 +220,14 @@ pub struct StatsSnapshot {
     pub queue_depth: u64,
     /// High-water mark of `queue_depth` over the front-end's lifetime.
     pub queue_hwm: u64,
+    /// Interactions accepted through [`FrontendHandle::submit_interaction`].
+    pub interactions: u64,
+    /// Cold→warm graduations the worker's scorer reported.
+    pub graduations: u64,
+    /// User-arena generation swaps the worker's scorer reported.
+    pub swaps: u64,
+    /// Interactions whose apply failed (the old generation kept serving).
+    pub update_errors: u64,
     /// Is the worker thread still running?
     pub worker_alive: bool,
     /// Has the factory finished building the scorer (for engine scorers:
@@ -228,6 +264,10 @@ struct FrontendLive {
     in_flight: AtomicU64,
     queue_depth: AtomicU64,
     queue_hwm: AtomicU64,
+    interactions: AtomicU64,
+    graduations: AtomicU64,
+    swaps: AtomicU64,
+    update_errors: AtomicU64,
     worker_alive: AtomicBool,
     scorer_ready: AtomicBool,
     health_registered: AtomicBool,
@@ -246,6 +286,10 @@ impl FrontendLive {
             in_flight: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             queue_hwm: AtomicU64::new(0),
+            interactions: AtomicU64::new(0),
+            graduations: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            update_errors: AtomicU64::new(0),
             worker_alive: AtomicBool::new(true),
             scorer_ready: AtomicBool::new(false),
             health_registered: AtomicBool::new(false),
@@ -264,6 +308,10 @@ impl FrontendLive {
             in_flight: self.in_flight.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_hwm: self.queue_hwm.load(Ordering::Relaxed),
+            interactions: self.interactions.load(Ordering::Relaxed),
+            graduations: self.graduations.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            update_errors: self.update_errors.load(Ordering::Relaxed),
             worker_alive: self.worker_alive.load(Ordering::Relaxed),
             scorer_ready: self.scorer_ready.load(Ordering::Relaxed),
         }
@@ -290,6 +338,7 @@ struct Mirror {
     rejected: om_obs::live::LiveCounter,
     rejected_shutdown: om_obs::live::LiveCounter,
     scorer_errors: om_obs::live::LiveCounter,
+    interactions: om_obs::live::LiveCounter,
     in_flight: om_obs::live::LiveGauge,
     queue_depth: om_obs::live::LiveGauge,
     queue_hwm: om_obs::live::LiveGauge,
@@ -304,6 +353,7 @@ impl Mirror {
             rejected: om_obs::live::counter("serve.frontend.rejected"),
             rejected_shutdown: om_obs::live::counter("serve.frontend.rejected_shutdown"),
             scorer_errors: om_obs::live::counter("serve.frontend.scorer_errors"),
+            interactions: om_obs::live::counter("serve.frontend.interactions"),
             in_flight: om_obs::live::gauge("serve.frontend.in_flight"),
             queue_depth: om_obs::live::gauge("serve.frontend.queue_depth"),
             queue_hwm: om_obs::live::gauge("serve.frontend.queue_hwm"),
@@ -328,6 +378,12 @@ struct Tracked {
 
 enum Msg {
     Req(Tracked),
+    /// A streamed interaction for the online graduation path. Events ride
+    /// the same bounded FIFO as requests, so an event and the requests
+    /// around it are applied in exactly the order they were accepted —
+    /// and admission control sheds interactions the same way it sheds
+    /// requests.
+    Event(UserEvent),
     Stop,
 }
 
@@ -404,6 +460,51 @@ impl FrontendHandle {
                     stages: Vec::new(),
                     detail: String::new(),
                 });
+                Err(SubmitError::QueueFull { capacity: self.capacity })
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.live.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                self.mirror.queue_depth.dec();
+                self.live.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+                self.mirror.rejected_shutdown.add(1);
+                Err(SubmitError::Shutdown)
+            }
+        }
+    }
+
+    /// Try to enqueue a streamed interaction. Same admission discipline
+    /// as [`FrontendHandle::try_send`]: never blocks, rejects typed when
+    /// the queue is full or the front-end is shut down, and the send
+    /// happens under the admission gate so an accepted event is provably
+    /// applied before the worker exits (channel FIFO puts it ahead of the
+    /// stop marker). Events occupy queue slots like requests do, but they
+    /// are not requests: they don't get a sequence number, a response, or
+    /// an `in_flight` entry.
+    pub fn submit_interaction(&self, ev: UserEvent) -> Result<(), SubmitError> {
+        let closed = gate_lock(&self.closed);
+        if *closed {
+            self.live.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+            self.mirror.rejected_shutdown.add(1);
+            return Err(SubmitError::Shutdown);
+        }
+        // Depth up before the send, same as try_send — the worker may
+        // dequeue-and-decrement the moment the message lands.
+        self.live.queue_depth.fetch_add(1, Ordering::Relaxed);
+        self.mirror.queue_depth.inc();
+        match self.tx.try_send(Msg::Event(ev)) {
+            Ok(()) => {
+                self.live.interactions.fetch_add(1, Ordering::Relaxed);
+                self.mirror.interactions.add(1);
+                let depth = self.live.queue_depth.load(Ordering::Relaxed);
+                self.live.queue_hwm.fetch_max(depth, Ordering::Relaxed);
+                self.mirror.queue_hwm.raise(depth);
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => {
+                self.live.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                self.mirror.queue_depth.dec();
+                self.live.rejected_full.fetch_add(1, Ordering::Relaxed);
+                self.mirror.rejected.add(1);
                 Err(SubmitError::QueueFull { capacity: self.capacity })
             }
             Err(TrySendError::Disconnected(_)) => {
@@ -572,6 +673,34 @@ impl Frontend {
                     q_wait_run.record(wait);
                     t
                 };
+                // Apply one streamed interaction. Pending microbatch
+                // entries are *not* flushed first: an install only flips
+                // what future pins observe, so requests batched across an
+                // event still score against exactly one generation — the
+                // one their flush pins.
+                let apply = |ev: UserEvent| {
+                    live.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    mirror.queue_depth.dec();
+                    match scorer.apply_event(&ev) {
+                        Ok(Some(outcome)) => {
+                            if outcome.graduated {
+                                live.graduations.fetch_add(1, Ordering::Relaxed);
+                            }
+                            if outcome.generation.is_some() {
+                                live.swaps.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Ok(None) => {}
+                        Err(err) => {
+                            live.update_errors.fetch_add(1, Ordering::Relaxed);
+                            om_obs::error!(
+                                "serve: online update for user {} failed \
+                                 (old generation keeps serving): {err}",
+                                ev.user.0
+                            );
+                        }
+                    }
+                };
                 loop {
                     let timeout = if batcher.pending() > 0 {
                         let deadline = batcher.oldest_us().saturating_add(wait_us);
@@ -590,6 +719,7 @@ impl Frontend {
                                 flush(batch);
                             }
                         }
+                        Ok(Msg::Event(ev)) => apply(ev),
                         Ok(Msg::Stop) => break,
                         Err(RecvTimeoutError::Timeout) => {
                             if let Some(batch) = batcher.poll(now_us()) {
@@ -602,11 +732,17 @@ impl Frontend {
                 // The admission gate means nothing can follow the stop
                 // marker; this sweep is belt-and-braces for the
                 // disconnected-exit path.
-                while let Ok(Msg::Req(t)) = rx.try_recv() {
-                    let t = dequeue(t);
-                    let arrived_us = t.dequeue_ns / 1_000;
-                    if let Some(batch) = batcher.submit(t, arrived_us) {
-                        flush(batch);
+                loop {
+                    match rx.try_recv() {
+                        Ok(Msg::Req(t)) => {
+                            let t = dequeue(t);
+                            let arrived_us = t.dequeue_ns / 1_000;
+                            if let Some(batch) = batcher.submit(t, arrived_us) {
+                                flush(batch);
+                            }
+                        }
+                        Ok(Msg::Event(ev)) => apply(ev),
+                        Ok(Msg::Stop) | Err(_) => break,
                     }
                 }
                 if let Some(rest) = batcher.drain() {

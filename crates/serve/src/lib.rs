@@ -34,6 +34,16 @@
 //!    control: full queue means a typed rejection, shutdown drains every
 //!    accepted request.
 //!
+//! Live traffic closes the cold-start loop:
+//!
+//! 8. [`update`] — streamed target-domain interactions
+//!    ([`FrontendHandle::submit_interaction`]) buffer per user; at
+//!    `OM_SERVE_WARM_AFTER` interactions the user's row is re-encoded
+//!    (user tower only) into a shadow [`UserArena`] and hot-swapped in as
+//!    a new generation — no request ever observes a torn or
+//!    mixed-generation arena, and the user has graduated cold→warm
+//!    (`serve.graduations`).
+//!
 //! The hot path (`engine`/`shard`/`frontend`/`batcher`) is panic-free by
 //! policy — om-lint's `panic-freedom` pass bans `unwrap`/`expect`/
 //! panicking macros/direct indexing there — so every fallible step
@@ -56,6 +66,7 @@ pub mod frontend;
 pub mod loader;
 pub mod mmap;
 pub mod shard;
+pub mod update;
 
 pub use arena::{ItemArena, UserArena};
 pub use batcher::Microbatcher;
@@ -68,3 +79,4 @@ pub use frontend::{
 };
 pub use loader::{load_model, load_model_file};
 pub use shard::ShardedEngine;
+pub use update::{ArenaGeneration, ArenaSwap, InteractionStore, UpdateOutcome, UserEvent};

@@ -85,6 +85,17 @@ impl ShardedEngine {
         self.inner.is_warm(user)
     }
 
+    /// Ingest one streamed interaction — delegates to
+    /// [`ServeEngine::apply_event`]; both engines share the one
+    /// generation pointer, so a swap published here is what the next
+    /// sharded batch pins.
+    pub fn apply_event(
+        &self,
+        ev: &crate::update::UserEvent,
+    ) -> Result<crate::update::UpdateOutcome, ServeError> {
+        self.inner.apply_event(ev)
+    }
+
     /// Serve one request through the sharded path.
     pub fn serve_one(&self, req: Request) -> Result<Response, ServeError> {
         self.serve_batch(std::slice::from_ref(&req))?
@@ -105,11 +116,15 @@ impl ShardedEngine {
         if items.is_empty() || item_dim == 0 {
             return Err(ServeError::EmptyArena);
         }
-        let user_dim = self.inner.users.dim();
+        // One pinned user-arena generation for the whole batch — the
+        // no-mixed-generation rule the single-arena engine also follows.
+        let pinned = self.inner.pin_users();
+        let users = pinned.arena();
+        let user_dim = users.dim();
         let pair_dim = user_dim + item_dim;
         let k = self.inner.opts.topk;
 
-        let user_rows = self.inner.user_rows_for(reqs);
+        let user_rows = self.inner.user_rows_for(reqs, users);
 
         // Per-request candidate pools: ≤ k winners per shard, tagged with
         // the global arena row so the merge's tie order matches the
@@ -180,10 +195,12 @@ impl ShardedEngine {
         if items.is_empty() || item_dim == 0 {
             return Err(ServeError::EmptyArena);
         }
-        let user_dim = self.inner.users.dim();
+        let pinned = self.inner.pin_users();
+        let users = pinned.arena();
+        let user_dim = users.dim();
         let pair_dim = user_dim + item_dim;
         let req = [Request { id: 0, user, arrive_us: 0 }];
-        let user_rows = self.inner.user_rows_for(&req);
+        let user_rows = self.inner.user_rows_for(&req, users);
         let mut scores = Vec::with_capacity(items.len());
         for rows in items.data().chunks(self.shard_items * item_dim) {
             let sn = rows.len() / item_dim;

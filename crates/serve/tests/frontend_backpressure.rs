@@ -7,14 +7,24 @@
 //!   worker exits;
 //! * a slow consumer bounds queue memory — accepted-but-unserved requests
 //!   never exceed the queue bound plus the one batch in flight;
-//! * a handle outliving the front-end reports `SubmitError::Shutdown`.
+//! * a handle outliving the front-end reports `SubmitError::Shutdown`;
+//! * interleaved `submit` / `submit_interaction` streams never lose a
+//!   request, never serve a mixed-generation batch, and order flips
+//!   before the requests admitted after them (property-tested with a
+//!   stub scorer tagging every flush by generation).
 
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use om_data::types::UserId;
-use om_serve::{BatchScorer, Frontend, FrontendOptions, Request, Response, ServeError, SubmitError};
+use om_data::types::{ItemId, UserId};
+use om_serve::{
+    BatchScorer, Frontend, FrontendOptions, Request, Response, ServeError, SubmitError,
+    UpdateOutcome, UserEvent,
+};
+use proptest::prelude::*;
 
 /// A scorer that blocks inside `serve_batch` until the test releases it:
 /// `entered` fires once per flush as the worker goes busy; each flush
@@ -192,4 +202,143 @@ fn handles_outliving_the_frontend_get_a_shutdown_error() {
         SubmitError::Shutdown
     );
     assert_eq!(resp_rx.iter().count(), 1);
+}
+
+/// A scorer whose `apply_event` *is* a generation flip: each event bumps
+/// a shared counter, the way the engine installs a new user-arena
+/// generation. Each flush records the generation it observed entering
+/// and leaving `serve_batch` plus the request ids it served — the
+/// property test's evidence for single-generation batches and
+/// event-before-request ordering.
+/// Per flush: (generation at entry, generation at exit, request ids).
+type FlushLog = Arc<Mutex<Vec<(u64, u64, Vec<u64>)>>>;
+
+struct FlipScorer {
+    generation: Arc<AtomicU64>,
+    flushes: FlushLog,
+}
+
+impl BatchScorer for FlipScorer {
+    fn serve_batch(&self, reqs: &[Request]) -> Result<Vec<Response>, ServeError> {
+        // One generation read per batch, like the engine's single pin.
+        let entry = self.generation.load(Ordering::SeqCst);
+        let resps = reqs
+            .iter()
+            .map(|r| Response { id: r.id, user: r.user, top: Vec::new() })
+            .collect();
+        let exit = self.generation.load(Ordering::SeqCst);
+        self.flushes
+            .lock()
+            .expect("flush log")
+            .push((entry, exit, reqs.iter().map(|r| r.id).collect()));
+        Ok(resps)
+    }
+
+    fn apply_event(&self, ev: &UserEvent) -> Result<Option<UpdateOutcome>, ServeError> {
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        Ok(Some(UpdateOutcome {
+            user: ev.user,
+            seen: generation as usize,
+            graduated: generation == 1,
+            generation: Some(generation),
+        }))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any interleaving of request submits and interaction submits:
+    /// every accepted request is served exactly once, every flush sees
+    /// exactly one generation, generations never run backwards across
+    /// flushes, and a request admitted after `k` events is never served
+    /// from a generation older than `k` (events ride the same FIFO).
+    #[test]
+    fn interleaved_requests_and_flips_lose_nothing_and_never_mix_generations(
+        ops in proptest::collection::vec(0u8..2, 1..48),
+        batch in 1usize..4,
+    ) {
+        let generation = Arc::new(AtomicU64::new(0));
+        let flushes = Arc::new(Mutex::new(Vec::new()));
+        let (resp_tx, resp_rx) = channel();
+        let scorer_generation = Arc::clone(&generation);
+        let scorer_flushes = Arc::clone(&flushes);
+        // om-lint: allow(thread-spawn) — spawning the front-end consumer
+        // is the behaviour under test.
+        let fe = Frontend::spawn(
+            move || FlipScorer { generation: scorer_generation, flushes: scorer_flushes },
+            FrontendOptions { queue_cap: 4, batch, wait_us: 0 },
+            resp_tx,
+        )
+        .expect("spawn front-end");
+        let handle = fe.handle();
+
+        // Drive the script; retry on QueueFull only (the scorer never
+        // blocks, so the worker always drains).
+        let mut events_admitted = 0u64;
+        let mut next_id = 0u64;
+        let mut floor: BTreeMap<u64, u64> = BTreeMap::new();
+        for &op in &ops {
+            let is_event = op == 1;
+            if is_event {
+                let ev = UserEvent {
+                    user: UserId(7),
+                    item: ItemId(events_admitted as u32),
+                    stars: 5.0,
+                    text: String::from("loved it"),
+                };
+                loop {
+                    match handle.submit_interaction(ev.clone()) {
+                        Ok(()) => break,
+                        Err(SubmitError::QueueFull { .. }) => std::thread::yield_now(),
+                        Err(e) => panic!("interaction rejected: {e}"),
+                    }
+                }
+                events_admitted += 1;
+            } else {
+                loop {
+                    match handle.try_send(req(next_id)) {
+                        Ok(()) => break,
+                        Err(SubmitError::QueueFull { .. }) => std::thread::yield_now(),
+                        Err(e) => panic!("request rejected: {e}"),
+                    }
+                }
+                floor.insert(next_id, events_admitted);
+                next_id += 1;
+            }
+        }
+
+        let stats = fe.shutdown().expect("shutdown");
+        prop_assert_eq!(stats.served, next_id, "front-end lost a request");
+        let mut got: Vec<u64> = resp_rx.iter().map(|r| r.id).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, (0..next_id).collect::<Vec<_>>());
+
+        let snap = handle.stats_snapshot();
+        prop_assert_eq!(snap.interactions, events_admitted, "front-end lost an event");
+        prop_assert_eq!(snap.swaps, events_admitted);
+        prop_assert_eq!(snap.graduations, u64::from(events_admitted > 0));
+        prop_assert_eq!(snap.update_errors, 0);
+        prop_assert_eq!(generation.load(Ordering::SeqCst), events_admitted);
+
+        let log = flushes.lock().expect("flush log");
+        let mut last_generation = 0u64;
+        let mut served_ids = Vec::new();
+        for (entry, exit, ids) in log.iter() {
+            prop_assert_eq!(entry, exit, "a generation flip landed mid-batch");
+            prop_assert!(*entry >= last_generation, "generations ran backwards across flushes");
+            last_generation = *entry;
+            for id in ids {
+                prop_assert!(
+                    *entry >= floor[id],
+                    "request {} admitted after {} event(s) served from generation {}",
+                    id, floor[id], entry
+                );
+                prop_assert!(*entry <= events_admitted);
+                served_ids.push(*id);
+            }
+        }
+        served_ids.sort_unstable();
+        prop_assert_eq!(served_ids, (0..next_id).collect::<Vec<_>>());
+    }
 }

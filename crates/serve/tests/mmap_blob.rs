@@ -264,3 +264,35 @@ fn empty_arenas_roundtrip_and_missing_files_error() {
         Err(BlobError::Io(_))
     ));
 }
+
+#[test]
+fn empty_user_arena_roundtrips_in_both_verify_modes() {
+    // A serving tier whose every user is cold-start has a zero-row user
+    // arena. Its blob is header-only — the frame math must accept the
+    // zero-length ids and data sections, not call them truncation.
+    let dir = tmp_dir("empty-users");
+    let empty = UserArena::from_raw(Vec::new(), Vec::new(), USER_DIM);
+    assert_eq!(empty.len(), 0);
+    let path = dir.join("empty-users.omab");
+    empty.write_blob(&path).expect("write empty user arena");
+
+    for verify in [Verify::Full, Verify::Quick] {
+        let back = UserArena::load_blob(&path, verify)
+            .unwrap_or_else(|e| panic!("empty user arena rejected under {verify:?}: {e:?}"));
+        assert_eq!(back.len(), 0);
+        assert_eq!(back.dim(), USER_DIM);
+        assert!(back.ids().is_empty());
+        assert_eq!(back.row(UserId(0)), None, "no row in an empty arena");
+    }
+
+    // Kind tagging still applies to the degenerate blob.
+    assert_eq!(
+        ItemArena::load_blob(&path, Verify::Quick).err(),
+        Some(BlobError::WrongKind { expected: BlobKind::Items, found: BlobKind::Users })
+    );
+
+    // And growing out of empty works: the first graduation appends row 0.
+    let first = empty.with_row(UserId(9), &synth_feature_rows(1, USER_DIM, 0xB10D));
+    assert_eq!(first.len(), 1);
+    assert_eq!(first.ids(), &[UserId(9)]);
+}

@@ -3,7 +3,7 @@
 # Usage: ./run_experiments.sh [--trials N | --fast]
 set -e
 cargo build --release -p om-experiments
-for bin in table2 table3 table4 table5 table6 figure4 case_study ablation_extra; do
+for bin in table2 table3 table4 table5 table6 figure4 figure_online case_study ablation_extra; do
   echo "=== running $bin $* ==="
   ./target/release/$bin "$@" | tee "results_${bin}.log"
 done
