@@ -7,20 +7,30 @@
 //! a missing file or bench is a hard failure (a silently dropped
 //! benchmark must not pass the gate). Comparison is on `median_ms`:
 //!
-//! * ratio > fail factor (default 1.30×)  → FAIL, exit 1
-//! * ratio > warn factor (default 1.15×)  → WARN, exit 0
-//! * otherwise                            → OK (improvements print too)
+//! * ratio > fail factor (default 1.30×)     → FAIL, exit 1
+//! * ratio > warn factor (default 1.15×)     → WARN, exit 0
+//! * ratio < improve factor (default 0.70×)  → STALE, exit 1
+//! * otherwise                               → OK (improvements print too)
+//!
+//! The improve-factor leg is the **stale-baseline detector**: a median
+//! that comes in better than 0.70× of baseline almost always means an
+//! intentional optimisation landed without re-ratcheting the committed
+//! baseline — and a stale baseline would let the next regression eat the
+//! entire headroom silently. The gate fails until the baseline is
+//! re-recorded at the new speed.
 //!
 //! Usage:
 //!   cargo bench-gate [--current DIR] [--baseline DIR]
 //!                    [--fail-factor F] [--warn-factor W]
+//!                    [--improve-factor I]
 //!                    [--only BENCH_file.json]...
 //!
 //! `--only` (repeatable) restricts the gate to the named baseline files —
 //! for CI jobs that produce a subset of the reports (e.g. the load-smoke
 //! job gates only `BENCH_serve_load.json`). Naming a file the baseline
-//! directory does not contain is an error, so a typo cannot silently gate
-//! nothing.
+//! directory does not contain is an error, and so is a filter that ends
+//! up matching **zero benches** (e.g. every named baseline has an empty
+//! `benches` array) — a gate that compares nothing must not report OK.
 //!
 //! Re-baselining (after an intentional perf change): re-run `bench_json`
 //! and `serve_bench` on a quiet machine and copy the fresh reports over
@@ -66,6 +76,7 @@ fn run() -> Result<bool, String> {
     let mut baseline = PathBuf::from("bench/baselines");
     let mut fail_factor = 1.30f64;
     let mut warn_factor = 1.15f64;
+    let mut improve_factor = 0.70f64;
     let mut only: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -85,6 +96,11 @@ fn run() -> Result<bool, String> {
                 warn_factor = val("--warn-factor")?
                     .parse()
                     .map_err(|e| format!("--warn-factor: {e}"))?
+            }
+            "--improve-factor" => {
+                improve_factor = val("--improve-factor")?
+                    .parse()
+                    .map_err(|e| format!("--improve-factor: {e}"))?
             }
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -137,6 +153,20 @@ fn run() -> Result<bool, String> {
         }
     }
 
+    if rows.is_empty() {
+        // A gate that compared nothing must not report OK: every named
+        // baseline existed but held zero benches, so nothing was checked.
+        return Err(if only.is_empty() {
+            format!("baselines in {} contain no benches to gate", baseline.display())
+        } else {
+            format!(
+                "--only {} matched no benches: the named baseline file(s) contain empty \
+                 `benches` arrays, so the gate would pass vacuously",
+                only.join(", ")
+            )
+        });
+    }
+
     let wide = rows.iter().map(|r| r.name.len()).max().unwrap_or(4).max(4);
     println!(
         "{:<20} {:<wide$} {:>12} {:>12} {:>8}  verdict",
@@ -144,6 +174,7 @@ fn run() -> Result<bool, String> {
     );
     let mut failed = false;
     let mut warned = false;
+    let mut stale = false;
     for r in &rows {
         let ratio = if r.base_ms > 0.0 { r.cur_ms / r.base_ms } else { f64::INFINITY };
         let verdict = if ratio > fail_factor {
@@ -152,6 +183,9 @@ fn run() -> Result<bool, String> {
         } else if ratio > warn_factor {
             warned = true;
             "WARN"
+        } else if ratio < improve_factor {
+            stale = true;
+            "STALE"
         } else if ratio < 1.0 / warn_factor {
             "FASTER"
         } else {
@@ -163,17 +197,23 @@ fn run() -> Result<bool, String> {
         );
     }
     println!(
-        "bench-gate: {} benches, fail > {fail_factor:.2}x, warn > {warn_factor:.2}x",
+        "bench-gate: {} benches, fail > {fail_factor:.2}x, warn > {warn_factor:.2}x, \
+         stale < {improve_factor:.2}x",
         rows.len()
     );
     if failed {
         println!("bench-gate: FAIL — median regression beyond the failure factor");
+    } else if stale {
+        println!(
+            "bench-gate: FAIL — improvement beyond the improve factor: the committed \
+             baseline is stale; re-ratchet it (see README) so the win is locked in"
+        );
     } else if warned {
         println!("bench-gate: WARN — regression within tolerance; watch this trend");
     } else {
         println!("bench-gate: OK");
     }
-    Ok(!failed)
+    Ok(!failed && !stale)
 }
 
 fn main() -> ExitCode {

@@ -87,6 +87,22 @@ fn main() {
         std::hint::black_box(seq.unfold_windows(3));
     });
 
+    // The serving score path in kernel form: the `pair_rows` cross join a
+    // microbatch runs against an item shard, then the rating-head-shaped
+    // GEMM over the pair block — the two kernels that dominate a
+    // `ShardedEngine` flush (8 requests × 2048 items, fast-config dims).
+    let (b_req, n_items, du, di, hidden) = (8usize, 2048usize, 24usize, 12usize, 64usize);
+    let pair_dim = du + di;
+    let user_rows: Vec<f32> = (0..b_req * du).map(|i| (i % 17) as f32 * 0.1 - 0.8).collect();
+    let item_rows: Vec<f32> = (0..n_items * di).map(|i| (i % 23) as f32 * 0.05 - 0.5).collect();
+    let w: Vec<f32> = (0..pair_dim * hidden).map(|i| (i % 11) as f32 * 0.02 - 0.1).collect();
+    let mut head_out = vec![0.0f32; b_req * n_items * hidden];
+    let serve_score = time_ms(3, 20, || {
+        let pairs = kernels::pair_rows(&user_rows, &item_rows, du, di);
+        kernels::gemm(&pairs, &w, &mut head_out, b_req * n_items, pair_dim, hidden);
+        std::hint::black_box(&head_out);
+    });
+
     write_report(
         &out_dir.join("BENCH_kernels.json"),
         "kernels",
@@ -95,6 +111,7 @@ fn main() {
             summarize("sum_256k", sum),
             summarize(&format!("log_softmax_rows_{m}x{m}"), softmax),
             summarize("unfold_windows_k3", unfold),
+            summarize(&format!("serve_score_{b_req}x{n_items}"), serve_score),
         ],
     );
 

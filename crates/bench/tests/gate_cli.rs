@@ -1,0 +1,118 @@
+//! CLI regression tests for `bench_gate`, run against the real binary
+//! (`CARGO_BIN_EXE_bench_gate`) over synthetic baseline/current trees.
+//!
+//! Pins the two failure modes the gate exists to catch at the edges:
+//!
+//! * a filter that matches **zero benches** must be a hard error naming
+//!   the filter, never a vacuous OK (the `--only` empty-match bug);
+//! * an improvement beyond `--improve-factor` must FAIL as a stale
+//!   baseline, so optimisations are forced to re-ratchet `bench/baselines/`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("om-gate-cli-{}-{tag}", std::process::id()));
+    // Recreate fresh so reruns don't see stale reports.
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("bl")).expect("create baseline dir");
+    std::fs::create_dir_all(dir.join("cur")).expect("create current dir");
+    dir
+}
+
+fn write_report(dir: &Path, file: &str, benches: &[(&str, f64)]) {
+    let rows: Vec<String> = benches
+        .iter()
+        .map(|(name, med)| format!("{{\"name\":\"{name}\",\"median_ms\":{med}}}"))
+        .collect();
+    let doc = format!("{{\"benches\":[{}]}}", rows.join(","));
+    std::fs::write(dir.join(file), doc).expect("write report");
+}
+
+fn run_gate(dir: &Path, extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bench_gate"))
+        .arg("--baseline")
+        .arg(dir.join("bl"))
+        .arg("--current")
+        .arg(dir.join("cur"))
+        .args(extra)
+        .output()
+        .expect("run bench_gate")
+}
+
+#[test]
+fn matching_reports_within_tolerance_pass() {
+    let dir = tmp_dir("ok");
+    write_report(&dir.join("bl"), "BENCH_x.json", &[("a", 10.0), ("b", 5.0)]);
+    write_report(&dir.join("cur"), "BENCH_x.json", &[("a", 10.5), ("b", 4.8)]);
+    let out = run_gate(&dir, &[]);
+    assert!(out.status.success(), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn regression_beyond_fail_factor_fails() {
+    let dir = tmp_dir("fail");
+    write_report(&dir.join("bl"), "BENCH_x.json", &[("a", 10.0)]);
+    write_report(&dir.join("cur"), "BENCH_x.json", &[("a", 14.0)]);
+    let out = run_gate(&dir, &[]);
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAIL"), "stdout: {stdout}");
+}
+
+#[test]
+fn only_filter_matching_zero_benches_is_a_hard_error_naming_the_filter() {
+    let dir = tmp_dir("empty-only");
+    // The named baseline exists but gates nothing: its benches array is
+    // empty. Before the fix this passed vacuously with "0 benches".
+    write_report(&dir.join("bl"), "BENCH_empty.json", &[]);
+    write_report(&dir.join("bl"), "BENCH_real.json", &[("a", 1.0)]);
+    write_report(&dir.join("cur"), "BENCH_empty.json", &[]);
+    write_report(&dir.join("cur"), "BENCH_real.json", &[("a", 1.0)]);
+    let out = run_gate(&dir, &["--only", "BENCH_empty.json"]);
+    assert!(!out.status.success(), "vacuous gate must not pass");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("BENCH_empty.json") && stderr.contains("matched no benches"),
+        "error must name the filter; stderr: {stderr}"
+    );
+}
+
+#[test]
+fn only_filter_naming_a_missing_baseline_is_an_error() {
+    let dir = tmp_dir("missing-only");
+    write_report(&dir.join("bl"), "BENCH_real.json", &[("a", 1.0)]);
+    write_report(&dir.join("cur"), "BENCH_real.json", &[("a", 1.0)]);
+    let out = run_gate(&dir, &["--only", "BENCH_typo.json"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("BENCH_typo.json"), "stderr: {stderr}");
+}
+
+#[test]
+fn improvement_beyond_improve_factor_fails_as_stale_baseline() {
+    let dir = tmp_dir("stale");
+    write_report(&dir.join("bl"), "BENCH_x.json", &[("a", 10.0)]);
+    // 3.3× faster than baseline — an unratcheted optimisation.
+    write_report(&dir.join("cur"), "BENCH_x.json", &[("a", 3.0)]);
+    let out = run_gate(&dir, &[]);
+    assert!(!out.status.success(), "stale baseline must fail the gate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("STALE"), "stdout: {stdout}");
+    assert!(stdout.contains("re-ratchet"), "stdout: {stdout}");
+
+    // A re-ratcheted baseline (or a loosened factor) passes again.
+    let out = run_gate(&dir, &["--improve-factor", "0.1"]);
+    assert!(out.status.success(), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn modest_improvements_still_pass_as_faster() {
+    let dir = tmp_dir("faster");
+    write_report(&dir.join("bl"), "BENCH_x.json", &[("a", 10.0)]);
+    write_report(&dir.join("cur"), "BENCH_x.json", &[("a", 8.0)]); // 0.80×
+    let out = run_gate(&dir, &[]);
+    assert!(out.status.success(), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FASTER"), "stdout: {stdout}");
+}

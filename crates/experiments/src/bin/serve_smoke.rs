@@ -10,21 +10,45 @@
 //! * a microbatched replay returns the same responses as unbatched
 //!   serving.
 //!
+//! With `--quantized`, the smoke additionally builds int8 per-row-scale
+//! arenas (`ItemArena::quantized`/`UserArena::quantized`) for the same
+//! checkpoint and asserts:
+//!
+//! * the RMSE and mean-absolute delta of the full users × items score
+//!   matrix vs. the f32 engine stay under the committed
+//!   `om_serve::quant::QUANT_MAX_SCORE_{RMSE,MAE}` bounds;
+//! * the sharded quantized engine is bitwise identical to the unsharded
+//!   quantized engine (dequantization is per-element, so sharding still
+//!   cannot move a bit);
+//! * a quantized arena round-trips through an `OMAB` v2 blob with
+//!   bitwise-identical scores.
+//!
 //! Observability is force-enabled; the run's artifact directory is the
 //! last stdout line (CI uploads it as a build artifact).
 //!
-//! Usage: `serve_smoke [checkpoint_path]` (default `serve_smoke.omck`).
+//! Usage: `serve_smoke [--quantized] [checkpoint_path]` (default
+//! `serve_smoke.omck`).
 
 use om_data::{SplitConfig, SynthConfig, SynthWorld};
-use om_serve::{load_model_file, Microbatcher, Request, ServeEngine, ServeOptions};
+use om_serve::{
+    load_model_file, ItemArena, Microbatcher, Request, ServeEngine, ServeOptions, ShardedEngine,
+    UserArena, Verify,
+};
 use om_tensor::seeded_rng;
 use omnimatch_core::{CorpusViews, OmniMatchConfig, Trainer};
 
 fn main() {
     om_obs::set_enabled(true);
     assert!(om_obs::run_begin("serve_smoke"), "serve_smoke must own the run");
-    let ckpt_path = std::env::args()
-        .nth(1)
+    let mut quantized = false;
+    let mut ckpt_arg = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quantized" => quantized = true,
+            _ => ckpt_arg = Some(arg),
+        }
+    }
+    let ckpt_path = ckpt_arg
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| std::path::PathBuf::from("serve_smoke.omck"));
 
@@ -111,6 +135,77 @@ fn main() {
         }
     }
     om_obs::info!("serve smoke: microbatched replay equals unbatched serving");
+
+    // ---- quantized serving mode -----------------------------------------
+    if quantized {
+        let opts = ServeOptions::default();
+        let qmodel = load_model_file(&cfg, vocab_size, &ckpt_path).expect("reload checkpoint");
+        let qviews = CorpusViews::build(&scenario, &cfg, &mut seeded_rng(cfg.seed));
+        let item_arena = ItemArena::build(&qmodel, &qviews, opts.arena_batch);
+        let user_arena = UserArena::build(&qmodel, &qviews, &warm, opts.arena_batch);
+        let qitems = item_arena.quantized();
+        let qusers = user_arena.quantized();
+        assert!(qitems.is_quantized() && qusers.is_quantized());
+
+        // Round-trip the quantized item arena through an OMAB v2 blob so
+        // the smoke exercises the on-disk quantized path too.
+        let blob_path = ckpt_path.with_extension("q8.omab");
+        qitems.write_blob(&blob_path).expect("write quantized blob");
+        let qitems = ItemArena::load_blob(&blob_path, Verify::Full).expect("load quantized blob");
+        assert!(qitems.is_quantized(), "v2 blob must reload as a quantized arena");
+
+        let qengine = ServeEngine::with_arenas(qmodel, qviews, qitems, qusers, opts);
+        let qsharded = ShardedEngine::new(qengine);
+
+        let mut sum_sq = 0.0f64;
+        let mut sum_abs = 0.0f64;
+        let mut max_abs = 0.0f64;
+        let mut count = 0usize;
+        for &u in &users {
+            let f32_scores = engine.score_user(u).expect("score user (f32)");
+            let q_scores = qsharded.inner().score_user(u).expect("score user (quantized)");
+            let q_sharded = qsharded.score_user(u).expect("score user (quantized sharded)");
+            assert_eq!(f32_scores.len(), q_scores.len());
+            // Sharded quantized == unsharded quantized, bit for bit.
+            for (a, b) in q_scores.iter().zip(&q_sharded) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "sharded quantized scoring diverged from unsharded for {u:?}"
+                );
+            }
+            for (&f, &q) in f32_scores.iter().zip(&q_scores) {
+                let d = (f as f64 - q as f64).abs();
+                sum_sq += d * d;
+                sum_abs += d;
+                max_abs = max_abs.max(d);
+                count += 1;
+            }
+        }
+        let rmse = (sum_sq / count.max(1) as f64).sqrt();
+        let mae = sum_abs / count.max(1) as f64;
+        om_obs::info!(
+            "serve smoke: quantized vs f32 over {count} pairs — rmse {rmse:.6}, mae {mae:.6}, max {max_abs:.6}"
+        );
+        om_obs::manifest_set("serve.quant.rmse", rmse.into());
+        om_obs::manifest_set("serve.quant.mae", mae.into());
+        assert!(
+            rmse <= om_serve::quant::QUANT_MAX_SCORE_RMSE,
+            "quantized score RMSE {rmse} exceeds committed bound {}",
+            om_serve::quant::QUANT_MAX_SCORE_RMSE
+        );
+        assert!(
+            mae <= om_serve::quant::QUANT_MAX_SCORE_MAE,
+            "quantized score MAE {mae} exceeds committed bound {}",
+            om_serve::quant::QUANT_MAX_SCORE_MAE
+        );
+        assert!(
+            max_abs <= om_serve::quant::QUANT_MAX_SCORE_ABS,
+            "quantized per-pair delta {max_abs} exceeds committed bound {}",
+            om_serve::quant::QUANT_MAX_SCORE_ABS
+        );
+        om_obs::info!("serve smoke: quantized serving within committed error bounds");
+    }
     om_obs::manifest_set("serve.smoke_ok", true.into());
 
     let dir = om_obs::run_finish().expect("run artifacts written");

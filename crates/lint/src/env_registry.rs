@@ -123,6 +123,12 @@ pub const REGISTRY: &[EnvVar] = &[
         doc: "streamed interactions after which a cold user graduates to warm inference",
     },
     EnvVar {
+        name: "OM_SIMD",
+        default: "auto",
+        consumer: "om-tensor",
+        doc: "kernel dispatch: `auto` uses AVX2 when the CPU has it, `off` forces the scalar paths",
+    },
+    EnvVar {
         name: "OM_THREADS",
         default: "available parallelism",
         consumer: "om-tensor",

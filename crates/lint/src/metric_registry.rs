@@ -185,6 +185,18 @@ pub const REGISTRY: &[Metric] = &[
         doc: "the online-graduation smoke completed all its checks",
     },
     Metric {
+        name: "serve.quant.mae",
+        kind: "manifest",
+        emitter: "om-experiments",
+        doc: "mean absolute quantized-vs-f32 score delta in the quantized serving smoke",
+    },
+    Metric {
+        name: "serve.quant.rmse",
+        kind: "manifest",
+        emitter: "om-experiments",
+        doc: "RMSE of quantized vs f32 scores in the quantized serving smoke",
+    },
+    Metric {
         name: "serve.queue_room",
         kind: "health",
         emitter: "om-serve",

@@ -31,10 +31,15 @@ pub const RUNTIME_PATH: &str = "crates/tensor/src/runtime.rs";
 /// argument.
 pub const MMAP_PATH: &str = "crates/serve/src/mmap.rs";
 
+/// The AVX2 microkernel module: `std::arch` intrinsics behind the cached
+/// `is_x86_feature_detected!` dispatch, each load/store under a
+/// `// SAFETY:` argument.
+pub const SIMD_PATH: &str = "crates/tensor/src/simd.rs";
+
 /// The full `unsafe` allowlist. Everything else in the workspace is
 /// safe Rust by construction; growing this list is a design decision,
 /// not a convenience.
-pub const UNSAFE_ALLOWED: &[&str] = &[RUNTIME_PATH, MMAP_PATH];
+pub const UNSAFE_ALLOWED: &[&str] = &[RUNTIME_PATH, MMAP_PATH, SIMD_PATH];
 
 /// Crates whose numeric results feed the paper's tables: any iteration
 /// order nondeterminism here changes published numbers.

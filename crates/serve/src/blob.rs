@@ -1,8 +1,8 @@
-//! Length/CRC-framed arena blobs (`OMAB` v1) — the on-disk form of
+//! Length/CRC-framed arena blobs (`OMAB` v1/v2) — the on-disk form of
 //! [`crate::ItemArena`]/[`crate::UserArena`], written atomically and
 //! loaded all-or-nothing, OMCK v2 style.
 //!
-//! Layout (all integers little-endian):
+//! Version 1 layout (all integers little-endian):
 //!
 //! ```text
 //! off  0  magic   b"OMAB"
@@ -19,6 +19,23 @@
 //!     …   data    n × dim × f32
 //! ```
 //!
+//! Version 2 is the **quantized** form: the same 40-byte header with
+//! `version = 2`, and the f32 feature block replaced by a per-row-scale
+//! int8 payload (see [`crate::quant`] for the code semantics):
+//!
+//! ```text
+//!     40  ids     n × u32    arena row order
+//!     …   pad     to the next 8-byte boundary
+//!     …   scales  n × f32    one dequant scale per row
+//!     …   pad     to the next 8-byte boundary
+//!     …   qdata   n × dim × i8
+//! ```
+//!
+//! In v2, `data_crc` covers everything from the scales section to the end
+//! of file (scales, the inter-section pad, and the codes) as one
+//! contiguous region. A v1 reader rejects a v2 blob with
+//! [`BlobError::BadVersion`] rather than misreading int8 codes as floats.
+//!
 //! The header pins the exact file length, so truncation *and* trailing
 //! garbage are rejected even in [`Verify::Quick`] mode without touching a
 //! single data page. [`Verify::Full`] additionally checks both payload
@@ -33,10 +50,11 @@ use std::sync::Arc;
 
 use om_nn::serialize::crc32;
 
-use crate::mmap::{F32View, Mmap};
+use crate::mmap::{F32View, I8View, Mmap};
 
 const MAGIC: &[u8; 4] = b"OMAB";
 const VERSION: u32 = 1;
+const VERSION_Q8: u32 = 2;
 const HEADER_LEN: usize = 40;
 const IDS_OFF: usize = 40;
 
@@ -156,13 +174,23 @@ fn align8(off: usize) -> usize {
 }
 
 /// Byte offsets of the two sections and the total frame length for a
-/// blob of `n` rows × `dim`. `None` on arithmetic overflow.
+/// v1 blob of `n` rows × `dim`. `None` on arithmetic overflow.
 fn frame(n: usize, dim: usize) -> Option<(usize, usize, usize)> {
     let ids_len = n.checked_mul(4)?;
     let data_off = align8(IDS_OFF.checked_add(ids_len)?);
     let data_len = n.checked_mul(dim)?.checked_mul(4)?;
     let total = data_off.checked_add(data_len)?;
     Some((IDS_OFF, data_off, total))
+}
+
+/// Byte offsets `(scales_off, q_off, total)` for a v2 quantized blob of
+/// `n` rows × `dim`. `None` on arithmetic overflow.
+fn frame_q8(n: usize, dim: usize) -> Option<(usize, usize, usize)> {
+    let ids_len = n.checked_mul(4)?;
+    let scales_off = align8(IDS_OFF.checked_add(ids_len)?);
+    let q_off = align8(scales_off.checked_add(n.checked_mul(4)?)?);
+    let total = q_off.checked_add(n.checked_mul(dim)?)?;
+    Some((scales_off, q_off, total))
 }
 
 /// Serialize one arena to `path`, atomically: write `path.tmp`, fsync,
@@ -214,13 +242,86 @@ pub fn write_blob(
     Ok(())
 }
 
+/// Serialize one quantized arena to `path` as an `OMAB` v2 blob,
+/// atomically. `q.len()` must equal `ids.len() * dim` and `scales.len()`
+/// must equal `ids.len()`.
+pub fn write_blob_q8(
+    path: &Path,
+    kind: BlobKind,
+    dim: usize,
+    ids: &[u32],
+    q: &[i8],
+    scales: &[f32],
+) -> Result<(), BlobError> {
+    assert_eq!(q.len(), ids.len() * dim, "ragged quantized arena blob");
+    assert_eq!(scales.len(), ids.len(), "one scale per quantized arena row");
+    let n = ids.len();
+    let (scales_off, q_off, total) = frame_q8(n, dim).ok_or(BlobError::BadFrame)?;
+
+    let mut ids_bytes = Vec::with_capacity(n * 4);
+    for id in ids {
+        ids_bytes.extend_from_slice(&id.to_le_bytes());
+    }
+    // The data CRC covers the whole scales..end region, pad included, so
+    // the open-time check is one contiguous crc32 over the map.
+    let mut data_bytes = Vec::with_capacity(total - scales_off);
+    for s in scales {
+        data_bytes.extend_from_slice(&s.to_le_bytes());
+    }
+    data_bytes.resize(q_off - scales_off, 0u8);
+    data_bytes.extend(q.iter().map(|&c| c as u8));
+    debug_assert_eq!(data_bytes.len(), total - scales_off);
+
+    let mut header = Vec::with_capacity(HEADER_LEN);
+    header.extend_from_slice(MAGIC);
+    header.extend_from_slice(&VERSION_Q8.to_le_bytes());
+    header.extend_from_slice(&kind.code().to_le_bytes());
+    header.extend_from_slice(&u32::try_from(dim).map_err(|_| BlobError::BadFrame)?.to_le_bytes());
+    header.extend_from_slice(&(n as u64).to_le_bytes());
+    header.extend_from_slice(&crc32(&ids_bytes).to_le_bytes());
+    header.extend_from_slice(&crc32(&data_bytes).to_le_bytes());
+    let hcrc = crc32(&header);
+    header.extend_from_slice(&hcrc.to_le_bytes());
+    header.extend_from_slice(&[0u8; 4]);
+    debug_assert_eq!(header.len(), HEADER_LEN);
+
+    let tmp = path.with_extension("omab.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&header)?;
+        f.write_all(&ids_bytes)?;
+        f.write_all(&vec![0u8; scales_off - IDS_OFF - ids_bytes.len()])?;
+        f.write_all(&data_bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Section offsets past the header — which sections exist depends on the
+/// format version.
+enum Layout {
+    /// v1: one f32 feature block.
+    F32 {
+        /// Offset of the `n × dim` f32 block.
+        data_off: usize,
+    },
+    /// v2: per-row scales + int8 codes.
+    Q8 {
+        /// Offset of the `n` f32 scales.
+        scales_off: usize,
+        /// Offset of the `n × dim` i8 codes.
+        q_off: usize,
+    },
+}
+
 /// An opened, frame-validated arena blob.
 pub struct ArenaBlob {
     map: Arc<Mmap>,
     kind: BlobKind,
     dim: usize,
     n: usize,
-    data_off: usize,
+    layout: Layout,
 }
 
 impl ArenaBlob {
@@ -242,14 +343,20 @@ impl ArenaBlob {
             return Err(BlobError::HeaderCrc);
         }
         let version = u32_at(4);
-        if version != VERSION {
+        if version != VERSION && version != VERSION_Q8 {
             return Err(BlobError::BadVersion(version));
         }
         let kind = BlobKind::from_code(u32_at(8)).ok_or(BlobError::BadKind(u32_at(8)))?;
         let dim = u32_at(12) as usize;
         let n = usize::try_from(u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")))
             .map_err(|_| BlobError::BadFrame)?;
-        let (_, data_off, total) = frame(n, dim).ok_or(BlobError::BadFrame)?;
+        let (layout, data_region, total) = if version == VERSION {
+            let (_, data_off, total) = frame(n, dim).ok_or(BlobError::BadFrame)?;
+            (Layout::F32 { data_off }, data_off, total)
+        } else {
+            let (scales_off, q_off, total) = frame_q8(n, dim).ok_or(BlobError::BadFrame)?;
+            (Layout::Q8 { scales_off, q_off }, scales_off, total)
+        };
         match bytes.len().cmp(&total) {
             std::cmp::Ordering::Less => {
                 return Err(BlobError::Truncated { expected: total as u64, actual: bytes.len() as u64 })
@@ -263,12 +370,18 @@ impl ArenaBlob {
             if u32_at(24) != crc32(&bytes[IDS_OFF..IDS_OFF + n * 4]) {
                 return Err(BlobError::IdsCrc);
             }
-            if u32_at(28) != crc32(&bytes[data_off..total]) {
+            if u32_at(28) != crc32(&bytes[data_region..total]) {
                 return Err(BlobError::DataCrc);
             }
         }
         om_obs::metrics::counter("serve.blob.opens").add(1);
-        Ok(ArenaBlob { map, kind, dim, n, data_off })
+        Ok(ArenaBlob { map, kind, dim, n, layout })
+    }
+
+    /// Whether the blob holds the int8 quantized payload (v2) rather than
+    /// the f32 block (v1).
+    pub fn is_quantized(&self) -> bool {
+        matches!(self.layout, Layout::Q8 { .. })
     }
 
     /// Which arena type the blob holds.
@@ -309,21 +422,47 @@ impl ArenaBlob {
             .collect()
     }
 
-    /// The `[n, dim]` feature block: zero-copy into the map on
-    /// little-endian targets, an owned decode elsewhere.
-    pub(crate) fn feature_rows(&self) -> crate::arena::Rows {
-        let count = self.n * self.dim;
+    /// A zero-copy f32 window on little-endian targets, an owned decode
+    /// elsewhere: `count` floats starting `off` bytes into the map.
+    fn f32_rows(&self, off: usize, count: usize) -> crate::arena::Rows {
         if cfg!(target_endian = "little") {
-            crate::arena::Rows::Mapped(F32View::new(Arc::clone(&self.map), self.data_off, count))
+            crate::arena::Rows::Mapped(F32View::new(Arc::clone(&self.map), off, count))
         } else {
             let bytes = self.map.as_bytes();
             let data = (0..count)
                 .map(|i| {
-                    let off = self.data_off + i * 4;
-                    f32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"))
+                    let o = off + i * 4;
+                    f32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"))
                 })
                 .collect();
             crate::arena::Rows::Owned(data)
+        }
+    }
+
+    /// The `[n, dim]` feature block of a v1 blob. Panics on a quantized
+    /// blob — the arena loader branches on [`ArenaBlob::is_quantized`]
+    /// first.
+    pub(crate) fn feature_rows(&self) -> crate::arena::Rows {
+        match self.layout {
+            Layout::F32 { data_off } => self.f32_rows(data_off, self.n * self.dim),
+            Layout::Q8 { .. } => panic!("feature_rows on a quantized (v2) blob"),
+        }
+    }
+
+    /// The `(codes, scales)` payload of a v2 blob: codes are a zero-copy
+    /// i8 window (no endianness concern), scales follow the same
+    /// endian-gated path as v1 feature rows. Panics on a v1 blob.
+    pub(crate) fn q8_payload(&self) -> (crate::arena::QBytes, crate::arena::Rows) {
+        match self.layout {
+            Layout::Q8 { scales_off, q_off } => {
+                let q = crate::arena::QBytes::Mapped(I8View::new(
+                    Arc::clone(&self.map),
+                    q_off,
+                    self.n * self.dim,
+                ));
+                (q, self.f32_rows(scales_off, self.n))
+            }
+            Layout::F32 { .. } => panic!("q8_payload on an f32 (v1) blob"),
         }
     }
 }

@@ -210,7 +210,7 @@ impl ServeEngine {
     /// Is this user served from the warm-user cache (of the generation
     /// current at the time of the call)?
     pub fn is_warm(&self, user: UserId) -> bool {
-        self.users.pin().arena().row(user).is_some()
+        self.users.pin().arena().contains(user)
     }
 
     /// Pin the current user-arena generation. Holding the returned handle
@@ -293,9 +293,11 @@ impl ServeEngine {
             .enumerate()
             .zip(user_rows.chunks_exact_mut(user_dim))
         {
-            match users.row(req.user) {
-                Some(row) => dst.copy_from_slice(row),
-                None => cold.push((i, req.user)),
+            // Warm rows copy straight out of the arena (dequantized on
+            // the fly when the arena is int8); cold users batch into one
+            // tower pass below.
+            if !users.copy_row_into(req.user, dst) {
+                cold.push((i, req.user));
             }
         }
         if !cold.is_empty() {
@@ -338,8 +340,13 @@ impl ServeEngine {
         let user_rows = self.user_rows_for(reqs, users);
 
         // 2–3. Cross join + one rating-head forward over all B·N pairs.
+        // `rows_f32` borrows the arena when it is f32 and dequantizes
+        // into the scratch when it is int8 — either way the same block
+        // feeds the same cross join.
         let pair_dim = user_dim + self.items.dim();
-        let pairs = kernels::pair_rows(&user_rows, self.items.data(), user_dim, self.items.dim());
+        let mut scratch = Vec::new();
+        let item_block = self.items.rows_f32(0, n, &mut scratch);
+        let pairs = kernels::pair_rows(&user_rows, item_block, user_dim, self.items.dim());
         let pairs = Tensor::from_vec(pairs, &[reqs.len() * n, pair_dim]);
         let mut rng = seeded_rng(0);
         let logits = self.model.rating_logits_from_pairs(&pairs, false, &mut rng);

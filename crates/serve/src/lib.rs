@@ -65,6 +65,7 @@ pub mod error;
 pub mod frontend;
 pub mod loader;
 pub mod mmap;
+pub mod quant;
 pub mod shard;
 pub mod update;
 

@@ -211,6 +211,37 @@ impl F32View {
     }
 }
 
+/// An `[i8]` window into an [`Mmap`], kept alive by an `Arc` — the
+/// zero-copy backing of a quantised arena's int8 row payload. Unlike
+/// [`F32View`] there is no alignment or endianness concern: every byte is
+/// a valid `i8` and single bytes have no byte order.
+pub struct I8View {
+    map: Arc<Mmap>,
+    byte_off: usize,
+    len: usize,
+}
+
+impl I8View {
+    /// A view of `len` i8s starting `byte_off` bytes into the map. The
+    /// range must be in bounds; the caller (the blob loader) has already
+    /// validated it, and this re-checks rather than trusts.
+    pub fn new(map: Arc<Mmap>, byte_off: usize, len: usize) -> I8View {
+        let bytes = map.as_bytes();
+        let end = byte_off.checked_add(len).expect("i8 view length overflow");
+        assert!(end <= bytes.len(), "i8 view out of bounds");
+        I8View { map, byte_off, len }
+    }
+
+    /// The i8 slice.
+    pub fn as_slice(&self) -> &[i8] {
+        let bytes = self.map.as_bytes();
+        // SAFETY: the constructor checked that `byte_off..byte_off+len`
+        // is in bounds of the map, the map lives as long as `self` via
+        // the `Arc`, `i8` has alignment 1, and any byte is a valid i8.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr().add(self.byte_off) as *const i8, self.len) }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

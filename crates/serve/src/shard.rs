@@ -130,9 +130,14 @@ impl ShardedEngine {
         // the global arena row so the merge's tie order matches the
         // single-arena engine's.
         let mut candidates: Vec<Vec<(f32, usize)>> = vec![Vec::new(); reqs.len()];
-        for (shard, rows) in items.data().chunks(self.shard_items * item_dim).enumerate() {
+        // `rows_f32` borrows the arena for f32 payloads and dequantizes
+        // the shard's int8 rows into the scratch for quantized ones.
+        let mut scratch = Vec::new();
+        for shard in 0..items.len().div_ceil(self.shard_items) {
             let base = shard * self.shard_items;
-            let sn = rows.len() / item_dim;
+            let hi = (base + self.shard_items).min(items.len());
+            let rows = items.rows_f32(base, hi, &mut scratch);
+            let sn = hi - base;
             let pairs = kernels::pair_rows(&user_rows, rows, user_dim, item_dim);
             let pairs = Tensor::from_vec(pairs, &[reqs.len() * sn, pair_dim]);
             // Inference mode: nothing is drawn from this RNG.
@@ -202,8 +207,12 @@ impl ShardedEngine {
         let req = [Request { id: 0, user, arrive_us: 0 }];
         let user_rows = self.inner.user_rows_for(&req, users);
         let mut scores = Vec::with_capacity(items.len());
-        for rows in items.data().chunks(self.shard_items * item_dim) {
-            let sn = rows.len() / item_dim;
+        let mut scratch = Vec::new();
+        for shard in 0..items.len().div_ceil(self.shard_items) {
+            let base = shard * self.shard_items;
+            let hi = (base + self.shard_items).min(items.len());
+            let rows = items.rows_f32(base, hi, &mut scratch);
+            let sn = hi - base;
             let pairs = kernels::pair_rows(&user_rows, rows, user_dim, item_dim);
             let pairs = Tensor::from_vec(pairs, &[sn, pair_dim]);
             let mut rng = seeded_rng(0);

@@ -296,3 +296,138 @@ fn empty_user_arena_roundtrips_in_both_verify_modes() {
     assert_eq!(first.len(), 1);
     assert_eq!(first.ids(), &[UserId(9)]);
 }
+
+// ---------------------------------------------------------------------------
+// Quantized (OMAB v2) blobs: round trip + the same corruption classes.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn quantized_blob_roundtrips_bitwise() {
+    let dir = tmp_dir("q8-roundtrip");
+    let (items, users) = sample_arenas(97, 23);
+    let (qitems, qusers) = (items.quantized(), users.quantized());
+    let ipath = dir.join("items.q8.omab");
+    let upath = dir.join("users.q8.omab");
+    qitems.write_blob(&ipath).expect("write quantized items");
+    qusers.write_blob(&upath).expect("write quantized users");
+
+    let back_items = ItemArena::load_blob(&ipath, Verify::Full).expect("load quantized items");
+    let back_users = UserArena::load_blob(&upath, Verify::Full).expect("load quantized users");
+    assert!(back_items.is_quantized(), "v2 blob must reload quantized");
+    assert!(back_users.is_quantized(), "v2 blob must reload quantized");
+    assert_eq!(back_items.len(), qitems.len());
+    assert_eq!(back_items.dim(), qitems.dim());
+    for i in 0..qitems.len() {
+        assert_eq!(qitems.id_at(i), back_items.id_at(i));
+    }
+
+    // Dequantized rows — codes and scales both survived — bit for bit.
+    let (mut s1, mut s2) = (Vec::new(), Vec::new());
+    let a = qitems.rows_f32(0, qitems.len(), &mut s1);
+    let b = back_items.rows_f32(0, back_items.len(), &mut s2);
+    assert_eq!(a.len(), b.len());
+    assert!(a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()));
+
+    let mut ra = vec![0.0f32; USER_DIM];
+    let mut rb = vec![0.0f32; USER_DIM];
+    for &u in qusers.ids() {
+        assert!(qusers.copy_row_into(u, &mut ra));
+        assert!(back_users.copy_row_into(u, &mut rb));
+        assert!(ra.iter().zip(&rb).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    // The reloaded (mapped) quantized user arena still takes online
+    // updates: with_row re-quantizes into a fresh owned Q8 arena.
+    let grown = back_users.with_row(UserId(9_999), &synth_feature_rows(1, USER_DIM, 0xF00D));
+    assert!(grown.is_quantized());
+    assert_eq!(grown.len(), back_users.len() + 1);
+    assert!(grown.contains(UserId(9_999)));
+}
+
+#[test]
+fn empty_quantized_arena_roundtrips() {
+    let dir = tmp_dir("q8-empty");
+    let empty = ItemArena::from_raw(Vec::new(), Vec::new(), ITEM_DIM).quantized();
+    let path = dir.join("empty.q8.omab");
+    empty.write_blob(&path).expect("write empty quantized");
+    for verify in [Verify::Full, Verify::Quick] {
+        let back = ItemArena::load_blob(&path, verify).expect("load empty quantized");
+        assert!(back.is_quantized());
+        assert!(back.is_empty());
+        assert_eq!(back.dim(), ITEM_DIM);
+    }
+}
+
+fn valid_q8_blob_bytes(dir: &Path) -> (PathBuf, Vec<u8>) {
+    let (items, _) = sample_arenas(64, 1);
+    let path = dir.join("victim.q8.omab");
+    items.quantized().write_blob(&path).expect("write quantized");
+    let bytes = std::fs::read(&path).expect("read back");
+    (path, bytes)
+}
+
+#[test]
+fn quantized_blob_truncation_is_rejected_even_in_quick_mode() {
+    let dir = tmp_dir("q8-trunc");
+    let (path, bytes) = valid_q8_blob_bytes(&dir);
+    // n=64, dim=12: ids at 40..296, scales at 296..552, codes at
+    // 552..1320. Cut inside the header, ids, scales, codes, and one
+    // byte short.
+    assert_eq!(bytes.len(), 1320, "layout drifted; update the cut points");
+    for cut in [0, 7, 39, 41, 300, 600, bytes.len() - 1] {
+        std::fs::write(&path, &bytes[..cut]).expect("write truncated");
+        let err = ItemArena::load_blob(&path, Verify::Quick)
+            .err()
+            .unwrap_or_else(|| panic!("truncation at {cut} accepted"));
+        assert!(
+            matches!(err, BlobError::Truncated { .. } | BlobError::HeaderCrc | BlobError::BadMagic),
+            "cut at {cut}: unexpected error {err:?}"
+        );
+    }
+    // Trailing garbage is caught by the same exact-length frame.
+    let mut grown = bytes.clone();
+    grown.extend(std::iter::repeat_n(0xAAu8, 16));
+    std::fs::write(&path, &grown).expect("write grown");
+    assert!(matches!(
+        ItemArena::load_blob(&path, Verify::Quick).err(),
+        Some(BlobError::TrailingBytes { .. })
+    ));
+}
+
+#[test]
+fn quantized_blob_payload_corruption_fails_the_crcs_in_full_mode() {
+    let dir = tmp_dir("q8-payload");
+    let (path, bytes) = valid_q8_blob_bytes(&dir);
+
+    // Ids section.
+    let mut bad = bytes.clone();
+    bad[45] ^= 0x04;
+    std::fs::write(&path, &bad).expect("write corrupted");
+    assert_eq!(ItemArena::load_blob(&path, Verify::Full).err(), Some(BlobError::IdsCrc));
+
+    // A scale byte: one flipped bit rescales a whole row — the v2 data
+    // CRC covers the scales, not just the codes.
+    let mut bad = bytes.clone();
+    bad[300] ^= 0x40;
+    std::fs::write(&path, &bad).expect("write corrupted");
+    assert_eq!(ItemArena::load_blob(&path, Verify::Full).err(), Some(BlobError::DataCrc));
+
+    // A code byte (last byte of the file).
+    let mut bad = bytes.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 0x80;
+    std::fs::write(&path, &bad).expect("write corrupted");
+    assert_eq!(ItemArena::load_blob(&path, Verify::Full).err(), Some(BlobError::DataCrc));
+
+    // Quick mode skips payload CRCs by design (same tradeoff as v1).
+    assert!(ItemArena::load_blob(&path, Verify::Quick).is_ok());
+
+    // Header version flips fail the header CRC; a *consistent* header
+    // with an unknown version is a typed BadVersion, not a misread.
+    let mut bad = bytes;
+    bad[4] = 3;
+    let fixed_crc = om_nn::serialize::crc32(&bad[0..32]);
+    bad[32..36].copy_from_slice(&fixed_crc.to_le_bytes());
+    std::fs::write(&path, &bad).expect("write corrupted");
+    assert_eq!(ItemArena::load_blob(&path, Verify::Quick).err(), Some(BlobError::BadVersion(3)));
+}

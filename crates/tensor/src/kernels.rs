@@ -19,6 +19,15 @@
 //! The serial reference kernels (`*_serial`) are kept callable so the
 //! parity test-suite can assert bit-identical results against the parallel
 //! paths.
+//!
+//! Hot loops additionally dispatch to the AVX2 microkernels in
+//! [`crate::simd`] when the CPU supports them (override with
+//! `OM_SIMD=off`). The serial twins always stay scalar: they are the
+//! parity oracle. Kernels whose vector port preserves the exact scalar
+//! operation sequence (GEMM, elementwise, `pair_rows`, dequantisation)
+//! remain bitwise identical to their twins; reordered reductions ([`sum`])
+//! and the polynomial-exp softmax row match within a registered ULP
+//! tolerance (see `tests/parity.rs`).
 
 use std::sync::OnceLock;
 
@@ -97,6 +106,9 @@ pub fn gemm_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
 /// finite inputs, so the relaxed skip condition (all four lanes zero)
 /// cannot change results.
 fn gemm_rows(a: &[f32], b: &[f32], c_block: &mut [f32], row0: usize, rows: usize, k: usize, n: usize) {
+    if crate::simd::gemm_rows(a, b, c_block, row0, rows, k, n) {
+        return;
+    }
     let mut i = 0;
     while i + 4 <= rows {
         let (r0, r1, r2, r3) = (row0 + i, row0 + i + 1, row0 + i + 2, row0 + i + 3);
@@ -211,10 +223,22 @@ pub fn transpose_serial(a: &[f32], m: usize, n: usize) -> Vec<f32> {
 // Reductions
 // ---------------------------------------------------------------------------
 
-/// Left-to-right sum of one chunk (the serial building block of [`sum`]).
+/// Left-to-right scalar sum of one chunk — the oracle building block of
+/// [`sum_serial`].
+#[inline]
+fn chunk_sum_scalar(x: &[f32]) -> f32 {
+    x.iter().sum()
+}
+
+/// Sum of one chunk, vectorised when AVX2 dispatch is active. The vector
+/// path reorders the additions across lanes (fixed lane shape, so still
+/// input-deterministic) — covered by the `sum` ULP tolerance.
 #[inline]
 fn chunk_sum(x: &[f32]) -> f32 {
-    x.iter().sum()
+    match crate::simd::sum_chunk(x) {
+        Some(s) => s,
+        None => chunk_sum_scalar(x),
+    }
 }
 
 /// Deterministic chunked sum: identical bits at every thread count.
@@ -240,13 +264,15 @@ pub fn sum(x: &[f32]) -> f32 {
     chunk_sum(&partials)
 }
 
-/// Serial twin of [`sum`] — same chunking, same bits, never parallel.
+/// Serial twin of [`sum`] — same chunking, always scalar, never parallel.
+/// Bit-equal to [`sum`] under scalar dispatch; the AVX2 path matches it
+/// within the registered ULP tolerance.
 pub fn sum_serial(x: &[f32]) -> f32 {
     if x.len() <= REDUCE_CHUNK {
-        return chunk_sum(x);
+        return chunk_sum_scalar(x);
     }
-    let partials: Vec<f32> = x.chunks(REDUCE_CHUNK).map(chunk_sum).collect();
-    chunk_sum(&partials)
+    let partials: Vec<f32> = x.chunks(REDUCE_CHUNK).map(chunk_sum_scalar).collect();
+    chunk_sum_scalar(&partials)
 }
 
 // ---------------------------------------------------------------------------
@@ -285,6 +311,101 @@ pub fn zip_map(a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32 + Sync) -> Vec<
 pub fn zip_map_serial(a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32) -> Vec<f32> {
     assert_eq!(a.len(), b.len(), "zip_map_serial: length mismatch");
     a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect()
+}
+
+/// Parallel elementwise add: `out[i] = a[i] + b[i]`, vectorised. Lanewise,
+/// so bitwise identical to the serial twin under any dispatch mode.
+// om-lint: simd — lanewise kernel; tolerance registered in tests/parity.rs
+// (ulp_tolerance("add_slices") = 0, bitwise).
+pub fn add_slices(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "add_slices: length mismatch");
+    let mut out = vec![0.0f32; a.len()];
+    runtime::parallel_rows_mut(&mut out, 1, MAP_GRAIN, |i0, block| {
+        let (ab, bb) = (&a[i0..i0 + block.len()], &b[i0..i0 + block.len()]);
+        if crate::simd::add_chunk(ab, bb, block) {
+            return;
+        }
+        for (o, (&x, &y)) in block.iter_mut().zip(ab.iter().zip(bb)) {
+            *o = x + y;
+        }
+    });
+    out
+}
+
+/// Serial twin of [`add_slices`] — plain scalar loop, never parallel.
+pub fn add_slices_serial(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "add_slices_serial: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x + y).collect()
+}
+
+/// Parallel elementwise subtract: `out[i] = a[i] - b[i]`, vectorised.
+// om-lint: simd — lanewise kernel; tolerance registered in tests/parity.rs
+// (ulp_tolerance("sub_slices") = 0, bitwise).
+pub fn sub_slices(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "sub_slices: length mismatch");
+    let mut out = vec![0.0f32; a.len()];
+    runtime::parallel_rows_mut(&mut out, 1, MAP_GRAIN, |i0, block| {
+        let (ab, bb) = (&a[i0..i0 + block.len()], &b[i0..i0 + block.len()]);
+        if crate::simd::sub_chunk(ab, bb, block) {
+            return;
+        }
+        for (o, (&x, &y)) in block.iter_mut().zip(ab.iter().zip(bb)) {
+            *o = x - y;
+        }
+    });
+    out
+}
+
+/// Serial twin of [`sub_slices`] — plain scalar loop, never parallel.
+pub fn sub_slices_serial(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "sub_slices_serial: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x - y).collect()
+}
+
+/// Parallel elementwise multiply: `out[i] = a[i] * b[i]`, vectorised.
+// om-lint: simd — lanewise kernel; tolerance registered in tests/parity.rs
+// (ulp_tolerance("mul_slices") = 0, bitwise).
+pub fn mul_slices(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "mul_slices: length mismatch");
+    let mut out = vec![0.0f32; a.len()];
+    runtime::parallel_rows_mut(&mut out, 1, MAP_GRAIN, |i0, block| {
+        let (ab, bb) = (&a[i0..i0 + block.len()], &b[i0..i0 + block.len()]);
+        if crate::simd::mul_chunk(ab, bb, block) {
+            return;
+        }
+        for (o, (&x, &y)) in block.iter_mut().zip(ab.iter().zip(bb)) {
+            *o = x * y;
+        }
+    });
+    out
+}
+
+/// Serial twin of [`mul_slices`] — plain scalar loop, never parallel.
+pub fn mul_slices_serial(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "mul_slices_serial: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x * y).collect()
+}
+
+/// Parallel scalar multiply: `out[i] = x[i] * s`, vectorised.
+// om-lint: simd — lanewise kernel; tolerance registered in tests/parity.rs
+// (ulp_tolerance("scale_slice") = 0, bitwise).
+pub fn scale_slice(x: &[f32], s: f32) -> Vec<f32> {
+    let mut out = vec![0.0f32; x.len()];
+    runtime::parallel_rows_mut(&mut out, 1, MAP_GRAIN, |i0, block| {
+        let xb = &x[i0..i0 + block.len()];
+        if crate::simd::scale_chunk(xb, s, block) {
+            return;
+        }
+        for (o, &v) in block.iter_mut().zip(xb) {
+            *o = v * s;
+        }
+    });
+    out
+}
+
+/// Serial twin of [`scale_slice`] — plain scalar loop, never parallel.
+pub fn scale_slice_serial(x: &[f32], s: f32) -> Vec<f32> {
+    x.iter().map(|&v| v * s).collect()
 }
 
 /// Parallel indexed map: `out[i] = f(i)`. For broadcast patterns that need
@@ -334,11 +455,88 @@ pub fn fill_rows_serial(rows: usize, row_len: usize, f: impl Fn(usize, &mut [f32
     out
 }
 
+/// Numerically-stable log-softmax of one row, scalar, written into `out`.
+// om-lint: reduction-ok(serial per-row max/sum in element order; fill_rows
+// partitions by whole rows, so the order never depends on thread count)
+fn log_softmax_row_scalar(row: &[f32], out: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for &x in row {
+        sum += (x - max).exp();
+    }
+    let lse = max + sum.ln();
+    for (o, &x) in out.iter_mut().zip(row) {
+        *o = x - lse;
+    }
+}
+
+/// Row-wise log-softmax of an `[rows, cols]` matrix: each output row is a
+/// log-probability distribution. Rows are partition-independent; the AVX2
+/// path substitutes a polynomial `exp` and a lane-parallel exp-sum, so it
+/// matches the serial twin within the registered ULP tolerance rather
+/// than bitwise. Finite inputs only.
+// om-lint: simd — exp-normalize kernel; tolerance registered in
+// tests/parity.rs (ulp_tolerance("log_softmax_rows")).
+pub fn log_softmax_rows(x: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    assert_eq!(x.len(), rows * cols, "log_softmax_rows: shape mismatch");
+    fill_rows(rows, cols, 8, |r, out| {
+        let src = &x[r * cols..(r + 1) * cols];
+        if crate::simd::log_softmax_row(src, out) {
+            return;
+        }
+        log_softmax_row_scalar(src, out);
+    })
+}
+
+/// Serial twin of [`log_softmax_rows`] — scalar rows, never parallel.
+pub fn log_softmax_rows_serial(x: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    assert_eq!(x.len(), rows * cols, "log_softmax_rows_serial: shape mismatch");
+    fill_rows_serial(rows, cols, |r, out| {
+        log_softmax_row_scalar(&x[r * cols..(r + 1) * cols], out);
+    })
+}
+
+/// Dequantise int8 rows with per-row scales: `out[r·dim + j] =
+/// q[r·dim + j] as f32 · scales[r]`. The serving-arena read path. The
+/// int→float conversion is exact for |q| ≤ 127 and the multiply rounds
+/// once, exactly like the scalar loop — bitwise under any dispatch mode.
+// om-lint: simd — dequantisation kernel; tolerance registered in
+// tests/parity.rs (ulp_tolerance("dequant_rows") = 0, bitwise).
+pub fn dequant_rows(q: &[i8], scales: &[f32], dim: usize) -> Vec<f32> {
+    assert!(dim > 0, "dequant_rows: zero row width");
+    assert_eq!(q.len(), scales.len() * dim, "dequant_rows: ragged rows");
+    fill_rows(scales.len(), dim, 8, |r, out| {
+        let qr = &q[r * dim..(r + 1) * dim];
+        let s = scales[r];
+        if crate::simd::dequant_row(qr, s, out) {
+            return;
+        }
+        for (o, &qv) in out.iter_mut().zip(qr) {
+            *o = qv as f32 * s;
+        }
+    })
+}
+
+/// Serial twin of [`dequant_rows`] — plain scalar loops, never parallel.
+pub fn dequant_rows_serial(q: &[i8], scales: &[f32], dim: usize) -> Vec<f32> {
+    assert!(dim > 0, "dequant_rows_serial: zero row width");
+    assert_eq!(q.len(), scales.len() * dim, "dequant_rows_serial: ragged rows");
+    fill_rows_serial(scales.len(), dim, |r, out| {
+        let qr = &q[r * dim..(r + 1) * dim];
+        let s = scales[r];
+        for (o, &qv) in out.iter_mut().zip(qr) {
+            *o = qv as f32 * s;
+        }
+    })
+}
+
 /// Parallel assembly of a serving score batch: the row-wise cross join
 /// `out[b·n_items + i] = users[b] ⊕ items[i]` over a `[b, du]` user matrix
 /// and a `[n, di]` item arena, producing `[b·n, du + di]` pair rows ready
-/// for one rating-classifier GEMM. Pure copies — no arithmetic — so the
-/// partitioning can never affect bits.
+/// for one rating-classifier GEMM. Pure copies — no arithmetic — so
+/// neither the partitioning nor the vector copy path can affect bits.
+// om-lint: simd — serving score-path copy kernel; tolerance registered in
+// tests/parity.rs (ulp_tolerance("pair_rows") = 0, bitwise).
 pub fn pair_rows(users: &[f32], items: &[f32], du: usize, di: usize) -> Vec<f32> {
     assert!(du > 0 && di > 0, "pair_rows: zero feature width");
     assert_eq!(users.len() % du, 0, "pair_rows: ragged user matrix");
@@ -351,6 +549,9 @@ pub fn pair_rows(users: &[f32], items: &[f32], du: usize, di: usize) -> Vec<f32>
     }
     let grain = (FILL_GRAIN_CELLS / row).max(1);
     runtime::parallel_rows_mut(&mut out, row, grain, |r0, block| {
+        if crate::simd::pair_fill(users, items, du, di, n, r0, block) {
+            return;
+        }
         for (dr, orow) in block.chunks_mut(row).enumerate() {
             let r = r0 + dr;
             let (bi, ii) = (r / n, r % n);
@@ -431,10 +632,17 @@ mod tests {
     fn sum_is_thread_count_invariant() {
         for n in [1, 100, REDUCE_CHUNK, REDUCE_CHUNK + 1, 5 * REDUCE_CHUNK + 13] {
             let x = random_vec(n, n as u64);
-            let reference = sum_serial(&x);
-            for threads in [1, runtime::max_threads()] {
+            // The dispatched sum must be bit-identical across thread counts
+            // in either mode; it equals the scalar serial twin bitwise only
+            // when AVX2 dispatch is off (tests/parity.rs holds the ULP
+            // bound for the vector path).
+            let reference = with_threads(1, || sum(&x));
+            for threads in [2, runtime::max_threads()] {
                 let s = with_threads(threads, || sum(&x));
                 assert_eq!(s.to_bits(), reference.to_bits(), "sum({n}) at {threads} threads");
+            }
+            if !crate::simd::active() {
+                assert_eq!(reference.to_bits(), sum_serial(&x).to_bits(), "scalar sum({n}) vs serial");
             }
         }
     }

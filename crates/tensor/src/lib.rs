@@ -37,6 +37,7 @@ pub mod kernels;
 pub mod ops;
 pub mod runtime;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 
 pub use gradcheck::{gradcheck, GradCheckReport};

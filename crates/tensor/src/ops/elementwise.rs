@@ -18,7 +18,7 @@ impl Tensor {
     /// Elementwise addition of two same-shape tensors.
     pub fn add(&self, other: &Tensor) -> Tensor {
         self.assert_same_shape(other, "add");
-        let out = kernels::zip_map(&self.data(), &other.data(), |x, y| x + y);
+        let out = kernels::add_slices(&self.data(), &other.data());
         Tensor::from_op(
             out,
             self.dims(),
@@ -33,7 +33,7 @@ impl Tensor {
     /// Elementwise subtraction `self - other`.
     pub fn sub(&self, other: &Tensor) -> Tensor {
         self.assert_same_shape(other, "sub");
-        let out = kernels::zip_map(&self.data(), &other.data(), |x, y| x - y);
+        let out = kernels::sub_slices(&self.data(), &other.data());
         Tensor::from_op(
             out,
             self.dims(),
@@ -51,7 +51,7 @@ impl Tensor {
     /// Elementwise (Hadamard) product.
     pub fn mul(&self, other: &Tensor) -> Tensor {
         self.assert_same_shape(other, "mul");
-        let out = kernels::zip_map(&self.data(), &other.data(), |x, y| x * y);
+        let out = kernels::mul_slices(&self.data(), &other.data());
         Tensor::from_op(
             out,
             self.dims(),
@@ -59,11 +59,11 @@ impl Tensor {
             Box::new(move |g, parents| {
                 let (pa, pb) = (&parents[0], &parents[1]);
                 if wants_grad(pa) {
-                    let ga = kernels::zip_map(g, &pb.data(), |x, y| x * y);
+                    let ga = kernels::mul_slices(g, &pb.data());
                     acc(pa, &ga);
                 }
                 if wants_grad(pb) {
-                    let gb = kernels::zip_map(g, &pa.data(), |x, y| x * y);
+                    let gb = kernels::mul_slices(g, &pa.data());
                     acc(pb, &gb);
                 }
             }),
@@ -72,14 +72,14 @@ impl Tensor {
 
     /// Multiply every element by a scalar.
     pub fn scale(&self, c: f32) -> Tensor {
-        let out = kernels::map(&self.data(), |x| x * c);
+        let out = kernels::scale_slice(&self.data(), c);
         Tensor::from_op(
             out,
             self.dims(),
             vec![self.clone()],
             Box::new(move |g, parents| {
                 if wants_grad(&parents[0]) {
-                    let gp = kernels::map(g, |x| x * c);
+                    let gp = kernels::scale_slice(g, c);
                     acc(&parents[0], &gp);
                 }
             }),

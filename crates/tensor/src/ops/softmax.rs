@@ -5,21 +5,6 @@ use super::{acc, wants_grad};
 use crate::kernels;
 use crate::Tensor;
 
-/// Numerically-stable log-softmax of one row, written into `out`.
-// om-lint: reduction-ok(serial per-row max/sum in element order; fill_rows
-// partitions by whole rows, so the order never depends on thread count)
-fn log_softmax_row(row: &[f32], out: &mut [f32]) {
-    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let mut sum = 0.0f32;
-    for &x in row {
-        sum += (x - max).exp();
-    }
-    let lse = max + sum.ln();
-    for (o, &x) in out.iter_mut().zip(row) {
-        *o = x - lse;
-    }
-}
-
 impl Tensor {
     /// Log-softmax over the last axis of a 2-D view: each row becomes a
     /// log-probability distribution.
@@ -29,12 +14,7 @@ impl Tensor {
         let _span = crate::obs_span("ops.softmax");
         let (m, n) = self.shape().as_2d();
         let d = self.data();
-        let out = {
-            let dref: &[f32] = &d;
-            kernels::fill_rows(m, n, 8, |i, row| {
-                log_softmax_row(&dref[i * n..(i + 1) * n], row);
-            })
-        };
+        let out = kernels::log_softmax_rows(&d, m, n);
         drop(d);
         let saved = out.clone();
         Tensor::from_op(

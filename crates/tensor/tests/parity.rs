@@ -1,10 +1,24 @@
-//! Serial/parallel parity: the parallel kernels must produce **bit-identical**
-//! output to the retained serial reference implementations — f32 addition is
-//! not associative, so this only holds because the kernels fix their
-//! accumulation order independently of the thread count (see
-//! `om_tensor::kernels`). Shapes deliberately include 1×1, 1×N, tall-skinny,
-//! wide-short, and odd/prime sizes to hit every ragged-tail branch of the
-//! blocked GEMM and the chunked reductions.
+//! Serial/parallel/SIMD parity. Two contracts are enforced here:
+//!
+//! * **Thread invariance (always bitwise).** Every kernel must produce
+//!   bit-identical output at any `set_threads` value — f32 addition is not
+//!   associative, so this only holds because the kernels fix their
+//!   accumulation order independently of the thread count (see
+//!   `om_tensor::kernels`).
+//! * **Serial-twin parity (tiered).** The dispatched kernels are compared
+//!   against their always-scalar `*_serial` twins. Under scalar dispatch
+//!   (`OM_SIMD=off`, or no AVX2) every comparison is bitwise. Under AVX2
+//!   dispatch, kernels whose vector port preserves the scalar operation
+//!   sequence per element (gemm, elementwise, pair_rows, dequant) stay
+//!   bitwise — their registered `ulp_tolerance` is 0 — while reordered
+//!   reductions (`sum`) and the polynomial-exp softmax row match within a
+//!   measured, margin-padded ULP tolerance ([`ULP_TOLERANCES`]). The
+//!   effective tolerance is selected by [`tier_tolerance`].
+//!
+//! Shapes deliberately include 1×1, 1×N, tall-skinny, wide-short, and
+//! odd/prime sizes to hit every ragged-tail branch of the blocked GEMM,
+//! the 16/8/scalar column tiles of the AVX2 micro-kernel, and the chunked
+//! reductions.
 
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
@@ -98,10 +112,13 @@ fn full_reduction_is_thread_count_invariant_bitwise() {
         let x: Vec<f32> = (0..len).map(|i| ((i * 13) % 97) as f32 * 0.0137 - 0.61).collect();
         let serial = kernels::sum_serial(&x);
         assert_parity(&format!("sum len {len}"), || vec![kernels::sum(&x)]);
-        assert_eq!(
-            serial.to_bits(),
-            kernels::sum(&x).to_bits(),
-            "sum len {len} vs serial reference"
+        // Vs the scalar twin: bitwise under scalar dispatch, ULP-bounded
+        // under AVX2 (the lane-parallel chunk sum reorders additions).
+        assert_within_ulp(
+            &format!("sum len {len}"),
+            tier_tolerance("sum"),
+            &[kernels::sum(&x)],
+            &[serial],
         );
     }
 }
@@ -272,6 +289,81 @@ fn pair_rows_matches_serial_reference_bitwise() {
             "pair_rows {b}x{n} vs serial reference"
         );
     }
+    // Pure copies: the vector path must stay bitwise in every mode.
+    assert_eq!(ulp_tolerance("pair_rows"), 0, "pair_rows is a copy kernel — always bitwise");
+}
+
+#[test]
+fn specialized_elementwise_kernels_match_serial_twins_bitwise() {
+    // The dedicated add/sub/mul/scale kernels are lanewise: identical
+    // scalar operation per element, so bitwise in both dispatch modes.
+    assert_eq!(ulp_tolerance("add_slices"), 0, "add_slices is lanewise — always bitwise");
+    assert_eq!(ulp_tolerance("sub_slices"), 0, "sub_slices is lanewise — always bitwise");
+    assert_eq!(ulp_tolerance("mul_slices"), 0, "mul_slices is lanewise — always bitwise");
+    assert_eq!(ulp_tolerance("scale_slice"), 0, "scale_slice is lanewise — always bitwise");
+    for len in [1usize, 7, 8, 9, 257, 16 * 1024, 3 * 16 * 1024 + 17] {
+        let a: Vec<f32> = (0..len).map(|i| ((i * 41) % 113) as f32 * 0.073 - 4.0).collect();
+        let b: Vec<f32> = (0..len).map(|i| ((i * 59) % 127) as f32 * 0.057 - 3.5).collect();
+        let add_ref = kernels::add_slices_serial(&a, &b);
+        assert_parity(&format!("add_slices len {len}"), || kernels::add_slices(&a, &b));
+        assert_eq!(bits(&add_ref), bits(&kernels::add_slices(&a, &b)), "add_slices len {len}");
+        let sub_ref = kernels::sub_slices_serial(&a, &b);
+        assert_parity(&format!("sub_slices len {len}"), || kernels::sub_slices(&a, &b));
+        assert_eq!(bits(&sub_ref), bits(&kernels::sub_slices(&a, &b)), "sub_slices len {len}");
+        let mul_ref = kernels::mul_slices_serial(&a, &b);
+        assert_parity(&format!("mul_slices len {len}"), || kernels::mul_slices(&a, &b));
+        assert_eq!(bits(&mul_ref), bits(&kernels::mul_slices(&a, &b)), "mul_slices len {len}");
+        let scale_ref = kernels::scale_slice_serial(&a, -1.73);
+        assert_parity(&format!("scale_slice len {len}"), || kernels::scale_slice(&a, -1.73));
+        assert_eq!(bits(&scale_ref), bits(&kernels::scale_slice(&a, -1.73)), "scale_slice len {len}");
+    }
+}
+
+#[test]
+fn log_softmax_rows_kernel_meets_its_tolerance_tier() {
+    // Rows/cols straddle the vector width and the fill grain; the wide
+    // input range exercises the polynomial exp far from zero.
+    for &(rows, cols, lo, hi) in &[
+        (1usize, 1usize, -4.0f32, 4.0f32),
+        (1, 7, -4.0, 4.0),
+        (1, 64, -4.0, 4.0),
+        (257, 3, -4.0, 4.0),
+        (2, 257, -4.0, 4.0),
+        (61, 47, -4.0, 4.0),
+        (64, 33, -20.0, 20.0),
+    ] {
+        let x = init::uniform(&[rows, cols], lo, hi, &mut seeded_rng(rows as u64 * 31 + cols as u64)).to_vec();
+        let serial = kernels::log_softmax_rows_serial(&x, rows, cols);
+        assert_parity(&format!("log_softmax_rows {rows}x{cols}"), || {
+            kernels::log_softmax_rows(&x, rows, cols)
+        });
+        assert_within_ulp(
+            &format!("log_softmax_rows {rows}x{cols}"),
+            tier_tolerance("log_softmax_rows"),
+            &kernels::log_softmax_rows(&x, rows, cols),
+            &serial,
+        );
+    }
+}
+
+#[test]
+fn dequant_rows_matches_serial_twin_bitwise() {
+    // int8→f32 conversion is exact and the per-element multiply rounds
+    // once, so the vector path is bitwise in every mode.
+    assert_eq!(ulp_tolerance("dequant_rows"), 0, "dequant_rows is exact-conversion — always bitwise");
+    for &(n, dim) in &[(1usize, 1usize), (3, 7), (17, 12), (501, 24), (64, 96)] {
+        let q: Vec<i8> = (0..n * dim).map(|i| (((i * 37) % 255) as i64 - 127) as i8).collect();
+        let scales: Vec<f32> = (0..n).map(|r| ((r * 13) % 31) as f32 * 0.0173 + 0.001).collect();
+        let serial = kernels::dequant_rows_serial(&q, &scales, dim);
+        assert_parity(&format!("dequant_rows {n}x{dim}"), || {
+            kernels::dequant_rows(&q, &scales, dim)
+        });
+        assert_eq!(
+            bits(&serial),
+            bits(&kernels::dequant_rows(&q, &scales, dim)),
+            "dequant_rows {n}x{dim} vs serial twin"
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -279,14 +371,31 @@ fn pair_rows_matches_serial_reference_bitwise() {
 //
 // om-lint's `simd-ulp-tolerance` pass requires every kernel carrying the
 // simd marker in `src/kernels.rs` to register a tolerance here via a
-// literal `ulp_tolerance("<name>")` call. Today every kernel is scalar and
-// the registered tolerance is 0 ULP — the bitwise contract above. A future
-// vectorised port widens its entry (with an argued bound) instead of
-// silently abandoning bit parity.
+// literal `ulp_tolerance("<name>")` call. Tolerance 0 means the AVX2 port
+// preserves the exact scalar operation sequence per output element and the
+// kernel stays bitwise-equal to its serial twin in every dispatch mode.
+// Nonzero tolerances are for kernels that genuinely reorder a reduction
+// across vector lanes (`sum`: 4×8 fixed-shape accumulators) or substitute
+// a polynomial exp (`log_softmax_rows`): the bound is the measured worst
+// case over this suite's shape battery padded ~4–5×, and only applies
+// under AVX2 dispatch — [`tier_tolerance`] drops to 0 (bitwise) when the
+// scalar paths are active. Widening an entry requires re-measuring and an
+// argued bound, not a quiet constant bump.
 // ---------------------------------------------------------------------------
 
-/// `(kernel, max ULP distance vs the serial twin)` for simd-marked kernels.
-const ULP_TOLERANCES: &[(&str, u32)] = &[("gemm", 0), ("sum", 0)];
+/// `(kernel, max ULP distance vs the serial twin under AVX2 dispatch)` for
+/// every simd-marked kernel, alphabetical.
+const ULP_TOLERANCES: &[(&str, u32)] = &[
+    ("add_slices", 0),
+    ("dequant_rows", 0),
+    ("gemm", 0),
+    ("log_softmax_rows", 1024), // measured worst 256 (wide-range rows)
+    ("mul_slices", 0),
+    ("pair_rows", 0),
+    ("scale_slice", 0),
+    ("sub_slices", 0),
+    ("sum", 512), // measured worst 99 (cancellation-heavy chunks)
+];
 
 /// Look up a registered tolerance; unregistered names are a test bug (and
 /// an om-lint violation at the kernel's marker).
@@ -308,6 +417,17 @@ fn ulp_distance(a: f32, b: f32) -> u32 {
     key(a).abs_diff(key(b)).try_into().unwrap_or(u32::MAX)
 }
 
+/// The tolerance that applies in the current dispatch mode: the registered
+/// AVX2 bound when the vector paths are active, otherwise 0 — scalar
+/// dispatch must stay bitwise-identical to the serial twins.
+fn tier_tolerance(name: &str) -> u32 {
+    if om_tensor::simd::active() {
+        ulp_tolerance(name)
+    } else {
+        0
+    }
+}
+
 fn assert_within_ulp(name: &str, tol: u32, got: &[f32], want: &[f32]) {
     assert_eq!(got.len(), want.len(), "{name}: length mismatch");
     for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
@@ -321,6 +441,11 @@ fn assert_within_ulp(name: &str, tol: u32, got: &[f32], want: &[f32]) {
 
 #[test]
 fn simd_marked_kernels_meet_their_registered_ulp_tolerance() {
+    // The tolerance-tier parity mode: every simd-marked kernel, compared
+    // against its always-scalar serial twin under the ambient dispatch
+    // mode. CI's kernel-matrix job runs this whole suite twice —
+    // OM_SIMD=auto (vector paths, registered tolerances) and OM_SIMD=off
+    // (scalar paths, everything bitwise via tier_tolerance → 0).
     let (m, k, n) = (61usize, 53usize, 47usize);
     let a: Vec<f32> = (0..m * k).map(|i| ((i * 37) % 101) as f32 * 0.173 - 8.0).collect();
     let b: Vec<f32> = (0..k * n).map(|i| ((i * 53) % 89) as f32 * 0.211 - 9.0).collect();
@@ -328,21 +453,38 @@ fn simd_marked_kernels_meet_their_registered_ulp_tolerance() {
     kernels::gemm_serial(&a, &b, &mut serial, m, k, n);
     let mut parallel = vec![0.0f32; m * n];
     kernels::gemm(&a, &b, &mut parallel, m, k, n);
-    assert_within_ulp("gemm", ulp_tolerance("gemm"), &parallel, &serial);
+    assert_within_ulp("gemm", tier_tolerance("gemm"), &parallel, &serial);
 
     let x: Vec<f32> = (0..10_007).map(|i| ((i * 29) % 97) as f32 * 0.131 - 6.0).collect();
     assert_within_ulp(
         "sum",
-        ulp_tolerance("sum"),
+        tier_tolerance("sum"),
         &[kernels::sum(&x)],
         &[kernels::sum_serial(&x)],
     );
 
-    // The scalar kernels are bitwise-equal today, so the registered
-    // tolerances must be exactly 0 — widening one requires a vectorised
-    // port plus an argued bound, not a quiet constant bump.
+    let sm: Vec<f32> = (0..61 * 47).map(|i| ((i * 43) % 89) as f32 * 0.09 - 4.0).collect();
+    assert_within_ulp(
+        "log_softmax_rows",
+        tier_tolerance("log_softmax_rows"),
+        &kernels::log_softmax_rows(&sm, 61, 47),
+        &kernels::log_softmax_rows_serial(&sm, 61, 47),
+    );
+
+    // Every bitwise-tier kernel must register exactly 0: those ports
+    // preserve the scalar operation sequence, and widening one would be
+    // abandoning bit parity, not tuning a constant. The two reduction
+    // kernels carry their measured, argued bounds.
+    assert_eq!(ulp_tolerance("gemm"), 0, "gemm's micro-tile preserves p-order mul/add — bitwise");
+    assert!(ulp_tolerance("sum") > 0, "sum reorders lanes under AVX2 — needs a real bound");
+    assert!(
+        ulp_tolerance("log_softmax_rows") > 0,
+        "log_softmax_rows uses a polynomial exp under AVX2 — needs a real bound"
+    );
     for &(name, tol) in ULP_TOLERANCES {
-        assert_eq!(tol, 0, "kernel `{name}` widened its ULP tolerance without a SIMD port");
+        if !matches!(name, "sum" | "log_softmax_rows") {
+            assert_eq!(tol, 0, "kernel `{name}` widened its ULP tolerance without an argued bound");
+        }
     }
     assert_eq!(ulp_distance(1.0, 1.0), 0);
     assert_eq!(ulp_distance(1.0, f32::from_bits(1.0f32.to_bits() + 1)), 1);
